@@ -1,0 +1,225 @@
+// Root benchmark harness: one testing.B benchmark per experiment table
+// (E2..E8, see DESIGN.md §5 and EXPERIMENTS.md), plus micro-benchmarks of
+// the primitives the paper's performance story rests on. Run with:
+//
+//	go test -bench=. -benchmem .
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/mach"
+)
+
+// benchTable runs an experiment once per iteration, proving the table is
+// regenerable and timing the whole experiment.
+func benchTable(b *testing.B, fn func() experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := fn()
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", t.ID)
+		}
+	}
+}
+
+// BenchmarkE2MessageCopyVsCOW regenerates E2 (eager copy vs COW message
+// transfer).
+func BenchmarkE2MessageCopyVsCOW(b *testing.B) {
+	benchTable(b, experiments.E2MessageCopyVsCOW)
+}
+
+// BenchmarkE3UnixCacheVsMach regenerates E3 (buffer cache vs mapped
+// files).
+func BenchmarkE3UnixCacheVsMach(b *testing.B) {
+	benchTable(b, experiments.E3UnixCacheVsMach)
+}
+
+// BenchmarkE4ArchLatency regenerates E4 (UMA/NUMA/NORMA taxonomy).
+func BenchmarkE4ArchLatency(b *testing.B) {
+	benchTable(b, experiments.E4ArchLatency)
+}
+
+// BenchmarkE5SharedMemoryLocality regenerates E5 (shared memory vs
+// locality).
+func BenchmarkE5SharedMemoryLocality(b *testing.B) {
+	benchTable(b, experiments.E5SharedMemoryLocality)
+}
+
+// BenchmarkE6Migration regenerates E6 (copy-on-reference migration).
+func BenchmarkE6Migration(b *testing.B) {
+	benchTable(b, experiments.E6Migration)
+}
+
+// BenchmarkE7CamelotWAL regenerates E7 (recoverable VM / WAL).
+func BenchmarkE7CamelotWAL(b *testing.B) {
+	benchTable(b, experiments.E7CamelotWAL)
+}
+
+// BenchmarkE8FaultPath regenerates E8 (fault path costs).
+func BenchmarkE8FaultPath(b *testing.B) {
+	benchTable(b, experiments.E8FaultPath)
+}
+
+// BenchmarkE9Ablations regenerates E9 (design-choice ablations).
+func BenchmarkE9Ablations(b *testing.B) {
+	benchTable(b, experiments.E9Ablations)
+}
+
+// --- primitive micro-benchmarks (real time, not simulated) -----------------
+
+// BenchmarkIPCRoundTrip measures msg_send + msg_receive through a port
+// pair within one host.
+func BenchmarkIPCRoundTrip(b *testing.B) {
+	k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+	defer k.Shutdown()
+	server := k.NewTask()
+	client := k.NewTask()
+	svc, _ := server.Space.AllocatePort()
+	go func() {
+		for {
+			m, err := server.Receive(svc, mach.ReceiveOptions{})
+			if err != nil {
+				return
+			}
+			_ = server.Send(&mach.Message{ID: m.ID + 1, RemotePort: m.RemotePort},
+				mach.SendOptions{Force: true})
+		}
+	}()
+	p, _ := server.Space.Resolve(svc)
+	name, _ := client.Space.InsertRight(p, mach.SendRight)
+	reply, _ := client.Space.AllocatePort()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(&mach.Message{ID: 1, RemotePort: name, LocalPort: reply}, mach.SendOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Receive(reply, mach.ReceiveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZeroFillFault measures the vm_allocate + first-touch path.
+func BenchmarkZeroFillFault(b *testing.B) {
+	k := mach.NewKernel(mach.Config{Frames: 8192, PageSize: 4096})
+	defer k.Shutdown()
+	task := k.NewTask()
+	const chunk = 64 * 4096
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, err := task.VMAllocate(0, chunk, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := task.Map.Touch(addr, chunk, mach.ProtWrite); err != nil {
+			b.Fatal(err)
+		}
+		if err := task.VMDeallocate(addr, chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*64), "faults")
+}
+
+// BenchmarkCOWForkTouch measures fork + child touching every page (COW
+// resolution).
+func BenchmarkCOWForkTouch(b *testing.B) {
+	k := mach.NewKernel(mach.Config{Frames: 8192, PageSize: 4096})
+	defer k.Shutdown()
+	parent := k.NewTask()
+	const chunk = 32 * 4096
+	addr, _ := parent.VMAllocate(0, chunk, true)
+	_ = parent.Map.Touch(addr, chunk, mach.ProtWrite)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child, err := parent.Fork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := child.Map.Touch(addr, chunk, mach.ProtWrite); err != nil {
+			b.Fatal(err)
+		}
+		child.Terminate()
+	}
+}
+
+// BenchmarkOOLTransfer measures a 256 KiB out-of-line (COW) message
+// transfer, untouched by the receiver.
+func BenchmarkOOLTransfer(b *testing.B) {
+	k := mach.NewKernel(mach.Config{Frames: 8192, PageSize: 4096})
+	defer k.Shutdown()
+	sender := k.NewTask()
+	receiver := k.NewTask()
+	svc, _ := receiver.Space.AllocatePort()
+	_ = receiver.Space.SetBacklog(svc, 4)
+	p, _ := receiver.Space.Resolve(svc)
+	name, _ := sender.Space.InsertRight(p, mach.SendRight)
+	const size = 256 * 1024
+	addr, _ := sender.VMAllocate(0, size, true)
+	_ = sender.Map.Touch(addr, size, mach.ProtWrite)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		region, err := k.NewOOLRegion(sender, addr, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sender.Send(&mach.Message{ID: 1, RemotePort: name,
+			Sections: []mach.Section{mach.CarryRegion(region)}}, mach.SendOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		m, err := receiver.Receive(svc, mach.ReceiveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		raddr, err := k.MapOOLRegion(receiver, m.FirstRegion())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := receiver.VMDeallocate(raddr, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPagerBackedFault measures a fault served by a user-level data
+// manager over the full IPC protocol.
+func BenchmarkPagerBackedFault(b *testing.B) {
+	k := mach.NewKernel(mach.Config{Frames: 8192, PageSize: 4096})
+	defer k.Shutdown()
+	task := k.NewTask()
+	mgrTask := k.NewTask()
+	mgr := mach.NewManager(mgrTask.Space, benchPager{})
+	mo, err := mgr.NewObject(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go mgr.Run()
+	defer mgr.Stop()
+	p, _ := mgrTask.Space.Resolve(mo.Port)
+	name, _ := task.Space.InsertRight(p, mach.SendRight)
+	const npages = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, err := task.VMAllocateWithPager(name, 0, 0, npages*4096, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := task.Map.Touch(addr, npages*4096, mach.ProtRead); err != nil {
+			b.Fatal(err)
+		}
+		if err := task.VMDeallocate(addr, npages*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*npages), "faults")
+}
+
+// benchPager answers every request with a constant page.
+type benchPager struct{ mach.NopHandler }
+
+func (benchPager) DataRequest(mo *mach.MemoryObject, offset, length uint64, desired mach.Prot) {
+	_ = mo.DataProvided(offset, make([]byte, length), mach.ProtNone)
+}

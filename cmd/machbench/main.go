@@ -1,0 +1,65 @@
+// Command machbench regenerates every experiment table of the
+// reproduction (DESIGN.md §5, recorded against the paper in
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	machbench            # run all experiments
+//	machbench E3 E5      # run selected experiments
+//	machbench -list      # list experiment IDs
+//
+// All quantities are simulated (deterministic virtual clock), so output
+// is stable across machines; only the shapes are meaningful.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+var all = []struct {
+	id  string
+	fn  func() experiments.Table
+	doc string
+}{
+	{"E2", experiments.E2MessageCopyVsCOW, "large message transfer: eager copy vs COW"},
+	{"E3", experiments.E3UnixCacheVsMach, "buffer-cache UNIX vs Mach mapped files"},
+	{"E4", experiments.E4ArchLatency, "UMA/NUMA/NORMA latency taxonomy"},
+	{"E5", experiments.E5SharedMemoryLocality, "network shared memory vs locality"},
+	{"E6", experiments.E6Migration, "copy-on-reference task migration"},
+	{"E7", experiments.E7CamelotWAL, "Camelot recoverable VM / write-ahead log"},
+	{"E8", experiments.E8FaultPath, "fault path costs and memory-failure policies"},
+	{"E9", experiments.E9Ablations, "ablations: COW fork, copy-on-reference OOL, pageout target"},
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%s  %s\n", e.id, e.doc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		t := e.fn()
+		t.Render(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "machbench: no matching experiments (try -list)")
+		os.Exit(1)
+	}
+}

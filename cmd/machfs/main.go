@@ -1,0 +1,131 @@
+// Command machfs is an interactive shell over the §4.1 filesystem
+// server: every read maps the file copy-on-write through the external
+// pager, so the session demonstrates demand paging and the kernel's
+// file cache live.
+//
+// Usage: machfs  (then type "help")
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/mach"
+)
+
+func main() {
+	k := mach.NewKernel(mach.Config{Frames: 1024, PageSize: 4096})
+	defer k.Shutdown()
+	disk := mach.NewDisk(4096, 4096, mach.DefaultDiskLatency, k.Clock())
+	srv, err := mach.NewFSServer(k, disk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machfs:", err)
+		os.Exit(1)
+	}
+	go srv.Run()
+	defer srv.Stop()
+	task := k.NewTask()
+	svc, err := srv.Publish(task)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machfs:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("machfs — files are memory objects; type 'help'")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("machfs> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		fields := strings.SplitN(strings.TrimSpace(sc.Text()), " ", 3)
+		switch fields[0] {
+		case "":
+		case "help":
+			fmt.Println(`commands:
+  create <name> <text>   store a file
+  read <name>            map the file and print it (demand paged)
+  append <name> <text>   read, modify the private copy, write back
+  stat <name>            file size
+  ls                     list files
+  stats                  disk and vm counters
+  quit`)
+		case "create":
+			if len(fields) < 3 {
+				fmt.Println("usage: create <name> <text>")
+				continue
+			}
+			if err := srv.CreateFile(fields[1], []byte(fields[2])); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "read":
+			if len(fields) < 2 {
+				fmt.Println("usage: read <name>")
+				continue
+			}
+			addr, size, err := mach.FSReadFile(task, svc, fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			data, err := task.VMRead(addr, size)
+			if err != nil {
+				fmt.Println("fault error:", err)
+			} else {
+				fmt.Printf("%s\n", data)
+			}
+			_ = task.VMDeallocate(addr, mach.FSMappedSize(task, size))
+		case "append":
+			if len(fields) < 3 {
+				fmt.Println("usage: append <name> <text>")
+				continue
+			}
+			addr, size, err := mach.FSReadFile(task, svc, fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			old, _ := task.VMRead(addr, size)
+			grown := append(old, []byte(fields[2])...)
+			gaddr, _ := task.VMAllocate(0, uint64(len(grown)), true)
+			_ = task.VMWrite(gaddr, grown)
+			if err := mach.FSWriteFile(task, svc, fields[1], gaddr, uint64(len(grown))); err != nil {
+				fmt.Println("write error:", err)
+			}
+			_ = task.VMDeallocate(addr, mach.FSMappedSize(task, size))
+		case "stat":
+			if len(fields) < 2 {
+				fmt.Println("usage: stat <name>")
+				continue
+			}
+			size, err := mach.FSStat(task, svc, fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%d bytes\n", size)
+			}
+		case "ls":
+			names, err := mach.FSList(task, svc)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, n := range names {
+				fmt.Println(n)
+			}
+		case "stats":
+			st := k.Statistics()
+			fmt.Printf("disk: %+v\n", disk.Stats())
+			fmt.Printf("vm: faults=%d pageins=%d zero-fills=%d cow=%d hits=%d/%d\n",
+				st.Faults, st.Pageins, st.ZeroFills, st.CowFaults, st.Hits, st.Lookups)
+			fmt.Printf("simulated time: %v\n", k.Clock().Now())
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("unknown command (try 'help')")
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Command machsim runs parameterized multi-host scenarios on the
+// simulator: a configurable architecture, host count, and one of four
+// workloads. It is the knob-turning companion to the fixed tables of
+// machbench.
+//
+// Usage:
+//
+//	machsim -scenario sharedmem -arch NORMA -hosts 4 -ops 500 -locality 0.8
+//	machsim -scenario migration -arch NORMA -pages 512 -touch 0.1 -prepage
+//	machsim -scenario pressure  -frames 64 -pages 256
+//	machsim -scenario camelot   -ops 50 -pages 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/mach"
+)
+
+var (
+	scenario = flag.String("scenario", "sharedmem", "sharedmem | migration | pressure | camelot")
+	archFlag = flag.String("arch", "NORMA", "UMA | NUMA | NORMA")
+	hosts    = flag.Int("hosts", 4, "number of hosts (sharedmem)")
+	ops      = flag.Int("ops", 500, "operations per client (sharedmem)")
+	locality = flag.Float64("locality", 0.8, "probability of touching own pages (sharedmem)")
+	writePct = flag.Float64("writes", 0.3, "fraction of operations that write (sharedmem)")
+	pages    = flag.Int("pages", 512, "task/region size in pages")
+	touch    = flag.Float64("touch", 0.1, "fraction of pages the workload touches (migration)")
+	prepage  = flag.Bool("prepage", false, "pre-page instead of demand paging (migration)")
+	frames   = flag.Int("frames", 256, "physical frames per host")
+)
+
+const pageSize = 4096
+
+func archOf(s string) mach.Arch {
+	switch strings.ToUpper(s) {
+	case "UMA":
+		return mach.UMA
+	case "NUMA":
+		return mach.NUMA
+	case "NORMA":
+		return mach.NORMA
+	default:
+		fmt.Fprintf(os.Stderr, "machsim: unknown arch %q\n", s)
+		os.Exit(1)
+		return 0
+	}
+}
+
+func main() {
+	flag.Parse()
+	switch *scenario {
+	case "sharedmem":
+		runSharedMem()
+	case "migration":
+		runMigration()
+	case "pressure":
+		runPressure()
+	case "camelot":
+		runCamelot()
+	default:
+		fmt.Fprintf(os.Stderr, "machsim: unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+}
+
+// runSharedMem drives clients on every host against one shared region.
+func runSharedMem() {
+	kernels, topo, clock := mach.Complex(*hosts, archOf(*archFlag), *frames, pageSize)
+	defer func() {
+		for _, k := range kernels {
+			k.Shutdown()
+		}
+	}()
+	srv, err := mach.NewSharedMemoryServer(kernels[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machsim:", err)
+		os.Exit(1)
+	}
+	go srv.Run()
+	defer srv.Stop()
+
+	pagesEach := *pages / *hosts
+	if pagesEach < 1 {
+		pagesEach = 1
+	}
+	region := *hosts * pagesEach * pageSize
+	if err := srv.CreateRegion("r", uint64(region)); err != nil {
+		fmt.Fprintln(os.Stderr, "machsim:", err)
+		os.Exit(1)
+	}
+	tasks := make([]*mach.Task, *hosts)
+	addrs := make([]uint64, *hosts)
+	for i := range tasks {
+		tasks[i] = kernels[i].NewTask()
+		svc, err := srv.Publish(tasks[i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "machsim:", err)
+			os.Exit(1)
+		}
+		addrs[i], _, err = mach.SharedAttach(tasks[i], svc, "r")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "machsim:", err)
+			os.Exit(1)
+		}
+	}
+	start := clock.Now()
+	var wg sync.WaitGroup
+	for c := range tasks {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := uint64(c + 1)
+			next := func(n int) int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int((rng >> 17) % uint64(n))
+			}
+			buf := []byte{byte(c + 1)}
+			for op := 0; op < *ops; op++ {
+				var page int
+				if float64(next(1000))/1000 < *locality {
+					page = c*pagesEach + next(pagesEach)
+				} else {
+					page = next(*hosts * pagesEach)
+				}
+				off := addrs[c] + uint64(page*pageSize) + uint64(next(pageSize-1))
+				if float64(next(1000))/1000 < *writePct {
+					_ = tasks[c].VMWrite(off, buf)
+				} else {
+					_, _ = tasks[c].VMRead(off, 1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := clock.Now() - start
+	st := srv.Stats()
+	total := *hosts * *ops
+	fmt.Printf("sharedmem: %d hosts (%s), %d ops, locality %.2f\n", *hosts, *archFlag, total, *locality)
+	fmt.Printf("  read-serves=%d write-grants=%d invalidations=%d write-backs=%d\n",
+		st.ReadServes, st.WriteGrants, st.Invalidations, st.WriteBacks)
+	fmt.Printf("  network=%+v\n", topo.Stats())
+	fmt.Printf("  simulated: total=%v per-op=%v\n", elapsed, elapsed/time.Duration(total))
+}
+
+// runMigration migrates a task and runs a sparse workload on it.
+func runMigration() {
+	kernels, topo, clock := mach.Complex(2, archOf(*archFlag), *frames*8, pageSize)
+	src, dst := kernels[0], kernels[1]
+	defer src.Shutdown()
+	defer dst.Shutdown()
+	task := src.NewTask()
+	addr, _ := task.VMAllocate(0, uint64(*pages*pageSize), true)
+	page := make([]byte, pageSize)
+	for i := 0; i < *pages; i++ {
+		page[0] = byte(i)
+		_ = task.VMWrite(addr+uint64(i*pageSize), page)
+	}
+	topo.ResetStats()
+	start := clock.Now()
+	migrated, mig, err := mach.Migrate(task, dst, mach.MigrationOptions{PrePage: *prepage})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machsim:", err)
+		os.Exit(1)
+	}
+	defer mig.Stop()
+	if *prepage {
+		for mig.Stats().PagesPrePaged < int64(*pages) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	limit := int(float64(*pages) * *touch)
+	for i := 0; i < limit; i++ {
+		_, _ = migrated.VMRead(addr+uint64(i*pageSize), 1)
+	}
+	elapsed := clock.Now() - start
+	st := mig.Stats()
+	fmt.Printf("migration: %d pages, touch %.0f%%, prepage=%v (%s)\n",
+		*pages, *touch*100, *prepage, *archFlag)
+	fmt.Printf("  moved: %d demand + %d pre-paged; network %d KiB\n",
+		st.PagesRequested, st.PagesPrePaged, topo.Stats().RemoteBytes/1024)
+	fmt.Printf("  simulated: %v\n", elapsed)
+}
+
+// runCamelot runs a transaction batch over recoverable memory, crashes,
+// recovers, and verifies failure atomicity.
+func runCamelot() {
+	k := mach.NewKernel(mach.Config{Frames: *frames, PageSize: pageSize})
+	defer k.Shutdown()
+	dataDisk := mach.NewDisk(4096, pageSize, mach.DefaultDiskLatency, k.Clock())
+	logDisk := mach.NewDisk(16384, pageSize, mach.DefaultDiskLatency, k.Clock())
+	dm, err := mach.NewCamelotDiskManager(k, dataDisk, logDisk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machsim:", err)
+		os.Exit(1)
+	}
+	go dm.Run()
+	defer dm.Stop()
+	app := k.NewTask()
+	svc, _ := dm.Publish(app)
+	client := mach.CamelotOpen(app, svc)
+	segPages := *pages
+	if segPages > dataDisk.Blocks() {
+		segPages = dataDisk.Blocks() / 2
+	}
+	if err := client.CreateSegment("seg", uint64(segPages)*pageSize); err != nil {
+		fmt.Fprintln(os.Stderr, "machsim:", err)
+		os.Exit(1)
+	}
+	seg, err := client.Attach("seg")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machsim:", err)
+		os.Exit(1)
+	}
+	start := k.Clock().Now()
+	commits, aborts := 0, 0
+	for i := 0; i < *ops; i++ {
+		tx := client.Begin()
+		off := uint64((i * 64) % (segPages*pageSize - 8))
+		if err := tx.Write(seg, off, []byte{byte(i + 1)}); err != nil {
+			fmt.Fprintln(os.Stderr, "machsim:", err)
+			os.Exit(1)
+		}
+		if i%3 == 2 {
+			_ = tx.Abort()
+			aborts++
+		} else {
+			_ = tx.Commit()
+			commits++
+		}
+	}
+	elapsed := k.Clock().Now() - start
+	dm.Crash()
+	replayed := dm.Recover()
+	st := dm.Stats()
+	fmt.Printf("camelot: %d txs (%d commit, %d abort) over %d pages\n", *ops, commits, aborts, segPages)
+	fmt.Printf("  log-records=%d log-forces=%d wal-forces=%d page-writes=%d\n",
+		st.LogRecords, st.LogForces, st.WALForces, st.PageWrites)
+	fmt.Printf("  crash + recovery replayed %d updates; simulated %v\n", replayed, elapsed)
+}
+
+// runPressure overcommits one kernel and reports pageout behaviour.
+func runPressure() {
+	k := mach.NewKernel(mach.Config{Frames: *frames, PageSize: pageSize})
+	defer k.Shutdown()
+	task := k.NewTask()
+	start := k.Clock().Now()
+	addr, _ := task.VMAllocate(0, uint64(*pages*pageSize), true)
+	page := make([]byte, pageSize)
+	for i := 0; i < *pages; i++ {
+		page[0] = byte(i)
+		_ = task.VMWrite(addr+uint64(i*pageSize), page)
+	}
+	for i := 0; i < *pages; i++ {
+		b, _ := task.VMRead(addr+uint64(i*pageSize), 1)
+		if len(b) != 1 || b[0] != byte(i) {
+			fmt.Fprintf(os.Stderr, "machsim: data lost at page %d\n", i)
+			os.Exit(1)
+		}
+	}
+	elapsed := k.Clock().Now() - start
+	st := k.Statistics()
+	fmt.Printf("pressure: %d pages through %d frames\n", *pages, *frames)
+	fmt.Printf("  faults=%d pageins=%d pageouts=%d reactivations=%d\n",
+		st.Faults, st.Pageins, st.Pageouts, st.Reactivations)
+	fmt.Printf("  default pager holds %d pages; simulated %v\n",
+		k.DefaultPager().BackingPages(), elapsed)
+}

@@ -1,0 +1,112 @@
+// Camelot: §8.3's recoverable virtual memory — a bank-ledger segment
+// mapped into the application's address space, failure-atomic transfers
+// through write-ahead logging, a crash mid-flight, and recovery that
+// keeps committed transfers and rolls back the in-doubt one.
+//
+// Run with: go run ./examples/camelot
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro/mach"
+)
+
+const pageSize = 4096
+
+// account i's balance lives at offset i*8 as a uint64.
+func balance(seg *mach.CamelotSegment, i int) uint64 {
+	b, err := seg.Read(uint64(i*8), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func setBalance(tx *mach.CamelotTx, seg *mach.CamelotSegment, i int, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if err := tx.Write(seg, uint64(i*8), b[:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// transfer moves amount from account a to account b, atomically.
+func transfer(c *mach.CamelotClient, seg *mach.CamelotSegment, a, b int, amount uint64) *mach.CamelotTx {
+	tx := c.Begin()
+	setBalance(tx, seg, a, balance(seg, a)-amount)
+	setBalance(tx, seg, b, balance(seg, b)+amount)
+	return tx
+}
+
+func main() {
+	k := mach.NewKernel(mach.Config{Frames: 512, PageSize: pageSize})
+	defer k.Shutdown()
+	dataDisk := mach.NewDisk(1024, pageSize, mach.DefaultDiskLatency, k.Clock())
+	logDisk := mach.NewDisk(8192, pageSize, mach.DefaultDiskLatency, k.Clock())
+	dm, err := mach.NewCamelotDiskManager(k, dataDisk, logDisk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go dm.Run()
+	defer dm.Stop()
+
+	app := k.NewTask()
+	svc, err := dm.Publish(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := mach.CamelotOpen(app, svc)
+	if err := client.CreateSegment("ledger", 4*pageSize); err != nil {
+		log.Fatal(err)
+	}
+	seg, err := client.Attach("ledger")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ledger segment mapped into the application's address space")
+
+	// Fund two accounts (committed).
+	tx := client.Begin()
+	setBalance(tx, seg, 0, 1000)
+	setBalance(tx, seg, 1, 1000)
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A committed transfer.
+	if err := transfer(client, seg, 0, 1, 250).Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after committed transfer: acct0=%d acct1=%d\n",
+		balance(seg, 0), balance(seg, 1))
+
+	// A transfer that is IN FLIGHT when the system crashes: updates
+	// applied to memory and logged, but no commit record forced.
+	_ = transfer(client, seg, 0, 1, 500)
+	fmt.Printf("in-flight transfer applied in memory: acct0=%d acct1=%d\n",
+		balance(seg, 0), balance(seg, 1))
+
+	fmt.Println("*** CRASH *** (volatile state lost; disks survive)")
+	dm.Crash()
+	replayed := dm.Recover()
+	fmt.Printf("recovery replayed %d log updates\n", replayed)
+
+	data, err := dm.SegmentBytes("ledger")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a0 := binary.LittleEndian.Uint64(data[0:])
+	a1 := binary.LittleEndian.Uint64(data[8:])
+	fmt.Printf("after recovery: acct0=%d acct1=%d (committed kept, in-flight rolled back)\n", a0, a1)
+	if a0 != 750 || a1 != 1250 {
+		log.Fatalf("recovery violated atomicity: %d/%d", a0, a1)
+	}
+
+	st := dm.Stats()
+	fmt.Printf("\ndisk manager: log-records=%d log-forces=%d wal-forces=%d commits=%d\n",
+		st.LogRecords, st.LogForces, st.WALForces, st.Commits)
+	fmt.Println("the kernel needed no modification: WAL rides entirely on the external pager")
+}

@@ -1,0 +1,85 @@
+// Migration: §8.2's copy-on-reference task migration — a task with a
+// large, sparsely-used address space migrates to another host; only the
+// pages it actually touches cross the network, and the same workload
+// under pre-paging shows the trade-off.
+//
+// Run with: go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/mach"
+)
+
+const (
+	pageSize = 4096
+	npages   = 512 // 2 MiB address space
+)
+
+func buildTask(k *mach.Kernel) (*mach.Task, uint64) {
+	task := k.NewTask()
+	addr, err := task.VMAllocate(0, npages*pageSize, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	page := make([]byte, pageSize)
+	for i := 0; i < npages; i++ {
+		page[0] = byte(i)
+		if err := task.VMWrite(addr+uint64(i*pageSize), page); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return task, addr
+}
+
+// workload touches 5% of the address space, the sparse-use case the
+// paper's demand strategy wins.
+func workload(t *mach.Task, addr uint64) {
+	for i := 0; i < npages/20; i++ {
+		if _, err := t.VMRead(addr+uint64(i*20*pageSize), 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	for _, prepage := range []bool{false, true} {
+		kernels, topo, clock := mach.Complex(2, mach.NORMA, 2048, pageSize)
+		src, dst := kernels[0], kernels[1]
+		task, addr := buildTask(src)
+		topo.ResetStats()
+		t0 := clock.Now()
+
+		migrated, mig, err := mach.Migrate(task, dst, mach.MigrationOptions{PrePage: prepage})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if prepage {
+			for mig.Stats().PagesPrePaged < npages {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		workload(migrated, addr)
+		elapsed := clock.Now() - t0
+
+		st := mig.Stats()
+		name := "demand (copy-on-reference)"
+		if prepage {
+			name = "pre-paging (push everything)"
+		}
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  address space: %d pages (%d KiB), workload touched %d pages\n",
+			npages, npages*pageSize/1024, npages/20)
+		fmt.Printf("  pages moved: %d demand + %d pre-paged\n", st.PagesRequested, st.PagesPrePaged)
+		fmt.Printf("  network bytes: %d KiB, simulated time: %v\n\n",
+			topo.Stats().RemoteBytes/1024, elapsed.Round(time.Microsecond))
+
+		mig.Stop()
+		src.Shutdown()
+		dst.Shutdown()
+	}
+	fmt.Println("copy-on-reference moved ~5% of the data for the same work — the §8.2 claim")
+}

@@ -1,0 +1,227 @@
+package agora
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/netmem"
+)
+
+// MaxAgents bounds the number of shared-memory agents (bakery lock
+// slots).
+const MaxAgents = 16
+
+// Shared page-0 layout for the blackboard mutex and counters. The mutex
+// is Lamport's bakery algorithm, which needs only per-word atomic reads
+// and writes — exactly what network shared memory provides (§4.2's
+// single-writer protocol gives sequential consistency per page) — so the
+// blackboard's mutual exclusion itself exercises the consistency
+// machinery.
+const (
+	offChoosing = 0                 // MaxAgents x 8 bytes
+	offNumber   = offChoosing + 128 // MaxAgents x 8 bytes
+	offCountW   = offNumber + 128   // hypothesis count
+	offGenW     = offCountW + 8     // generation (bumped per post)
+)
+
+// Agent is a tightly coupled agent: it maps the blackboard region and
+// works on it with loads and stores.
+type Agent struct {
+	task  *kern.Task
+	addr  uint64
+	slots int
+	id    int
+	ps    uint64
+}
+
+// JoinShared attaches the board's own kernel task to the blackboard as
+// agent 0. Boards call this internally.
+func JoinShared(task *kern.Task, srv *netmem.Server, slots int) (*Agent, error) {
+	svc, err := srv.Publish(task)
+	if err != nil {
+		return nil, err
+	}
+	return Join(task, svc, slots, 0)
+}
+
+// Join attaches a task to the blackboard through a shared-memory service
+// port, as the agent with the given ID (1..MaxAgents-1; the board itself
+// is agent 0). Each concurrent agent must use a distinct ID.
+func Join(task *kern.Task, svc ipc.Name, slots, id int) (*Agent, error) {
+	addr, _, err := netmem.Attach(task, svc, "agora-blackboard")
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		task:  task,
+		addr:  addr,
+		slots: slots,
+		id:    id % MaxAgents,
+		ps:    task.Kernel().VM.PageSize(),
+	}, nil
+}
+
+// readWord / writeWord are the agent's atomic shared-memory accesses.
+func (a *Agent) readWord(off uint64) uint64 {
+	b, err := a.task.VMRead(a.addr+off, 8)
+	if err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (a *Agent) writeWord(off uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_ = a.task.VMWrite(a.addr+off, b[:])
+}
+
+// lock acquires the blackboard mutex (bakery algorithm).
+func (a *Agent) lock() {
+	i := uint64(a.id)
+	a.writeWord(offChoosing+i*8, 1)
+	var max uint64
+	for j := uint64(0); j < MaxAgents; j++ {
+		if n := a.readWord(offNumber + j*8); n > max {
+			max = n
+		}
+	}
+	a.writeWord(offNumber+i*8, max+1)
+	a.writeWord(offChoosing+i*8, 0)
+	my := max + 1
+	for j := uint64(0); j < MaxAgents; j++ {
+		if j == i {
+			continue
+		}
+		for a.readWord(offChoosing+j*8) != 0 {
+			time.Sleep(10 * time.Microsecond)
+		}
+		for {
+			nj := a.readWord(offNumber + j*8)
+			if nj == 0 || nj > my || (nj == my && j > i) {
+				break
+			}
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// unlock releases the blackboard mutex.
+func (a *Agent) unlock() {
+	a.writeWord(offNumber+uint64(a.id)*8, 0)
+}
+
+// slotOffset returns the region offset of hypothesis slot n.
+func (a *Agent) slotOffset(n int) uint64 {
+	return a.ps + uint64(n)*SlotSize
+}
+
+// Post places a hypothesis on the blackboard (shared memory path).
+func (a *Agent) Post(h Hypothesis) error {
+	if len(h.Text) > SlotSize-8 {
+		return ErrTooLarge
+	}
+	a.lock()
+	defer a.unlock()
+	count := a.readWord(offCountW)
+	if int(count) >= a.slots {
+		return ErrFull
+	}
+	slot := make([]byte, SlotSize)
+	binary.LittleEndian.PutUint64(slot, h.Score)
+	copy(slot[8:], h.Text)
+	if err := a.task.VMWrite(a.addr+a.slotOffset(int(count)), slot); err != nil {
+		return err
+	}
+	a.writeWord(offCountW, count+1)
+	a.writeWord(offGenW, a.readWord(offGenW)+1)
+	return nil
+}
+
+// Snapshot reads every hypothesis currently on the blackboard.
+func (a *Agent) Snapshot() ([]Hypothesis, error) {
+	a.lock()
+	defer a.unlock()
+	count := int(a.readWord(offCountW))
+	out := make([]Hypothesis, 0, count)
+	for i := 0; i < count; i++ {
+		b, err := a.task.VMRead(a.addr+a.slotOffset(i), SlotSize)
+		if err != nil {
+			return nil, err
+		}
+		score := binary.LittleEndian.Uint64(b)
+		text := b[8:]
+		end := 0
+		for end < len(text) && text[end] != 0 {
+			end++
+		}
+		out = append(out, Hypothesis{Score: score, Text: string(text[:end])})
+	}
+	return out, nil
+}
+
+// Count returns the number of hypotheses (consistently, under the lock).
+func (a *Agent) Count() int {
+	a.lock()
+	defer a.unlock()
+	return int(a.readWord(offCountW))
+}
+
+// Generation returns the blackboard's modification counter.
+func (a *Agent) Generation() uint64 {
+	return a.readWord(offGenW)
+}
+
+// RemoteAgent is a loosely coupled agent: it reaches the blackboard by
+// message passing through the board's broker ("Message passing is used
+// between loosely coupled components of the system", §8.4).
+type RemoteAgent struct {
+	task   *kern.Task
+	broker ipc.Name
+}
+
+// JoinRemote connects a task to the broker port (obtained via
+// Board.PublishBroker).
+func JoinRemote(task *kern.Task, broker ipc.Name) *RemoteAgent {
+	return &RemoteAgent{task: task, broker: broker}
+}
+
+// Post sends a hypothesis to the board by message.
+func (r *RemoteAgent) Post(h Hypothesis) error {
+	if len(h.Text) > SlotSize-8 {
+		return ErrTooLarge
+	}
+	payload := make([]byte, 8+len(h.Text))
+	binary.LittleEndian.PutUint64(payload, h.Score)
+	copy(payload[8:], h.Text)
+	reply, err := r.task.RPC(&ipc.Message{
+		ID:         MsgPost,
+		RemotePort: r.broker,
+		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
+	}, 10*time.Second, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	b := reply.InlineData()
+	if len(b) < 1 || b[0] != 0 {
+		if len(b) >= 1 && b[0] == 1 {
+			return ErrFull
+		}
+		return ErrTooLarge
+	}
+	return nil
+}
+
+// Snapshot fetches all hypotheses by message.
+func (r *RemoteAgent) Snapshot() ([]Hypothesis, error) {
+	reply, err := r.task.RPC(&ipc.Message{
+		ID:         MsgSnapshot,
+		RemotePort: r.broker,
+	}, 10*time.Second, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(reply.InlineData())
+}

@@ -1,0 +1,234 @@
+// Package agora implements the §8.4 application: an Agora-style shared
+// blackboard for cooperating agents. "Both communication and memory
+// sharing are used to implement a shared blackboard structure in which
+// hypotheses are placed and evaluated by multiple cooperating agents. ...
+// All accesses to the blackboard are through a procedural interface that
+// determines if shared memory or communication must be used."
+//
+// The blackboard physically resides on one host as a consistent shared
+// memory region (package netmem). Agents whose kernel can map the region
+// use shared memory directly — posting a hypothesis is a few memory
+// writes under a blackboard mutex built ON TOP of the shared memory
+// (exercising the §4.2 consistency protocol). Loosely coupled agents use
+// message passing to a broker task instead, exactly the split the paper
+// describes between the multiprocessor host and the workstations around
+// it.
+package agora
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/netmem"
+)
+
+// Blackboard layout, all little-endian:
+//
+//	page 0:  [lock word][count word][generation word]
+//	page 1+: hypothesis slots, SlotSize bytes each
+const (
+	offLock       = 0
+	offCount      = 8
+	offGeneration = 16
+)
+
+// SlotSize is the fixed size of one hypothesis record: an 8-byte score
+// followed by NUL-padded text.
+const SlotSize = 128
+
+// Hypothesis is one blackboard entry.
+type Hypothesis struct {
+	// Score is the agent-assigned plausibility.
+	Score uint64
+	// Text is the hypothesis content (at most SlotSize-8 bytes).
+	Text string
+}
+
+// Errors returned by blackboard operations.
+var (
+	// ErrFull: no free hypothesis slots.
+	ErrFull = errors.New("agora: blackboard full")
+	// ErrTooLarge: hypothesis text exceeds the slot size.
+	ErrTooLarge = errors.New("agora: hypothesis too large")
+)
+
+// Message IDs of the broker protocol (for message-passing agents).
+const (
+	// MsgPost posts a hypothesis (payload: score + text).
+	MsgPost ipc.MsgID = 3300 + iota
+	// MsgSnapshot asks for all hypotheses.
+	MsgSnapshot
+	// MsgPostReply / MsgSnapshotReply answer the above.
+	MsgPostReply
+	MsgSnapshotReply
+)
+
+// Board is the hub: it owns the shared memory region and runs the broker
+// port for loosely coupled agents.
+type Board struct {
+	kernel *kern.Kernel
+	task   *kern.Task
+	srv    *netmem.Server
+	local  *Agent // the board's own mapping, used by the broker
+
+	// BrokerPort receives message-passing agents' requests.
+	BrokerPort ipc.Name
+
+	slots int
+	stop  chan struct{}
+}
+
+// NewBoard creates a blackboard with the given number of hypothesis slots
+// on kernel k (the multiprocessor host), backed by shared memory server
+// srv (usually also on k).
+func NewBoard(k *kern.Kernel, srv *netmem.Server, slots int) (*Board, error) {
+	if slots < 1 {
+		slots = 1
+	}
+	ps := k.VM.PageSize()
+	pages := (uint64(slots)*SlotSize + ps - 1) / ps
+	if err := srv.CreateRegion("agora-blackboard", (1+pages)*ps); err != nil {
+		return nil, err
+	}
+	b := &Board{
+		kernel: k,
+		task:   k.NewTask(),
+		srv:    srv,
+		slots:  slots,
+		stop:   make(chan struct{}),
+	}
+	var err error
+	b.local, err = JoinShared(b.task, srv, slots)
+	if err != nil {
+		return nil, err
+	}
+	broker, err := b.task.Space.AllocatePort()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.task.Space.Enable(broker); err != nil {
+		return nil, err
+	}
+	b.BrokerPort = broker
+	go b.runBroker()
+	return b, nil
+}
+
+// Stop shuts the broker down.
+func (b *Board) Stop() {
+	close(b.stop)
+	b.task.Terminate()
+}
+
+// PublishBroker hands a message-passing agent a send right to the broker.
+func (b *Board) PublishBroker(client *kern.Task) (ipc.Name, error) {
+	p, err := b.task.Space.Resolve(b.BrokerPort)
+	if err != nil {
+		return 0, err
+	}
+	return client.Space.InsertRight(p, ipc.SendRight)
+}
+
+// PublishSharedMemory hands a tightly coupled agent the shared memory
+// service port so it can JoinShared.
+func (b *Board) PublishSharedMemory(client *kern.Task) (ipc.Name, error) {
+	return b.srv.Publish(client)
+}
+
+// runBroker serves message-passing agents: their posts and reads go
+// through the board's own shared memory mapping — the procedural
+// interface deciding "if shared memory or communication must be used".
+func (b *Board) runBroker() {
+	for {
+		select {
+		case <-b.stop:
+			return
+		default:
+		}
+		m, err := b.task.Receive(b.BrokerPort, ipc.ReceiveOptions{Timeout: 100 * time.Millisecond})
+		if err == ipc.ErrRcvTimedOut {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		switch m.ID {
+		case MsgPost:
+			payload := m.InlineData()
+			status := byte(0)
+			if len(payload) < 8 {
+				status = 2
+			} else {
+				h := Hypothesis{
+					Score: binary.LittleEndian.Uint64(payload),
+					Text:  string(payload[8:]),
+				}
+				if err := b.local.Post(h); err != nil {
+					status = 1
+				}
+			}
+			b.reply(m, &ipc.Message{ID: MsgPostReply,
+				Sections: []ipc.Section{ipc.InlineBytes([]byte{status})}})
+		case MsgSnapshot:
+			hyps, err := b.local.Snapshot()
+			if err != nil {
+				b.reply(m, &ipc.Message{ID: MsgSnapshotReply,
+					Sections: []ipc.Section{ipc.InlineBytes([]byte{1})}})
+				continue
+			}
+			b.reply(m, &ipc.Message{ID: MsgSnapshotReply,
+				Sections: []ipc.Section{ipc.InlineBytes(encodeSnapshot(hyps))}})
+		}
+	}
+}
+
+func (b *Board) reply(m *ipc.Message, r *ipc.Message) {
+	if m.RemotePort == 0 {
+		return
+	}
+	r.RemotePort = m.RemotePort
+	_ = b.task.Send(r, ipc.SendOptions{Force: true})
+	_ = b.task.Space.DeallocatePort(m.RemotePort)
+}
+
+// encodeSnapshot packs hypotheses: status byte, count uint32, then per
+// entry score + textlen + text.
+func encodeSnapshot(hyps []Hypothesis) []byte {
+	out := make([]byte, 5)
+	out[0] = 0
+	binary.LittleEndian.PutUint32(out[1:], uint32(len(hyps)))
+	for _, h := range hyps {
+		var rec [12]byte
+		binary.LittleEndian.PutUint64(rec[0:], h.Score)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(h.Text)))
+		out = append(out, rec[:]...)
+		out = append(out, h.Text...)
+	}
+	return out
+}
+
+func decodeSnapshot(b []byte) ([]Hypothesis, error) {
+	if len(b) < 5 || b[0] != 0 {
+		return nil, errors.New("agora: bad snapshot")
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:]))
+	b = b[5:]
+	out := make([]Hypothesis, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 12 {
+			return nil, errors.New("agora: truncated snapshot")
+		}
+		score := binary.LittleEndian.Uint64(b)
+		tl := int(binary.LittleEndian.Uint32(b[8:]))
+		b = b[12:]
+		if len(b) < tl {
+			return nil, errors.New("agora: truncated snapshot text")
+		}
+		out = append(out, Hypothesis{Score: score, Text: string(b[:tl])})
+		b = b[tl:]
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package agora
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/netmem"
+)
+
+const pgsz = 4096
+
+// newBoard boots a complex of n kernels with the shared memory server and
+// board on kernel 0.
+func newBoard(t *testing.T, hosts, slots int) ([]*kern.Kernel, *Board) {
+	t.Helper()
+	clock := machine.NewClock()
+	topo := machine.NewTopology(machine.ModelFor(machine.NUMA), clock)
+	kernels := make([]*kern.Kernel, hosts)
+	for i := range kernels {
+		kernels[i] = kern.NewKernel(kern.Config{
+			Host: machine.HostID(i), Frames: 512, PageSize: pgsz,
+			Clock: clock, Topo: topo,
+		})
+	}
+	t.Cleanup(func() {
+		for _, k := range kernels {
+			k.Shutdown()
+		}
+	})
+	srv, err := netmem.NewServer(kernels[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+	t.Cleanup(srv.Stop)
+	board, err := NewBoard(kernels[0], srv, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(board.Stop)
+	return kernels, board
+}
+
+func TestPostAndSnapshotSharedMemory(t *testing.T) {
+	kernels, board := newBoard(t, 1, 8)
+	task := kernels[0].NewTask()
+	svc, err := board.PublishSharedMemory(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := Join(task, svc, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Post(Hypothesis{Score: 90, Text: "phoneme /k/ at t=120ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Post(Hypothesis{Score: 75, Text: "word 'cat' spans t=120..300ms"}); err != nil {
+		t.Fatal(err)
+	}
+	hyps, err := agent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hyps) != 2 || hyps[0].Score != 90 || hyps[1].Text != "word 'cat' spans t=120..300ms" {
+		t.Fatalf("snapshot %+v", hyps)
+	}
+	if agent.Count() != 2 {
+		t.Fatalf("count %d", agent.Count())
+	}
+}
+
+func TestRemoteAgentViaMessages(t *testing.T) {
+	kernels, board := newBoard(t, 2, 8)
+	// The remote agent lives on host 1 and can only send messages.
+	remoteTask := kernels[1].NewTask()
+	broker, err := board.PublishBroker(remoteTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := JoinRemote(remoteTask, broker)
+	if err := remote.Post(Hypothesis{Score: 55, Text: "signal energy burst"}); err != nil {
+		t.Fatal(err)
+	}
+	hyps, err := remote.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hyps) != 1 || hyps[0].Text != "signal energy burst" {
+		t.Fatalf("snapshot %+v", hyps)
+	}
+
+	// A shared-memory agent on host 1 sees the same blackboard (cross-
+	// kernel consistency).
+	smTask := kernels[1].NewTask()
+	svc, _ := board.PublishSharedMemory(smTask)
+	agent, err := Join(smTask, svc, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyps, err = agent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hyps) != 1 || hyps[0].Score != 55 {
+		t.Fatalf("shared view %+v", hyps)
+	}
+}
+
+func TestConcurrentPostersMutualExclusion(t *testing.T) {
+	// Agents on two hosts plus remote agents hammer the board
+	// concurrently; the bakery lock over shared memory must keep the
+	// count and slots consistent (no lost posts, no duplicate slots).
+	kernels, board := newBoard(t, 2, 64)
+	const perAgent = 8
+
+	var agents []*Agent
+	for i := 0; i < 4; i++ {
+		task := kernels[i%2].NewTask()
+		svc, _ := board.PublishSharedMemory(task)
+		a, err := Join(task, svc, 64, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, a)
+	}
+	remoteTask := kernels[1].NewTask()
+	broker, _ := board.PublishBroker(remoteTask)
+	remote := JoinRemote(remoteTask, broker)
+
+	var wg sync.WaitGroup
+	for ai, a := range agents {
+		wg.Add(1)
+		go func(ai int, a *Agent) {
+			defer wg.Done()
+			for p := 0; p < perAgent; p++ {
+				err := a.Post(Hypothesis{Score: uint64(ai*100 + p), Text: fmt.Sprintf("agent%d-%d", ai, p)})
+				if err != nil {
+					t.Errorf("agent %d post %d: %v", ai, p, err)
+					return
+				}
+			}
+		}(ai, a)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for p := 0; p < perAgent; p++ {
+			if err := remote.Post(Hypothesis{Score: uint64(900 + p), Text: fmt.Sprintf("remote-%d", p)}); err != nil {
+				t.Errorf("remote post %d: %v", p, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	hyps, err := agents[0].Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (len(agents) + 1) * perAgent
+	if len(hyps) != want {
+		t.Fatalf("hypotheses %d, want %d (lost or duplicated posts)", len(hyps), want)
+	}
+	seen := map[string]bool{}
+	for _, h := range hyps {
+		if h.Text == "" {
+			t.Fatal("empty slot published")
+		}
+		if seen[h.Text] {
+			t.Fatalf("duplicate hypothesis %q", h.Text)
+		}
+		seen[h.Text] = true
+	}
+}
+
+func TestBoardFullAndOversize(t *testing.T) {
+	kernels, board := newBoard(t, 1, 2)
+	task := kernels[0].NewTask()
+	svc, _ := board.PublishSharedMemory(task)
+	agent, _ := Join(task, svc, 2, 1)
+	agent.Post(Hypothesis{Text: "a"})
+	agent.Post(Hypothesis{Text: "b"})
+	if err := agent.Post(Hypothesis{Text: "c"}); err != ErrFull {
+		t.Fatalf("post to full board: %v", err)
+	}
+	long := make([]byte, SlotSize)
+	if err := agent.Post(Hypothesis{Text: string(long)}); err != ErrTooLarge {
+		t.Fatalf("oversize post: %v", err)
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	in := []Hypothesis{{Score: 1, Text: "x"}, {Score: 99, Text: "a longer hypothesis"}}
+	out, err := decodeSnapshot(encodeSnapshot(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip %+v", out)
+	}
+	if _, err := decodeSnapshot([]byte{1}); err == nil {
+		t.Fatal("bad snapshot decoded")
+	}
+}

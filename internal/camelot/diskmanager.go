@@ -1,0 +1,512 @@
+package camelot
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/pager"
+	"repro/internal/vm"
+)
+
+// Service protocol message IDs.
+const (
+	// MsgCreateSegment creates a recoverable segment (size + name).
+	MsgCreateSegment ipc.MsgID = 3200 + iota
+	// MsgAttachSegment returns a segment's memory object and size.
+	MsgAttachSegment
+	// MsgLogAppend appends an update record; replied to only after the
+	// record is in the manager's log buffer (the WAL "log before
+	// update" discipline).
+	MsgLogAppend
+	// MsgTxCommit forces the log through the commit record.
+	MsgTxCommit
+	// MsgTxAbort records an abort.
+	MsgTxAbort
+	// Replies.
+	MsgCreateSegReply
+	MsgAttachSegReply
+	MsgLogAppendReply
+	MsgTxReply
+)
+
+// Errors returned by the client library.
+var (
+	// ErrNoSegment: unknown segment name.
+	ErrNoSegment = errors.New("camelot: segment not found")
+	// ErrServer: malformed reply or manager failure.
+	ErrServer = errors.New("camelot: disk manager error")
+)
+
+// Stats counts the disk manager activity experiment E7 reports.
+type Stats struct {
+	// LogRecords is the number of records appended.
+	LogRecords int64
+	// LogForces counts log-force events (commit or WAL).
+	LogForces int64
+	// WALForces counts log forces triggered specifically by a page
+	// write-back arriving before its records were on disk — the
+	// paper's pager_flush_request check.
+	WALForces int64
+	// PageWrites counts recoverable pages written to the data disk.
+	PageWrites int64
+	// Commits and Aborts count transaction outcomes.
+	Commits int64
+	Aborts  int64
+}
+
+// segment is one recoverable segment: a contiguous range of data-disk
+// blocks served as a memory object.
+type segment struct {
+	id     uint32
+	name   string
+	size   uint64
+	blocks []int // page i -> data disk block
+	mo     *pager.MemoryObject
+}
+
+// DiskManager is the Camelot disk manager task: an external pager over
+// recoverable segments, a write-ahead log, and the transaction table.
+type DiskManager struct {
+	kernel *kern.Kernel
+	task   *kern.Task
+	mgr    *pager.Manager
+
+	dataDisk *machine.Disk
+	logDisk  *machine.Disk
+
+	mu       sync.Mutex
+	segments map[string]*segment
+	bySegID  map[uint32]*segment
+	nextSeg  uint32
+	nextBlk  int
+
+	// Volatile log state (lost at crash).
+	buffer    []record // records past forcedLSN
+	nextLSN   uint64
+	forcedLSN uint64
+	// pageLSN[seg<<32|page] is the highest LSN that touched the page.
+	pageLSN map[uint64]uint64
+	// committed/aborted known outcomes (volatile; rebuilt at recovery).
+	outcomes map[uint64]recordKind
+
+	stats Stats
+
+	// ServicePort receives client requests.
+	ServicePort ipc.Name
+}
+
+// NewDiskManager starts a disk manager on kernel k with separate data and
+// log disks (the data disk's block size must equal the page size).
+func NewDiskManager(k *kern.Kernel, dataDisk, logDisk *machine.Disk) (*DiskManager, error) {
+	if uint64(dataDisk.BlockSize()) != k.VM.PageSize() {
+		return nil, errors.New("camelot: data disk block size must equal page size")
+	}
+	dm := &DiskManager{
+		kernel:   k,
+		task:     k.NewTask(),
+		dataDisk: dataDisk,
+		logDisk:  logDisk,
+		segments: make(map[string]*segment),
+		bySegID:  make(map[uint32]*segment),
+		pageLSN:  make(map[uint64]uint64),
+		outcomes: make(map[uint64]recordKind),
+	}
+	dm.mgr = pager.NewManager(dm.task.Space, (*dmHandler)(dm))
+	dm.mgr.Default = dm.handleRequest
+	svc, err := dm.task.Space.AllocatePort()
+	if err != nil {
+		return nil, err
+	}
+	if err := dm.task.Space.Enable(svc); err != nil {
+		return nil, err
+	}
+	dm.ServicePort = svc
+	return dm, nil
+}
+
+// Run starts the manager loop.
+func (dm *DiskManager) Run() { dm.mgr.Run() }
+
+// Stop terminates the manager task.
+func (dm *DiskManager) Stop() { dm.mgr.Stop() }
+
+// Stats returns a snapshot of activity counters.
+func (dm *DiskManager) Stats() Stats {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	return dm.stats
+}
+
+// Publish hands a client task a send right to the service port.
+func (dm *DiskManager) Publish(client *kern.Task) (ipc.Name, error) {
+	p, err := dm.task.Space.Resolve(dm.ServicePort)
+	if err != nil {
+		return 0, err
+	}
+	return client.Space.InsertRight(p, ipc.SendRight)
+}
+
+func pageKey(seg uint32, page uint64) uint64 { return uint64(seg)<<32 | page }
+
+// --- write-ahead log --------------------------------------------------------
+
+// appendRecord adds a record to the volatile log buffer. Lock held.
+func (dm *DiskManager) appendRecord(r record) uint64 {
+	dm.nextLSN++
+	r.lsn = dm.nextLSN
+	dm.buffer = append(dm.buffer, r)
+	dm.stats.LogRecords++
+	return r.lsn
+}
+
+// forceLog writes buffered records through lsn to the log disk. Lock
+// held. Log block b holds the record with LSN b+1.
+func (dm *DiskManager) forceLog(lsn uint64) {
+	if lsn <= dm.forcedLSN {
+		return
+	}
+	dm.stats.LogForces++
+	for len(dm.buffer) > 0 && dm.buffer[0].lsn <= lsn {
+		r := dm.buffer[0]
+		dm.buffer = dm.buffer[1:]
+		dm.logDisk.Write(int(r.lsn-1), encodeRecord(&r, dm.logDisk.BlockSize()))
+		dm.forcedLSN = r.lsn
+	}
+}
+
+// --- pager interface --------------------------------------------------------
+
+// dmHandler implements pager.Handler for recoverable segments.
+type dmHandler DiskManager
+
+func (h *dmHandler) dm() *DiskManager { return (*DiskManager)(h) }
+
+func (h *dmHandler) PagerInit(mo *pager.MemoryObject)   {}
+func (h *dmHandler) PagerCreate(mo *pager.MemoryObject) {}
+func (h *dmHandler) PortDeath(mo *pager.MemoryObject)   {}
+func (h *dmHandler) DataUnlock(mo *pager.MemoryObject, offset, length uint64, desired vm.Prot) {
+}
+
+// DataRequest serves a recoverable page from the data disk.
+func (h *dmHandler) DataRequest(mo *pager.MemoryObject, offset, length uint64, desired vm.Prot) {
+	dm := h.dm()
+	seg, _ := mo.Tag.(*segment)
+	if seg == nil {
+		_ = mo.DataUnavailable(offset, length)
+		return
+	}
+	ps := dm.kernel.VM.PageSize()
+	idx := int(offset / ps)
+	dm.mu.Lock()
+	var blk = -1
+	if idx < len(seg.blocks) {
+		blk = seg.blocks[idx]
+	}
+	dm.mu.Unlock()
+	if blk < 0 {
+		_ = mo.DataUnavailable(offset, length)
+		return
+	}
+	buf := make([]byte, ps)
+	dm.dataDisk.Read(blk, buf)
+	_ = mo.DataProvided(offset, buf, vm.ProtNone)
+}
+
+// DataWrite is the heart of §8.3: before a recoverable page goes to the
+// data disk, the log must be forced through that page's last LSN.
+// "Recoverable data can be written directly to permanent backing storage
+// without first being written to temporary paging storage."
+func (h *dmHandler) DataWrite(mo *pager.MemoryObject, offset uint64, data []byte) {
+	dm := h.dm()
+	seg, _ := mo.Tag.(*segment)
+	if seg == nil {
+		return
+	}
+	ps := dm.kernel.VM.PageSize()
+	idx := int(offset / ps)
+	dm.mu.Lock()
+	if idx >= len(seg.blocks) {
+		dm.mu.Unlock()
+		return
+	}
+	if lsn := dm.pageLSN[pageKey(seg.id, uint64(idx))]; lsn > dm.forcedLSN {
+		dm.stats.WALForces++
+		dm.forceLog(lsn)
+	}
+	blk := seg.blocks[idx]
+	dm.stats.PageWrites++
+	dm.mu.Unlock()
+	dm.dataDisk.Write(blk, data)
+}
+
+// --- service protocol --------------------------------------------------------
+
+func (dm *DiskManager) reply(m *ipc.Message, r *ipc.Message) {
+	if m.RemotePort == 0 {
+		return
+	}
+	r.RemotePort = m.RemotePort
+	_ = dm.task.Send(r, ipc.SendOptions{Force: true})
+	_ = dm.task.Space.DeallocatePort(m.RemotePort)
+}
+
+func (dm *DiskManager) handleRequest(m *ipc.Message) {
+	switch m.ID {
+	case MsgCreateSegment:
+		dm.handleCreate(m)
+	case MsgAttachSegment:
+		dm.handleAttach(m)
+	case MsgLogAppend:
+		dm.handleLogAppend(m)
+	case MsgTxCommit:
+		dm.handleOutcome(m, recCommit)
+	case MsgTxAbort:
+		dm.handleOutcome(m, recAbort)
+	}
+}
+
+func (dm *DiskManager) handleCreate(m *ipc.Message) {
+	payload := m.InlineData()
+	if len(payload) < 8 {
+		return
+	}
+	size := binary.LittleEndian.Uint64(payload)
+	name := string(payload[8:])
+	status := byte(0)
+	if _, err := dm.createSegment(name, size); err != nil {
+		status = 1
+	}
+	dm.reply(m, &ipc.Message{ID: MsgCreateSegReply, Sections: []ipc.Section{ipc.InlineBytes([]byte{status})}})
+}
+
+func (dm *DiskManager) createSegment(name string, size uint64) (*segment, error) {
+	ps := dm.kernel.VM.PageSize()
+	size = (size + ps - 1) / ps * ps
+	npages := int(size / ps)
+	dm.mu.Lock()
+	if _, dup := dm.segments[name]; dup {
+		dm.mu.Unlock()
+		return nil, errors.New("camelot: segment exists")
+	}
+	if dm.nextBlk+npages > dm.dataDisk.Blocks() {
+		dm.mu.Unlock()
+		return nil, errors.New("camelot: data disk full")
+	}
+	dm.nextSeg++
+	seg := &segment{id: dm.nextSeg, name: name, size: size}
+	for i := 0; i < npages; i++ {
+		seg.blocks = append(seg.blocks, dm.nextBlk)
+		dm.nextBlk++
+	}
+	dm.segments[name] = seg
+	dm.bySegID[seg.id] = seg
+	dm.mu.Unlock()
+
+	mo, err := dm.mgr.NewObject(seg)
+	if err != nil {
+		return nil, err
+	}
+	dm.mu.Lock()
+	seg.mo = mo
+	dm.mu.Unlock()
+	return seg, nil
+}
+
+func (dm *DiskManager) handleAttach(m *ipc.Message) {
+	name := string(m.InlineData())
+	dm.mu.Lock()
+	seg := dm.segments[name]
+	dm.mu.Unlock()
+	if seg == nil || seg.mo == nil {
+		dm.reply(m, &ipc.Message{ID: MsgAttachSegReply, Sections: []ipc.Section{ipc.InlineBytes(make([]byte, 13))}})
+		return
+	}
+	payload := make([]byte, 13)
+	payload[0] = 1
+	binary.LittleEndian.PutUint64(payload[1:], seg.size)
+	binary.LittleEndian.PutUint32(payload[9:], seg.id)
+	dm.reply(m, &ipc.Message{
+		ID: MsgAttachSegReply,
+		Sections: []ipc.Section{
+			ipc.InlineBytes(payload),
+			ipc.CarryRight(seg.mo.Port, ipc.SendRight),
+		},
+	})
+}
+
+// handleLogAppend records an update BEFORE the client applies it to
+// mapped memory (the reply is the client's permission to proceed).
+// Payload: tx(8) seg(4) offset(8) oldLen(2) old new.
+func (dm *DiskManager) handleLogAppend(m *ipc.Message) {
+	p := m.InlineData()
+	if len(p) < 22 {
+		return
+	}
+	tx := binary.LittleEndian.Uint64(p)
+	segID := binary.LittleEndian.Uint32(p[8:])
+	offset := binary.LittleEndian.Uint64(p[12:])
+	oldLen := int(binary.LittleEndian.Uint16(p[20:]))
+	if 22+oldLen > len(p) {
+		return
+	}
+	old := append([]byte(nil), p[22:22+oldLen]...)
+	newData := append([]byte(nil), p[22+oldLen:]...)
+
+	ps := dm.kernel.VM.PageSize()
+	dm.mu.Lock()
+	lsn := dm.appendRecord(record{tx: tx, kind: recUpdate, seg: segID, offset: offset, old: old, new: newData})
+	// An update can span two pages; tag both.
+	first := offset / ps
+	last := (offset + uint64(len(newData)) - 1) / ps
+	for pg := first; pg <= last; pg++ {
+		dm.pageLSN[pageKey(segID, pg)] = lsn
+	}
+	dm.mu.Unlock()
+	dm.reply(m, &ipc.Message{ID: MsgLogAppendReply, Sections: []ipc.Section{ipc.InlineBytes([]byte{0})}})
+}
+
+// handleOutcome logs commit/abort; commit also forces the log (permanence).
+func (dm *DiskManager) handleOutcome(m *ipc.Message, kind recordKind) {
+	p := m.InlineData()
+	if len(p) < 8 {
+		return
+	}
+	tx := binary.LittleEndian.Uint64(p)
+	dm.mu.Lock()
+	lsn := dm.appendRecord(record{tx: tx, kind: kind})
+	dm.outcomes[tx] = kind
+	if kind == recCommit {
+		dm.forceLog(lsn)
+		dm.stats.Commits++
+	} else {
+		dm.stats.Aborts++
+	}
+	dm.mu.Unlock()
+	dm.reply(m, &ipc.Message{ID: MsgTxReply, Sections: []ipc.Section{ipc.InlineBytes([]byte{0})}})
+}
+
+// --- crash and recovery -------------------------------------------------------
+
+// Crash simulates a system failure: the volatile log buffer, page LSN
+// table and transaction outcomes are lost; only the two disks survive.
+// The manager stops serving (its kernels' cached pages are considered
+// lost with it).
+func (dm *DiskManager) Crash() {
+	dm.mu.Lock()
+	dm.buffer = nil
+	dm.nextLSN = dm.forcedLSN
+	dm.pageLSN = make(map[uint64]uint64)
+	dm.outcomes = make(map[uint64]recordKind)
+	dm.mu.Unlock()
+}
+
+// Recover replays the write-ahead log against the data disk by repeating
+// history (the ARIES discipline): every update is re-applied in LSN
+// order; an abort record compensates its transaction's updates in reverse
+// (matching the client-side undo that happened in memory); transactions
+// with no outcome record (the losers) are rolled back last, newest
+// first. Because the log is never truncated, the replay reconstructs
+// exactly the memory state at the crash with losers removed. It returns
+// the number of updates applied.
+func (dm *DiskManager) Recover() int {
+	ps := int(dm.kernel.VM.PageSize())
+	// Read the log from disk.
+	var recs []record
+	buf := make([]byte, dm.logDisk.BlockSize())
+	for blk := 0; blk < dm.logDisk.Blocks(); blk++ {
+		dm.logDisk.Read(blk, buf)
+		r, ok := decodeRecord(buf)
+		if !ok || r.lsn != uint64(blk+1) {
+			break
+		}
+		recs = append(recs, r)
+	}
+	applied := 0
+	apply := func(segID uint32, offset uint64, data []byte) {
+		dm.mu.Lock()
+		seg := dm.bySegID[segID]
+		dm.mu.Unlock()
+		if seg == nil {
+			return
+		}
+		for len(data) > 0 {
+			idx := int(offset) / ps
+			in := int(offset) % ps
+			n := ps - in
+			if n > len(data) {
+				n = len(data)
+			}
+			if idx < len(seg.blocks) {
+				page := make([]byte, ps)
+				dm.dataDisk.Read(seg.blocks[idx], page)
+				copy(page[in:], data[:n])
+				dm.dataDisk.Write(seg.blocks[idx], page)
+			}
+			offset += uint64(n)
+			data = data[n:]
+		}
+		applied++
+	}
+	// Repeat history in LSN order.
+	pending := make(map[uint64][]record)
+	for _, r := range recs {
+		switch r.kind {
+		case recUpdate:
+			apply(r.seg, r.offset, r.new)
+			pending[r.tx] = append(pending[r.tx], r)
+		case recCommit:
+			delete(pending, r.tx)
+		case recAbort:
+			// Compensate: the client restored old values in memory
+			// at abort time, in reverse order.
+			ups := pending[r.tx]
+			for i := len(ups) - 1; i >= 0; i-- {
+				apply(ups[i].seg, ups[i].offset, ups[i].old)
+			}
+			delete(pending, r.tx)
+		}
+	}
+	// Roll back losers (no outcome record), newest update first.
+	var losers []record
+	for _, ups := range pending {
+		losers = append(losers, ups...)
+	}
+	for i := 0; i < len(losers); i++ {
+		for j := i + 1; j < len(losers); j++ {
+			if losers[j].lsn > losers[i].lsn {
+				losers[i], losers[j] = losers[j], losers[i]
+			}
+		}
+	}
+	for _, r := range losers {
+		apply(r.seg, r.offset, r.old)
+	}
+	dm.mu.Lock()
+	dm.nextLSN = dm.forcedLSN
+	dm.mu.Unlock()
+	return applied
+}
+
+// SegmentBytes reads a segment's current content from the data disk — the
+// post-recovery view of permanent storage, independent of any (lost)
+// kernel caches.
+func (dm *DiskManager) SegmentBytes(name string) ([]byte, error) {
+	dm.mu.Lock()
+	seg := dm.segments[name]
+	dm.mu.Unlock()
+	if seg == nil {
+		return nil, ErrNoSegment
+	}
+	ps := int(dm.kernel.VM.PageSize())
+	out := make([]byte, seg.size)
+	buf := make([]byte, ps)
+	for i, blk := range seg.blocks {
+		dm.dataDisk.Read(blk, buf)
+		copy(out[i*ps:], buf)
+	}
+	return out, nil
+}

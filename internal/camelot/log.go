@@ -1,0 +1,93 @@
+// Package camelot implements the transaction-system interaction of §8.3:
+// a Camelot-style disk manager that keeps recoverable segments in virtual
+// memory backed by the external pager interface, using write-ahead
+// logging for permanent, failure-atomic transactions.
+//
+// The load-bearing behaviour from the paper: "When the disk manager
+// receives a pager_flush_request from the kernel, it verifies that the
+// proper log records have been written before writing the specified pages
+// to disk." Here every pager_data_write (from eviction, flush or
+// termination) is gated on forcing the log up to the page's LSN — the WAL
+// invariant — and the package provides crash simulation plus redo/undo
+// recovery to demonstrate failure atomicity.
+package camelot
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// recordKind discriminates log records.
+type recordKind uint8
+
+const (
+	recUpdate recordKind = iota + 1
+	recCommit
+	recAbort
+)
+
+// logMagic marks a valid log block on disk.
+const logMagic = 0xC4
+
+// record is one write-ahead log entry: physical old-value/new-value
+// logging for an update, or a transaction outcome.
+type record struct {
+	lsn    uint64
+	tx     uint64
+	kind   recordKind
+	seg    uint32
+	offset uint64
+	old    []byte
+	new    []byte
+}
+
+// recHeaderLen is the on-disk record prefix:
+// magic(1) kind(1) lsn(8) tx(8) seg(4) offset(8) oldLen(2) newLen(2).
+const recHeaderLen = 34
+
+// encodeRecord serializes a record into a log block of size blockSize.
+// Records must fit one block (enforced by MaxUpdate).
+func encodeRecord(r *record, blockSize int) []byte {
+	b := make([]byte, blockSize)
+	b[0] = logMagic
+	b[1] = byte(r.kind)
+	binary.LittleEndian.PutUint64(b[2:], r.lsn)
+	binary.LittleEndian.PutUint64(b[10:], r.tx)
+	binary.LittleEndian.PutUint32(b[18:], r.seg)
+	binary.LittleEndian.PutUint64(b[22:], r.offset)
+	binary.LittleEndian.PutUint16(b[30:], uint16(len(r.old)))
+	binary.LittleEndian.PutUint16(b[32:], uint16(len(r.new)))
+	copy(b[recHeaderLen:], r.old)
+	copy(b[recHeaderLen+len(r.old):], r.new)
+	return b
+}
+
+// decodeRecord parses a log block; ok is false for unwritten blocks.
+func decodeRecord(b []byte) (record, bool) {
+	if len(b) < recHeaderLen || b[0] != logMagic {
+		return record{}, false
+	}
+	r := record{
+		kind:   recordKind(b[1]),
+		lsn:    binary.LittleEndian.Uint64(b[2:]),
+		tx:     binary.LittleEndian.Uint64(b[10:]),
+		seg:    binary.LittleEndian.Uint32(b[18:]),
+		offset: binary.LittleEndian.Uint64(b[22:]),
+	}
+	oldLen := int(binary.LittleEndian.Uint16(b[30:]))
+	newLen := int(binary.LittleEndian.Uint16(b[32:]))
+	if recHeaderLen+oldLen+newLen > len(b) {
+		return record{}, false
+	}
+	r.old = append([]byte(nil), b[recHeaderLen:recHeaderLen+oldLen]...)
+	r.new = append([]byte(nil), b[recHeaderLen+oldLen:recHeaderLen+oldLen+newLen]...)
+	return r, true
+}
+
+// MaxUpdate returns the largest update payload a single log record can
+// carry for the given log block size.
+func MaxUpdate(blockSize int) int { return (blockSize - recHeaderLen) / 2 }
+
+// ErrUpdateTooLarge is returned when a transactional write exceeds
+// MaxUpdate.
+var ErrUpdateTooLarge = errors.New("camelot: update exceeds log record capacity")

@@ -1,0 +1,197 @@
+package camelot
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+)
+
+// rpcTimeout bounds client waits on the disk manager.
+const rpcTimeout = 10 * time.Second
+
+var txIDs atomic.Uint64
+
+// Client is an application task's connection to the Camelot disk manager.
+type Client struct {
+	task *kern.Task
+	svc  ipc.Name
+}
+
+// Segment is a recoverable segment mapped into the client's address
+// space: the client reads and writes it as ordinary memory (the paper's
+// "Camelot clients can access data easily and quickly by mapping memory
+// objects into their virtual address spaces").
+type Segment struct {
+	// Addr is where the segment is mapped in the client task.
+	Addr uint64
+	// Size is the segment length.
+	Size uint64
+	// ID is the manager's segment identifier.
+	ID uint32
+
+	client *Client
+}
+
+// Open connects a task to a disk manager's service port (obtained via
+// Publish).
+func Open(task *kern.Task, svc ipc.Name) *Client {
+	return &Client{task: task, svc: svc}
+}
+
+// CreateSegment creates a recoverable segment of the given size.
+func (c *Client) CreateSegment(name string, size uint64) error {
+	payload := make([]byte, 8+len(name))
+	binary.LittleEndian.PutUint64(payload, size)
+	copy(payload[8:], name)
+	reply, err := c.task.RPC(&ipc.Message{
+		ID:         MsgCreateSegment,
+		RemotePort: c.svc,
+		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
+	}, rpcTimeout, rpcTimeout)
+	if err != nil {
+		return err
+	}
+	b := reply.InlineData()
+	if len(b) < 1 || b[0] != 0 {
+		return ErrServer
+	}
+	return nil
+}
+
+// Attach maps the named segment into the client's address space.
+func (c *Client) Attach(name string) (*Segment, error) {
+	reply, err := c.task.RPC(&ipc.Message{
+		ID:         MsgAttachSegment,
+		RemotePort: c.svc,
+		Sections:   []ipc.Section{ipc.InlineBytes([]byte(name))},
+	}, rpcTimeout, rpcTimeout)
+	if err != nil {
+		return nil, err
+	}
+	b := reply.InlineData()
+	if len(b) < 13 {
+		return nil, ErrServer
+	}
+	if b[0] != 1 {
+		return nil, ErrNoSegment
+	}
+	size := binary.LittleEndian.Uint64(b[1:])
+	segID := binary.LittleEndian.Uint32(b[9:])
+	var moName ipc.Name
+	for i := range reply.Sections {
+		if reply.Sections[i].Kind == ipc.PortRightSection {
+			moName = reply.Sections[i].PortName
+		}
+	}
+	if moName == 0 {
+		return nil, ErrServer
+	}
+	addr, err := c.task.VMAllocateWithPager(moName, 0, 0, size, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{Addr: addr, Size: size, ID: segID, client: c}, nil
+}
+
+// Read reads directly from the mapped segment (no transaction needed;
+// the kernel's page cache serves repeated reads with no message traffic).
+func (s *Segment) Read(offset uint64, n int) ([]byte, error) {
+	return s.client.task.VMRead(s.Addr+offset, uint64(n))
+}
+
+// undoRec is a client-local undo entry for abort.
+type undoRec struct {
+	seg    *Segment
+	offset uint64
+	old    []byte
+}
+
+// Tx is a failure-atomic transaction over recoverable segments.
+type Tx struct {
+	// ID is the transaction identifier.
+	ID uint64
+
+	client *Client
+	undo   []undoRec
+	done   bool
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() *Tx {
+	return &Tx{ID: txIDs.Add(1), client: c}
+}
+
+// Write transactionally updates the segment: the old and new values are
+// logged at the disk manager FIRST (write-ahead), then the mapped memory
+// is updated. The data is limited to MaxUpdate of the manager's log block
+// size.
+func (tx *Tx) Write(s *Segment, offset uint64, data []byte) error {
+	old, err := s.client.task.VMRead(s.Addr+offset, uint64(len(data)))
+	if err != nil {
+		return err
+	}
+	// Log before update: the reply means the record is in the
+	// manager's buffer, ordered before any future page write-back.
+	payload := make([]byte, 22+len(old)+len(data))
+	binary.LittleEndian.PutUint64(payload, tx.ID)
+	binary.LittleEndian.PutUint32(payload[8:], s.ID)
+	binary.LittleEndian.PutUint64(payload[12:], offset)
+	binary.LittleEndian.PutUint16(payload[20:], uint16(len(old)))
+	copy(payload[22:], old)
+	copy(payload[22+len(old):], data)
+	if _, err := tx.client.task.RPC(&ipc.Message{
+		ID:         MsgLogAppend,
+		RemotePort: tx.client.svc,
+		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
+	}, rpcTimeout, rpcTimeout); err != nil {
+		return err
+	}
+	if err := s.client.task.VMWrite(s.Addr+offset, data); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRec{seg: s, offset: offset, old: old})
+	return nil
+}
+
+// Commit makes the transaction's updates permanent: the disk manager
+// forces the log through the commit record before replying.
+func (tx *Tx) Commit() error {
+	return tx.finish(MsgTxCommit, false)
+}
+
+// Abort rolls the transaction back: mapped memory is restored from the
+// client's undo set and an abort record is logged.
+func (tx *Tx) Abort() error {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		if err := u.seg.client.task.VMWrite(u.seg.Addr+u.offset, u.old); err != nil {
+			return err
+		}
+	}
+	return tx.finish(MsgTxAbort, true)
+}
+
+func (tx *Tx) finish(id ipc.MsgID, aborted bool) error {
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint64(payload, tx.ID)
+	reply, err := tx.client.task.RPC(&ipc.Message{
+		ID:         id,
+		RemotePort: tx.client.svc,
+		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
+	}, rpcTimeout, rpcTimeout)
+	if err != nil {
+		return err
+	}
+	b := reply.InlineData()
+	if len(b) < 1 || b[0] != 0 {
+		return ErrServer
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/unixemu"
+
+	machfs "repro/internal/fs"
+)
+
+// E2MessageCopyVsCOW regenerates the Accent/Mach headline of §1-§2: large
+// messages move by copy-on-write mapping, so transfer cost is (nearly)
+// independent of size until the receiver touches the data; inline (eager
+// copy) transfer grows linearly.
+func E2MessageCopyVsCOW() Table {
+	t := Table{
+		ID:         "E2",
+		Title:      "large message transfer: eager copy vs out-of-line COW (simulated µs)",
+		PaperClaim: "\"memory-mapping techniques make the passing of large messages ... more efficient\" (§1); huge data moves \"without concern for the traditional data copying costs\" (§2)",
+		Headers:    []string{"size", "inline-copy", "ool-cow(0%)", "ool-cow(25%)", "ool-cow(100%)", "copy/cow(0%)"},
+	}
+	const pageSize = 4096
+	sizes := []int{16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024}
+	for _, size := range sizes {
+		k := kern.NewKernel(kern.Config{Frames: 4096, PageSize: pageSize})
+		clock := k.Clock()
+		sender := k.NewTask()
+		receiver := k.NewTask()
+		svc, _ := receiver.Space.AllocatePort()
+		_ = receiver.Space.SetBacklog(svc, 64)
+		p, _ := receiver.Space.Resolve(svc)
+		sName, _ := sender.Space.InsertRight(p, ipc.SendRight)
+
+		addr, _ := sender.VMAllocate(0, uint64(size), true)
+		_ = sender.Map.Touch(addr, uint64(size), 0x3) // warm: ProtDefault
+
+		// Inline: vm_read + eager message copy + vm_write.
+		inline := func() time.Duration {
+			start := clock.Now()
+			data, _ := sender.VMRead(addr, uint64(size))
+			_ = sender.Send(&ipc.Message{ID: 1, RemotePort: sName,
+				Sections: []ipc.Section{ipc.InlineBytes(data)}}, ipc.SendOptions{})
+			m, _ := receiver.Receive(svc, ipc.ReceiveOptions{})
+			dst, _ := receiver.VMAllocate(0, uint64(size), true)
+			_ = receiver.VMWrite(dst, m.InlineData())
+			d := clock.Now() - start
+			_ = receiver.VMDeallocate(dst, uint64(size))
+			return d
+		}()
+
+		// Out-of-line with a given fraction of pages touched (written)
+		// by the receiver.
+		ool := func(touch float64) time.Duration {
+			start := clock.Now()
+			region, _ := k.NewOOLRegion(sender, addr, uint64(size))
+			_ = sender.Send(&ipc.Message{ID: 2, RemotePort: sName,
+				Sections: []ipc.Section{ipc.CarryRegion(region)}}, ipc.SendOptions{})
+			m, _ := receiver.Receive(svc, ipc.ReceiveOptions{})
+			raddr, _ := k.MapOOLRegion(receiver, m.FirstRegion())
+			npages := size / pageSize
+			limit := int(float64(npages) * touch)
+			one := []byte{0xFF}
+			for i := 0; i < limit; i++ {
+				_ = receiver.VMWrite(raddr+uint64(i*pageSize), one)
+			}
+			d := clock.Now() - start
+			_ = receiver.VMDeallocate(raddr, uint64(size))
+			return d
+		}
+		c0 := ool(0)
+		c25 := ool(0.25)
+		c100 := ool(1.0)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dKiB", size/1024),
+			us(inline), us(c0), us(c25), us(c100),
+			ratio(float64(inline), float64(c0)),
+		})
+		k.Shutdown()
+	}
+	t.Notes = append(t.Notes,
+		"ool-cow(0%) is near-constant in size; inline grows linearly — the duality argument",
+		"ool-cow(100%) pays one page copy per touched page, closing much of the gap; inline pays three full copies (vm_read, message, vm_write)")
+	return t
+}
+
+// E3UnixCacheVsMach regenerates §9: the traditional UNIX buffer cache
+// (10% of memory) versus Mach's mapped files (page cache = bulk of
+// memory) on a repeated-compilation workload.
+func E3UnixCacheVsMach() Table {
+	t := Table{
+		ID:         "E3",
+		Title:      "repeated builds: buffer-cache UNIX vs Mach mapped files",
+		PaperClaim: "cached compilation 2x faster than SunOS (§9); \"the total number of I/O operations can be reduced by a factor of 10\" (§9)",
+		Headers:    []string{"tree", "passes", "unix-reads", "mach-reads", "io-ratio", "unix-ms", "mach-ms", "speedup"},
+	}
+	const (
+		pageSize = 4096
+		frames   = 1024 // 4 MiB of physical memory
+		passes   = 10
+	)
+	cases := []struct {
+		name      string
+		nfiles    int
+		filePages int
+	}{
+		{"fits-buffer-cache", 4, 16}, // 64 pages < 102-block cache
+		{"fits-RAM-only", 16, 32},    // 512 pages: thrashes the 10% cache, fits RAM
+		{"exceeds-RAM", 48, 48},      // 2304 pages: exceeds RAM, both thrash
+	}
+	for _, c := range cases {
+		names := make([]string, c.nfiles)
+		content := make([][]byte, c.nfiles)
+		for i := range names {
+			names[i] = fmt.Sprintf("src%02d.c", i)
+			data := make([]byte, c.filePages*pageSize)
+			for j := range data {
+				data[j] = byte(i + j)
+			}
+			content[i] = data
+		}
+
+		// Baseline: buffer cache sized at 10% of physical memory.
+		bclock := machine.NewClock()
+		bdisk := machine.NewDisk(8192, pageSize, machine.DefaultDiskLatency, bclock)
+		baseline := unixemu.NewBufferCacheFS(bdisk, bclock, machine.ModelFor(machine.UMA), frames/10)
+		for i := range names {
+			if err := baseline.Create(names[i], content[i]); err != nil {
+				panic(err)
+			}
+		}
+		bdisk.ResetStats()
+		bstart := bclock.Now()
+		if _, err := unixemu.Build(baseline, names, passes, pageSize); err != nil {
+			panic(err)
+		}
+		unixMS := bclock.Now() - bstart
+		unixReads := bdisk.Stats().Reads
+
+		// Mach: mapped files over the external-pager filesystem.
+		k := kern.NewKernel(kern.Config{Frames: frames, PageSize: pageSize})
+		mdisk := machine.NewDisk(8192, pageSize, machine.DefaultDiskLatency, k.Clock())
+		srv, err := machfs.NewServer(k, mdisk)
+		if err != nil {
+			panic(err)
+		}
+		go srv.Run()
+		task := k.NewTask()
+		svc, _ := srv.Publish(task)
+		mapped := unixemu.NewMappedFS(task, svc)
+		for i := range names {
+			if err := srv.CreateFile(names[i], content[i]); err != nil {
+				panic(err)
+			}
+		}
+		mdisk.ResetStats()
+		mstart := k.Clock().Now()
+		if _, err := unixemu.Build(mapped, names, passes, pageSize); err != nil {
+			panic(err)
+		}
+		machMS := k.Clock().Now() - mstart
+		machReads := mdisk.Stats().Reads
+		srv.Stop()
+		k.Shutdown()
+
+		t.Rows = append(t.Rows, []string{
+			c.name, fmt.Sprintf("%d", passes),
+			fmt.Sprintf("%d", unixReads), fmt.Sprintf("%d", machReads),
+			ratio(float64(unixReads), float64(machReads)),
+			ms(unixMS), ms(machMS),
+			ratio(float64(unixMS), float64(machMS)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the mid-size tree is the paper's regime: ~10x fewer I/O ops, ~2x+ faster",
+		"when the tree exceeds RAM both paths thrash and the advantage shrinks — the crossover")
+	return t
+}
+
+// E4ArchLatency regenerates the §7 taxonomy: UMA / NUMA / NORMA latency
+// ratios, plus measured message round trips between two hosts of each
+// class.
+func E4ArchLatency() Table {
+	t := Table{
+		ID:         "E4",
+		Title:      "multiprocessor classes: model parameters and measured RPC (simulated)",
+		PaperClaim: "remote access: MultiMax \"considerably less than one microsecond\", Butterfly ~5µs (~10x local), HyperCube \"hundreds of microseconds\" (§7)",
+		Headers:    []string{"arch", "local", "remote", "remote/local", "msg-latency", "rpc-round-trip", "remote-page-fetch"},
+	}
+	for _, arch := range []machine.Arch{machine.UMA, machine.NUMA, machine.NORMA} {
+		model := machine.ModelFor(arch)
+		clock := machine.NewClock()
+		topo := machine.NewTopology(model, clock)
+		k0 := kern.NewKernel(kern.Config{Host: 0, Frames: 256, PageSize: 4096, Clock: clock, Topo: topo})
+		k1 := kern.NewKernel(kern.Config{Host: 1, Frames: 256, PageSize: 4096, Clock: clock, Topo: topo})
+
+		// Measured RPC round trip host1 -> host0.
+		server := k0.NewTask()
+		svc, _ := server.Space.AllocatePort()
+		stop := make(chan struct{})
+		go echoServer(server, svc, stop)
+		client := k1.NewTask()
+		p, _ := server.Space.Resolve(svc)
+		name, _ := client.Space.InsertRight(p, ipc.SendRight)
+		const rounds = 16
+		start := clock.Now()
+		for i := 0; i < rounds; i++ {
+			if _, err := client.RPC(&ipc.Message{ID: 9, RemotePort: name,
+				Sections: []ipc.Section{ipc.InlineBytes([]byte{1})}}, 0, 0); err != nil {
+				panic(err)
+			}
+		}
+		rpc := (clock.Now() - start) / rounds
+
+		// Measured remote page fetch: pager on host 0, fault on host 1.
+		faulter := k1.NewTask()
+		mp, mgr, moName, err := startMemPager(k0, faulter, 4096)
+		if err != nil {
+			panic(err)
+		}
+		mp.seedRange(rounds, 0x11)
+		addr, _ := faulter.VMAllocateWithPager(moName, 0, 0, rounds*4096, true)
+		fstart := clock.Now()
+		var one [1]byte
+		for i := 0; i < rounds; i++ {
+			_ = faulter.Map.ReadBytes(addr+uint64(i*4096), one[:])
+		}
+		fetch := (clock.Now() - fstart) / rounds
+		close(stop)
+		mgr.Stop()
+
+		t.Rows = append(t.Rows, []string{
+			arch.String(),
+			us(model.LocalAccess), us(model.RemoteAccess),
+			ratio(float64(model.RemoteAccess), float64(model.LocalAccess)),
+			us(model.MessageLatency), us(rpc), us(fetch),
+		})
+		k0.Shutdown()
+		k1.Shutdown()
+	}
+	t.Notes = append(t.Notes,
+		"ratios 1 : ~10 : ~100s across the classes, as §7 reports",
+		"the same kernel binary served all three: only the cost model changed (portability claim)")
+	return t
+}

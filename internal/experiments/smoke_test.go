@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunAll(t *testing.T) {
+	for _, f := range []func() Table{E2MessageCopyVsCOW, E3UnixCacheVsMach, E4ArchLatency, E5SharedMemoryLocality, E6Migration, E7CamelotWAL, E8FaultPath, E9Ablations} {
+		tb := f()
+		tb.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,128 @@
+package fs
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+)
+
+// rpcTimeout bounds client waits on the filesystem server.
+const rpcTimeout = 10 * time.Second
+
+// ReadFile is the client side of fs_read_file (§4.1): it returns the
+// address of new virtual memory holding the file contents, mapped
+// copy-on-write in the task's address space, plus the file size. Other
+// clients consistently see the original contents while this task modifies
+// its copy. The caller owns the memory and should vm_deallocate it when
+// done (which is what lets the server clean up).
+func ReadFile(t *kern.Task, svc ipc.Name, name string) (addr uint64, size uint64, err error) {
+	reply, err := t.RPC(&ipc.Message{
+		ID:         MsgReadFile,
+		RemotePort: svc,
+		Sections:   []ipc.Section{ipc.InlineBytes([]byte(name))},
+	}, rpcTimeout, rpcTimeout)
+	if err != nil {
+		return 0, 0, err
+	}
+	status, size, ok := decodeStatus(reply.InlineData())
+	if !ok {
+		return 0, 0, ErrServer
+	}
+	switch status {
+	case 0:
+	case 1:
+		return 0, 0, ErrNotFound
+	default:
+		return 0, 0, ErrServer
+	}
+	region := reply.FirstRegion()
+	if region == nil {
+		return 0, 0, ErrServer
+	}
+	addr, err = t.Kernel().MapOOLRegion(t, region)
+	if err != nil {
+		return 0, 0, err
+	}
+	return addr, size, nil
+}
+
+// MappedSize returns the page-rounded length of the region ReadFile
+// mapped for a file of the given size — the length to pass to
+// vm_deallocate.
+func MappedSize(t *kern.Task, size uint64) uint64 {
+	ps := t.Kernel().VM.PageSize()
+	n := (size + ps - 1) / ps * ps
+	if n == 0 {
+		n = ps
+	}
+	return n
+}
+
+// WriteFile is the client side of fs_write_file: it stores size bytes at
+// addr as the new contents of the named file. The data travels
+// out-of-line (copy-on-write), so large files cost no eager copy.
+func WriteFile(t *kern.Task, svc ipc.Name, name string, addr, size uint64) error {
+	region, err := t.Kernel().NewOOLRegion(t, addr, size)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, 8+len(name))
+	for i := 0; i < 8; i++ {
+		payload[i] = byte(size >> (8 * i))
+	}
+	copy(payload[8:], name)
+	reply, err := t.RPC(&ipc.Message{
+		ID:         MsgWriteFile,
+		RemotePort: svc,
+		Sections: []ipc.Section{
+			ipc.InlineBytes(payload),
+			ipc.CarryRegion(region),
+		},
+	}, rpcTimeout, rpcTimeout)
+	if err != nil {
+		return err
+	}
+	status, _, ok := decodeStatus(reply.InlineData())
+	if !ok || status != 0 {
+		return ErrServer
+	}
+	return nil
+}
+
+// Stat returns the size of the named file.
+func Stat(t *kern.Task, svc ipc.Name, name string) (uint64, error) {
+	reply, err := t.RPC(&ipc.Message{
+		ID:         MsgStat,
+		RemotePort: svc,
+		Sections:   []ipc.Section{ipc.InlineBytes([]byte(name))},
+	}, rpcTimeout, rpcTimeout)
+	if err != nil {
+		return 0, err
+	}
+	status, size, ok := decodeStatus(reply.InlineData())
+	if !ok {
+		return 0, ErrServer
+	}
+	if status == 1 {
+		return 0, ErrNotFound
+	}
+	if status != 0 {
+		return 0, ErrServer
+	}
+	return size, nil
+}
+
+// List returns the names of every file on the server, sorted.
+func List(t *kern.Task, svc ipc.Name) ([]string, error) {
+	reply, err := t.RPC(&ipc.Message{ID: MsgList, RemotePort: svc}, rpcTimeout, rpcTimeout)
+	if err != nil {
+		return nil, err
+	}
+	data := reply.InlineData()
+	if len(data) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(data), "\n"), nil
+}

@@ -1,0 +1,425 @@
+// Package fs implements the paper's minimal filesystem (§4.1): a
+// read-whole-file / write-whole-file server whose files are memory
+// objects. fs_read_file returns new virtual memory mapped copy-on-write
+// in the client's address space; page faults on it reach the server as
+// pager_data_request calls, which it satisfies from its disk. The server
+// uses only the minimal subset of the external memory interface — it
+// never receives pager_data_write or pager_data_unlock — and it cleans up
+// a file's resources when the pager request port dies, exactly as the
+// paper's port_death handler does.
+package fs
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/pager"
+	"repro/internal/vm"
+)
+
+// Message IDs of the filesystem service protocol.
+const (
+	// MsgReadFile requests a whole file; the reply carries the file
+	// size and an out-of-line region of its contents.
+	MsgReadFile ipc.MsgID = 3000 + iota
+	// MsgWriteFile stores a whole file from an out-of-line region.
+	MsgWriteFile
+	// MsgStat asks for a file's size.
+	MsgStat
+	// MsgList asks for all file names.
+	MsgList
+	// MsgReadReply, MsgWriteReply, MsgStatReply and MsgListReply answer
+	// the above.
+	MsgReadReply
+	MsgWriteReply
+	MsgStatReply
+	MsgListReply
+)
+
+// Errors returned by the client library.
+var (
+	// ErrNotFound: no file by that name.
+	ErrNotFound = errors.New("fs: file not found")
+	// ErrServer: malformed reply or server-side failure.
+	ErrServer = errors.New("fs: server error")
+)
+
+// file is the server's per-file state: its disk blocks, size, and the
+// file's memory object (the association from §4.1, "record association of
+// file to new_object"). The object is created at first read and REUSED
+// for later reads, with pager_cache permission granted, so the kernel
+// keeps file pages in its physical memory cache between uses — the
+// mechanism behind the paper's §9 claim that Mach uses the bulk of
+// physical memory as a cache of secondary storage.
+type file struct {
+	name   string
+	size   uint64
+	blocks []int
+	mo     *pager.MemoryObject
+}
+
+// Server is the filesystem data manager task.
+type Server struct {
+	kernel *kern.Kernel
+	task   *kern.Task
+	mgr    *pager.Manager
+	disk   *machine.Disk
+
+	mu       sync.Mutex
+	files    map[string]*file
+	freeBlks []int
+	nextBlk  int
+
+	// ServicePort is the name clients send filesystem requests to (in
+	// the server's space; hand clients a send right via Publish).
+	ServicePort ipc.Name
+}
+
+// NewServer creates a filesystem server on the given kernel, backed by
+// disk (block size must equal the kernel page size).
+func NewServer(k *kern.Kernel, disk *machine.Disk) (*Server, error) {
+	if uint64(disk.BlockSize()) != k.VM.PageSize() {
+		return nil, errors.New("fs: disk block size must equal page size")
+	}
+	s := &Server{
+		kernel: k,
+		task:   k.NewTask(),
+		disk:   disk,
+		files:  make(map[string]*file),
+	}
+	s.mgr = pager.NewManager(s.task.Space, (*serverHandler)(s))
+	s.mgr.Default = s.handleRequest
+	svc, err := s.task.Space.AllocatePort()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.task.Space.Enable(svc); err != nil {
+		return nil, err
+	}
+	s.ServicePort = svc
+	return s, nil
+}
+
+// Run starts the server's service loop (usually `go srv.Run()`).
+func (s *Server) Run() { s.mgr.Run() }
+
+// Stop terminates the server task.
+func (s *Server) Stop() { s.mgr.Stop() }
+
+// Publish installs a send right for the service port into a client task's
+// space, the capability handoff a name server would perform.
+func (s *Server) Publish(client *kern.Task) (ipc.Name, error) {
+	p, err := s.task.Space.Resolve(s.ServicePort)
+	if err != nil {
+		return 0, err
+	}
+	return client.Space.InsertRight(p, ipc.SendRight)
+}
+
+// Disk returns the server's backing disk (for I/O accounting in
+// experiments).
+func (s *Server) Disk() *machine.Disk { return s.disk }
+
+// --- block management -----------------------------------------------------
+
+func (s *Server) allocBlock() (int, bool) {
+	if n := len(s.freeBlks); n > 0 {
+		b := s.freeBlks[n-1]
+		s.freeBlks = s.freeBlks[:n-1]
+		return b, true
+	}
+	if s.nextBlk >= s.disk.Blocks() {
+		return 0, false
+	}
+	b := s.nextBlk
+	s.nextBlk++
+	return b, true
+}
+
+// storeFile writes data to disk under name, replacing prior contents.
+// Any pages of the file's memory object cached by the kernel are flushed
+// so later readers see the new contents.
+func (s *Server) storeFile(name string, data []byte) error {
+	ps := int(s.kernel.VM.PageSize())
+	s.mu.Lock()
+	f := s.files[name]
+	if f == nil {
+		f = &file{name: name}
+		s.files[name] = f
+	}
+	need := (len(data) + ps - 1) / ps
+	oldPages := len(f.blocks)
+	for len(f.blocks) < need {
+		b, ok := s.allocBlock()
+		if !ok {
+			s.mu.Unlock()
+			return errors.New("fs: disk full")
+		}
+		f.blocks = append(f.blocks, b)
+	}
+	for len(f.blocks) > need {
+		s.freeBlks = append(s.freeBlks, f.blocks[len(f.blocks)-1])
+		f.blocks = f.blocks[:len(f.blocks)-1]
+	}
+	f.size = uint64(len(data))
+	blocks := append([]int(nil), f.blocks...)
+	mo := f.mo
+	s.mu.Unlock()
+
+	buf := make([]byte, ps)
+	for i := 0; i < need; i++ {
+		n := copy(buf, data[i*ps:])
+		for j := n; j < ps; j++ {
+			buf[j] = 0
+		}
+		s.disk.Write(blocks[i], buf)
+	}
+	if mo != nil && s.mgr.RequestPortReady(mo) {
+		flushPages := need
+		if oldPages > flushPages {
+			flushPages = oldPages
+		}
+		_, _ = mo.FlushRequestSync(0, uint64(flushPages*ps))
+	}
+	return nil
+}
+
+// CreateFile stores a file directly (server-side seeding for tests and
+// examples).
+func (s *Server) CreateFile(name string, data []byte) error {
+	return s.storeFile(name, data)
+}
+
+// --- pager interface (kernel-to-manager calls) ----------------------------
+
+// serverHandler implements pager.Handler for the server. The minimal
+// filesystem only ever sees DataRequest and PortDeath.
+type serverHandler Server
+
+func (h *serverHandler) srv() *Server { return (*Server)(h) }
+
+// PagerInit records the request port (§4.1: "The filesystem must receive
+// this message at some time, and should record the pager request port")
+// and grants pager_cache so file pages persist in the kernel's cache
+// after the last mapping goes away.
+func (h *serverHandler) PagerInit(mo *pager.MemoryObject) {
+	_ = mo.Cache(true)
+}
+
+// DataRequest reads the requested page from disk and returns it with no
+// locking, as the paper's handler does.
+func (h *serverHandler) DataRequest(mo *pager.MemoryObject, offset, length uint64, desired vm.Prot) {
+	s := h.srv()
+	f, _ := mo.Tag.(*file)
+	if f == nil {
+		_ = mo.DataUnavailable(offset, length)
+		return
+	}
+	ps := s.kernel.VM.PageSize()
+	idx := int(offset / ps)
+	s.mu.Lock()
+	var blk = -1
+	if idx < len(f.blocks) {
+		blk = f.blocks[idx]
+	}
+	s.mu.Unlock()
+	if blk < 0 {
+		_ = mo.DataUnavailable(offset, length)
+		return
+	}
+	// "Allocate disk buffer ... lookup ... disk_read ... return the
+	// data with no locking ... deallocate disk buffer."
+	buf := make([]byte, ps)
+	s.disk.Read(blk, buf)
+	_ = mo.DataProvided(offset, buf, vm.ProtNone)
+}
+
+// DataWrite never happens for the read/copy-on-write interface; data is
+// discarded if it does.
+func (h *serverHandler) DataWrite(mo *pager.MemoryObject, offset uint64, data []byte) {}
+
+// DataUnlock never happens (no locks are set).
+func (h *serverHandler) DataUnlock(mo *pager.MemoryObject, offset, length uint64, desired vm.Prot) {
+}
+
+// PagerCreate never happens (the server is not a default pager).
+func (h *serverHandler) PagerCreate(mo *pager.MemoryObject) {}
+
+// PortDeath is the paper's port_death handler: release the server's
+// resources for this use of the file. With pager_cache granted this only
+// fires when the kernel reclaims the cached object.
+func (h *serverHandler) PortDeath(mo *pager.MemoryObject) {
+	s := h.srv()
+	if f, _ := mo.Tag.(*file); f != nil {
+		s.mu.Lock()
+		if f.mo == mo {
+			f.mo = nil
+		}
+		s.mu.Unlock()
+	}
+	s.mgr.Remove(mo)
+}
+
+// --- service protocol (application-to-server messages) --------------------
+
+// handleRequest dispatches client RPCs.
+func (s *Server) handleRequest(m *ipc.Message) {
+	switch m.ID {
+	case MsgReadFile:
+		s.handleRead(m)
+	case MsgWriteFile:
+		s.handleWrite(m)
+	case MsgStat:
+		s.handleStat(m)
+	case MsgList:
+		s.handleList(m)
+	}
+}
+
+func (s *Server) reply(m *ipc.Message, r *ipc.Message) {
+	if m.RemotePort == 0 {
+		return
+	}
+	r.RemotePort = m.RemotePort
+	_ = s.task.Send(r, ipc.SendOptions{Force: true})
+	_ = s.task.Space.DeallocatePort(m.RemotePort)
+}
+
+// handleRead implements fs_read_file: create a memory object, map it into
+// the server's own address space, and return that region out-of-line so
+// the client receives it copy-on-write.
+func (s *Server) handleRead(m *ipc.Message) {
+	name := string(m.InlineData())
+	s.mu.Lock()
+	f := s.files[name]
+	s.mu.Unlock()
+	if f == nil {
+		s.reply(m, &ipc.Message{ID: MsgReadReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(1, 0))}})
+		return
+	}
+	ps := s.kernel.VM.PageSize()
+	mapSize := (f.size + ps - 1) / ps * ps
+	if mapSize == 0 {
+		mapSize = ps
+	}
+	// "Allocate a memory object (a port), and accept requests" — or
+	// reuse the file's existing object, so the kernel's cached pages
+	// (retained under pager_cache) serve this read with no disk
+	// traffic.
+	s.mu.Lock()
+	mo := f.mo
+	s.mu.Unlock()
+	if mo == nil {
+		var err error
+		mo, err = s.mgr.NewObject(f)
+		if err != nil {
+			s.reply(m, &ipc.Message{ID: MsgReadReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(2, 0))}})
+			return
+		}
+		s.mu.Lock()
+		f.mo = mo
+		s.mu.Unlock()
+	}
+	// "Map the memory object into our address space." The server must
+	// never touch this mapping itself: a fault here would be the
+	// self-paging deadlock of §6.1.
+	addr, err := s.task.VMAllocateWithPager(mo.Port, 0, 0, mapSize, true)
+	if err != nil {
+		s.reply(m, &ipc.Message{ID: MsgReadReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(2, 0))}})
+		return
+	}
+	// Return the region through IPC so it is mapped copy-on-write in
+	// the client's address space.
+	region, err := s.kernel.NewOOLRegion(s.task, addr, mapSize)
+	if err != nil {
+		s.reply(m, &ipc.Message{ID: MsgReadReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(2, 0))}})
+		return
+	}
+	// The region now travels in the message; drop the server's own
+	// mapping (Mach's deallocate-on-send). The object's pages stay in
+	// the kernel cache thanks to pager_cache.
+	_ = s.task.VMDeallocate(addr, mapSize)
+	s.reply(m, &ipc.Message{
+		ID: MsgReadReply,
+		Sections: []ipc.Section{
+			ipc.InlineBytes(encodeStatus(0, f.size)),
+			ipc.CarryRegion(region),
+		},
+	})
+}
+
+// handleWrite implements fs_write_file: map the client's region and store
+// it.
+func (s *Server) handleWrite(m *ipc.Message) {
+	payload := m.InlineData()
+	if len(payload) < 8 {
+		return
+	}
+	size := binary.LittleEndian.Uint64(payload)
+	name := string(payload[8:])
+	status := byte(0)
+	region := m.FirstRegion()
+	if region == nil {
+		status = 2
+	} else {
+		addr, err := s.kernel.MapOOLRegion(s.task, region)
+		if err != nil {
+			status = 2
+		} else {
+			data := make([]byte, size)
+			if err := s.task.Map.ReadBytes(addr, data); err != nil {
+				status = 2
+			} else if err := s.storeFile(name, data); err != nil {
+				status = 2
+			}
+			_ = s.task.VMDeallocate(addr, uint64(region.Size()))
+		}
+	}
+	s.reply(m, &ipc.Message{ID: MsgWriteReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(status, size))}})
+}
+
+func (s *Server) handleStat(m *ipc.Message) {
+	name := string(m.InlineData())
+	s.mu.Lock()
+	f := s.files[name]
+	s.mu.Unlock()
+	if f == nil {
+		s.reply(m, &ipc.Message{ID: MsgStatReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(1, 0))}})
+		return
+	}
+	s.reply(m, &ipc.Message{ID: MsgStatReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(0, f.size))}})
+}
+
+// handleList returns newline-separated file names.
+func (s *Server) handleList(m *ipc.Message) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.files))
+	for n := range s.files {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	s.reply(m, &ipc.Message{ID: MsgListReply, Sections: []ipc.Section{ipc.InlineBytes([]byte(strings.Join(names, "\n")))}})
+}
+
+// encodeStatus packs a status byte and a size into a reply payload.
+func encodeStatus(status byte, size uint64) []byte {
+	b := make([]byte, 9)
+	b[0] = status
+	binary.LittleEndian.PutUint64(b[1:], size)
+	return b
+}
+
+// decodeStatus unpacks a reply payload.
+func decodeStatus(b []byte) (status byte, size uint64, ok bool) {
+	if len(b) < 9 {
+		return 0, 0, false
+	}
+	return b[0], binary.LittleEndian.Uint64(b[1:]), true
+}

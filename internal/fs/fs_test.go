@@ -1,0 +1,288 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/kern"
+	"repro/internal/machine"
+)
+
+const pgsz = 256
+
+func newFS(t *testing.T) (*kern.Kernel, *Server, *kern.Task) {
+	t.Helper()
+	k := kern.NewKernel(kern.Config{Frames: 256, PageSize: pgsz})
+	t.Cleanup(k.Shutdown)
+	disk := machine.NewDisk(1024, pgsz, machine.DefaultDiskLatency, k.Clock())
+	srv, err := NewServer(k, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+	t.Cleanup(srv.Stop)
+	client := k.NewTask()
+	return k, srv, client
+}
+
+func TestReadWholeFile(t *testing.T) {
+	_, srv, client := newFS(t)
+	content := bytes.Repeat([]byte("mach! "), 200) // ~1200 bytes, 5 pages
+	if err := srv.CreateFile("paper.txt", content); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := srv.Publish(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, size, err := ReadFile(client, svc, "paper.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != uint64(len(content)) {
+		t.Fatalf("size %d, want %d", size, len(content))
+	}
+	got, err := client.VMRead(addr, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestReadFileNotFound(t *testing.T) {
+	_, srv, client := newFS(t)
+	svc, _ := srv.Publish(client)
+	if _, _, err := ReadFile(client, svc, "nope"); err != ErrNotFound {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+func TestWriteThenReadBack(t *testing.T) {
+	_, srv, client := newFS(t)
+	svc, _ := srv.Publish(client)
+	content := bytes.Repeat([]byte{0xD7}, 3*pgsz+11)
+	addr, err := client.VMAllocate(0, uint64(len(content)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.VMWrite(addr, content); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(client, svc, "out.bin", addr, uint64(len(content))); err != nil {
+		t.Fatal(err)
+	}
+	size, err := Stat(client, svc, "out.bin")
+	if err != nil || size != uint64(len(content)) {
+		t.Fatalf("stat %d %v", size, err)
+	}
+	raddr, rsize, err := ReadFile(client, svc, "out.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := client.VMRead(raddr, rsize)
+	if !bytes.Equal(got, content) {
+		t.Fatal("write/read round trip mismatch")
+	}
+}
+
+func TestCopySemanticsClientWritesPrivate(t *testing.T) {
+	// §4.1: the client's random changes are private; other clients
+	// consistently see the original contents until write-back.
+	_, srv, c1 := newFS(t)
+	c2 := c1.Kernel().NewTask()
+	svc1, _ := srv.Publish(c1)
+	svc2, _ := srv.Publish(c2)
+	orig := bytes.Repeat([]byte{0x55}, 2*pgsz)
+	srv.CreateFile("shared.txt", orig)
+
+	a1, s1, err := ReadFile(c1, svc1, "shared.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1 mutates its copy.
+	if err := c1.VMWrite(a1, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// c2 still sees the original.
+	a2, s2, err := ReadFile(c2, svc2, "shared.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := c2.VMRead(a2, s2)
+	if !bytes.Equal(got2, orig) {
+		t.Fatal("second client saw first client's private changes")
+	}
+	// c1 stores back half the file, as the paper's example does.
+	if err := WriteFile(c1, svc1, "shared.txt", a1, s1/2); err != nil {
+		t.Fatal(err)
+	}
+	size, _ := Stat(c1, svc1, "shared.txt")
+	if size != s1/2 {
+		t.Fatalf("stored size %d, want %d", size, s1/2)
+	}
+}
+
+func TestServerMappingReleasedAfterRead(t *testing.T) {
+	_, srv, client := newFS(t)
+	svc, _ := srv.Publish(client)
+	srv.CreateFile("f", bytes.Repeat([]byte{9}, pgsz))
+	addr, size, err := ReadFile(client, svc, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.VMRead(addr, size); err != nil {
+		t.Fatal(err)
+	}
+	// The server drops its own mapping at reply time (deallocate-on-
+	// send): its address space must be empty again.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if len(srv.task.VMRegions()) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server still holds %d regions", len(srv.task.VMRegions()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCachePersistsAcrossOpens(t *testing.T) {
+	// The §9 mechanism: with pager_cache granted, a file read by one
+	// client and released stays in the kernel's physical memory cache;
+	// a SECOND open+read costs no disk I/O at all.
+	_, srv, client := newFS(t)
+	svc, _ := srv.Publish(client)
+	content := bytes.Repeat([]byte{7}, 8*pgsz)
+	srv.CreateFile("cached", content)
+
+	a1, s1, err := ReadFile(client, svc, "cached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.VMRead(a1, s1); err != nil {
+		t.Fatal(err)
+	}
+	client.VMDeallocate(a1, MappedSize(client, s1))
+
+	reads0 := srv.Disk().Stats().Reads
+	a2, s2, err := ReadFile(client, svc, "cached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.VMRead(a2, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("second open content mismatch")
+	}
+	if reads := srv.Disk().Stats().Reads; reads != reads0 {
+		t.Fatalf("second open hit disk %d times", reads-reads0)
+	}
+}
+
+func TestWriteInvalidatesCache(t *testing.T) {
+	_, srv, client := newFS(t)
+	svc, _ := srv.Publish(client)
+	srv.CreateFile("inv", bytes.Repeat([]byte{1}, pgsz))
+	a1, s1, _ := ReadFile(client, svc, "inv")
+	client.VMRead(a1, s1) // populate cache
+
+	// Another task overwrites the file.
+	writer := client.Kernel().NewTask()
+	wsvc, _ := srv.Publish(writer)
+	waddr, _ := writer.VMAllocate(0, pgsz, true)
+	writer.VMWrite(waddr, bytes.Repeat([]byte{2}, pgsz))
+	if err := WriteFile(writer, wsvc, "inv", waddr, pgsz); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh read must see the new contents (cache was flushed).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		a2, s2, err := ReadFile(client, svc, "inv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.VMRead(a2, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client.VMDeallocate(a2, MappedSize(client, s2))
+		if got[0] == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale cache after write: %d", got[0])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRepeatedReadsHitCache(t *testing.T) {
+	// Mach's claim (§9): repeated file access is served from the
+	// physical memory cache, cutting I/O operations. Reading the same
+	// file twice through the same mapping costs no extra disk reads.
+	_, srv, client := newFS(t)
+	svc, _ := srv.Publish(client)
+	content := bytes.Repeat([]byte{3}, 4*pgsz)
+	srv.CreateFile("hot", content)
+	addr, size, err := ReadFile(client, svc, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.VMRead(addr, size); err != nil {
+		t.Fatal(err)
+	}
+	reads0 := srv.Disk().Stats().Reads
+	for i := 0; i < 10; i++ {
+		if _, err := client.VMRead(addr, size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Disk().Stats().Reads; got != reads0 {
+		t.Fatalf("cached rereads hit disk: %d -> %d", reads0, got)
+	}
+}
+
+func TestLargeFileManyPages(t *testing.T) {
+	_, srv, client := newFS(t)
+	svc, _ := srv.Publish(client)
+	content := make([]byte, 64*pgsz)
+	for i := range content {
+		content[i] = byte(i / pgsz)
+	}
+	srv.CreateFile("big", content)
+	addr, size, err := ReadFile(client, svc, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.VMRead(addr, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("large file mismatch")
+	}
+}
+
+func TestListFiles(t *testing.T) {
+	_, srv, client := newFS(t)
+	svc, _ := srv.Publish(client)
+	names, err := List(client, svc)
+	if err != nil || len(names) != 0 {
+		t.Fatalf("empty list: %v %v", names, err)
+	}
+	srv.CreateFile("b.txt", []byte{1})
+	srv.CreateFile("a.txt", []byte{2})
+	names, err = List(client, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a.txt" || names[1] != "b.txt" {
+		t.Fatalf("list %v", names)
+	}
+}

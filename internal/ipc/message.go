@@ -1,0 +1,165 @@
+package ipc
+
+// MsgID distinguishes message kinds on a port; the kernel interfaces
+// (pager_*, vm_*) each claim an ID range.
+type MsgID int32
+
+// Reserved message IDs used by the IPC layer itself.
+const (
+	// MsgIDPortDeleted is delivered to a space's notify port when a
+	// port it holds send rights to is destroyed. The message carries
+	// one inline section: the 4-byte little-endian dead port name.
+	MsgIDPortDeleted MsgID = -100
+)
+
+// Right describes a port right carried in a name space or a message.
+type Right uint8
+
+const (
+	// SendRight allows msg_send on the port.
+	SendRight Right = 1 << iota
+	// ReceiveRight allows msg_receive; only one space may hold it.
+	ReceiveRight
+)
+
+// SectionKind discriminates the typed data items in a message body,
+// mirroring the type tags of Mach messages.
+type SectionKind uint8
+
+const (
+	// InlineData is ordinary byte data copied with the message.
+	InlineData SectionKind = iota
+	// PortRightSection transfers a port right to the receiver.
+	PortRightSection
+	// OutOfLineSection transfers a memory region by mapping rather
+	// than copying; the kernel moves it copy-on-write (§1, §3.3).
+	OutOfLineSection
+)
+
+// OutOfLineRegion is an opaque handle to memory carried out-of-line in a
+// message. The vm/kern layers implement it; the IPC layer only needs its
+// size for accounting. Transfer cost is charged when the receiver touches
+// the pages, not here — that asymmetry is the paper's point.
+type OutOfLineRegion interface {
+	// Size returns the region length in bytes.
+	Size() int
+}
+
+// Section is one typed item in a message body.
+type Section struct {
+	Kind SectionKind
+
+	// Data holds the bytes of an InlineData section.
+	Data []byte
+
+	// PortName names the right being sent (in the sender's space) or,
+	// after receipt, the name the right was inserted under in the
+	// receiver's space. Valid for PortRightSection.
+	PortName Name
+	// Right is the right kind being transferred.
+	Right Right
+
+	// Region is the payload of an OutOfLineSection.
+	Region OutOfLineRegion
+
+	// port carries the resolved port while the message is in flight.
+	port *Port
+}
+
+// InlineBytes builds an inline data section.
+func InlineBytes(b []byte) Section { return Section{Kind: InlineData, Data: b} }
+
+// CarryRight builds a section transferring the named right.
+func CarryRight(name Name, r Right) Section {
+	return Section{Kind: PortRightSection, PortName: name, Right: r}
+}
+
+// CarryRegion builds an out-of-line section around a memory region.
+func CarryRegion(r OutOfLineRegion) Section {
+	return Section{Kind: OutOfLineSection, Region: r}
+}
+
+// Message is a Mach message: a fixed-size header plus a variable-size
+// body of typed sections. A single message may transfer up to an entire
+// address space via out-of-line sections.
+type Message struct {
+	// ID tags the operation the message requests or answers.
+	ID MsgID
+
+	// RemotePort is, on send, the destination port name in the
+	// sender's space (a send right). On receive it is rewritten to
+	// name the reply port in the receiver's space (0 if none).
+	RemotePort Name
+
+	// LocalPort is, on send, the reply port whose send right is
+	// implicitly transferred (0 for one-way messages). On receive it
+	// is rewritten to the name of the port the message arrived on.
+	LocalPort Name
+
+	// Sections is the typed body.
+	Sections []Section
+
+	// replyPort carries the resolved reply port while in flight.
+	replyPort *Port
+	// arrivedOn records the destination port for receive rewriting.
+	arrivedOn *Port
+}
+
+// messageHeaderBytes approximates the fixed header cost charged to the
+// interconnect for every message.
+const messageHeaderBytes = 64
+
+// wireSize is the number of bytes charged to the topology: header plus
+// inline data plus a small descriptor per right or region. Out-of-line
+// payload bytes are NOT included — they move by mapping.
+func (m *Message) wireSize() int {
+	n := messageHeaderBytes
+	for i := range m.Sections {
+		switch m.Sections[i].Kind {
+		case InlineData:
+			n += len(m.Sections[i].Data)
+		case PortRightSection:
+			n += 8
+		case OutOfLineSection:
+			n += 32
+		}
+	}
+	return n
+}
+
+// InlineData returns the concatenation-free convenience view of the first
+// inline section, or nil if the message has none. Most kernel interface
+// messages carry exactly one inline payload.
+func (m *Message) InlineData() []byte {
+	for i := range m.Sections {
+		if m.Sections[i].Kind == InlineData {
+			return m.Sections[i].Data
+		}
+	}
+	return nil
+}
+
+// FirstRegion returns the first out-of-line region in the body, or nil.
+func (m *Message) FirstRegion() OutOfLineRegion {
+	for i := range m.Sections {
+		if m.Sections[i].Kind == OutOfLineSection {
+			return m.Sections[i].Region
+		}
+	}
+	return nil
+}
+
+// EncodeName encodes a port name as the 4-byte payload used by
+// notification messages.
+func EncodeName(n Name) []byte {
+	return []byte{byte(n), byte(n >> 8), byte(n >> 16), byte(n >> 24)}
+}
+
+// DecodeName decodes a 4-byte notification payload back to a port name.
+// It returns 0 for malformed payloads.
+func DecodeName(b []byte) Name {
+	if len(b) < 4 {
+		return 0
+	}
+	return Name(b[0]) | Name(b[1])<<8 | Name(b[2])<<16 | Name(b[3])<<24
+}

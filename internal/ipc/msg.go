@@ -1,0 +1,294 @@
+package ipc
+
+import (
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Send transmits m to the port named by m.RemotePort (msg_send). The
+// space must hold a send right. If m.LocalPort is non-zero, a send right
+// to that port travels with the message as the reply port. Port rights in
+// the body are transferred: send rights are copied, receive rights are
+// moved out of this space.
+func (s *Space) Send(m *Message, opts SendOptions) error {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return ErrSpaceDead
+	}
+	de, ok := s.names[m.RemotePort]
+	if !ok || de.rights&SendRight == 0 {
+		s.mu.Unlock()
+		return ErrInvalidPort
+	}
+	dest := de.port
+
+	if m.LocalPort != 0 {
+		re, ok := s.names[m.LocalPort]
+		if !ok {
+			s.mu.Unlock()
+			return ErrInvalidPort
+		}
+		m.replyPort = re.port
+	} else {
+		m.replyPort = nil
+	}
+
+	// Resolve and (for receive rights) extract body rights.
+	for i := range m.Sections {
+		sec := &m.Sections[i]
+		if sec.Kind != PortRightSection {
+			continue
+		}
+		e, ok := s.names[sec.PortName]
+		if !ok || e.rights&sec.Right != sec.Right {
+			s.mu.Unlock()
+			return ErrInvalidPort
+		}
+		sec.port = e.port
+		if sec.Right&ReceiveRight != 0 {
+			e.rights &^= ReceiveRight
+			e.port.setReceiver(nil)
+			if e.rights == 0 {
+				delete(s.names, sec.PortName)
+				delete(s.byPort, e.port)
+				delete(s.enabled, sec.PortName)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if s.topo != nil {
+		s.topo.ChargeMessage(s.host, dest.home, m.wireSize())
+	}
+	err := s.sendResolved(dest, m, opts)
+	if err != nil {
+		// Rights moved out of the space are destroyed with the failed
+		// message, as Mach destroys undeliverable rights.
+		for i := range m.Sections {
+			sec := &m.Sections[i]
+			if sec.Kind == PortRightSection && sec.port != nil && sec.Right&ReceiveRight != 0 {
+				sec.port.destroy()
+			}
+		}
+	}
+	return err
+}
+
+func (s *Space) sendResolved(dest *Port, m *Message, opts SendOptions) error {
+	return dest.enqueue(m, opts.Force, opts.NonBlocking, opts.Timeout)
+}
+
+// Receive takes the next message from the named port, or from the default
+// group of enabled ports when from is ReceiveAny (msg_receive). Rights in
+// the message are installed in this space and the message is rewritten:
+// LocalPort becomes the name of the port the message arrived on and
+// RemotePort the name of the reply port, if any.
+func (s *Space) Receive(from Name, opts ReceiveOptions) (*Message, error) {
+	var m *Message
+	var err error
+	if from == ReceiveAny {
+		m, err = s.receiveAny(opts)
+	} else {
+		s.mu.Lock()
+		e, ok := s.names[from]
+		if s.dead {
+			s.mu.Unlock()
+			return nil, ErrSpaceDead
+		}
+		if !ok {
+			s.mu.Unlock()
+			return nil, ErrInvalidPort
+		}
+		if e.rights&ReceiveRight == 0 {
+			s.mu.Unlock()
+			return nil, ErrNotReceiver
+		}
+		p := e.port
+		s.mu.Unlock()
+		m, err = p.dequeue(opts.NonBlocking, opts.Timeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.deliver(m)
+	return m, nil
+}
+
+// receiveAny scans the enabled ports round-robin, blocking on the space
+// wake channel between scans.
+func (s *Space) receiveAny(opts ReceiveOptions) (*Message, error) {
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	for {
+		s.mu.Lock()
+		if s.dead {
+			s.mu.Unlock()
+			return nil, ErrSpaceDead
+		}
+		type cand struct{ p *Port }
+		var cands []cand
+		for n := range s.enabled {
+			if e, ok := s.names[n]; ok && e.rights&ReceiveRight != 0 {
+				cands = append(cands, cand{e.port})
+			}
+		}
+		s.mu.Unlock()
+		if len(cands) == 0 {
+			return nil, ErrNoEnabledPorts
+		}
+		ch := s.wakeChan()
+		for _, c := range cands {
+			if m, ok := c.p.tryDequeue(); ok {
+				return m, nil
+			}
+		}
+		if opts.NonBlocking {
+			return nil, ErrWouldBlock
+		}
+		if deadline.IsZero() {
+			<-ch
+			continue
+		}
+		d := time.Until(deadline)
+		if d <= 0 {
+			return nil, ErrRcvTimedOut
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return nil, ErrRcvTimedOut
+		}
+	}
+}
+
+// deliver installs in-flight rights into the space and rewrites the
+// message header and body names for the receiver's view.
+func (s *Space) deliver(m *Message) {
+	for i := range m.Sections {
+		sec := &m.Sections[i]
+		if sec.Kind != PortRightSection || sec.port == nil {
+			continue
+		}
+		if n, err := s.InsertRight(sec.port, sec.Right); err == nil {
+			sec.PortName = n
+		} else {
+			sec.PortName = 0
+		}
+		sec.port = nil
+	}
+	if m.replyPort != nil {
+		if n, err := s.InsertRight(m.replyPort, SendRight); err == nil {
+			m.RemotePort = n
+		} else {
+			m.RemotePort = 0
+		}
+	} else {
+		m.RemotePort = 0
+	}
+	if m.arrivedOn != nil {
+		if n, ok := s.NameOf(m.arrivedOn); ok {
+			m.LocalPort = n
+		} else {
+			m.LocalPort = 0
+		}
+	}
+	m.replyPort = nil
+	m.arrivedOn = nil
+}
+
+// RPC sends m and blocks for the reply (msg_rpc). If m.LocalPort is zero
+// a temporary reply port is allocated for the call and deallocated after
+// the reply arrives. sendTimeout and rcvTimeout of zero block forever.
+func (s *Space) RPC(m *Message, sendTimeout, rcvTimeout time.Duration) (*Message, error) {
+	reply := m.LocalPort
+	temp := false
+	if reply == 0 {
+		var err error
+		reply, err = s.AllocatePort()
+		if err != nil {
+			return nil, err
+		}
+		m.LocalPort = reply
+		temp = true
+	}
+	if temp {
+		defer func() { _ = s.DeallocatePort(reply) }()
+	}
+	if err := s.Send(m, SendOptions{Timeout: sendTimeout}); err != nil {
+		return nil, err
+	}
+	return s.Receive(reply, ReceiveOptions{Timeout: rcvTimeout})
+}
+
+// --- Kernel-side (raw) operations ---------------------------------------
+//
+// The Mach kernel does not use port names for its own references; it
+// holds ports directly. The kern and pager packages use these raw
+// operations to implement the kernel half of the external memory
+// interface.
+
+// NewRawPort creates a port whose receive right is held by kernel code
+// rather than any task space.
+func NewRawPort(home machine.HostID) *Port {
+	p := newPort(nil)
+	p.home = home
+	return p
+}
+
+// CarryRawRight builds a message section around a kernel-held port,
+// transferring the given right to the receiving space.
+func CarryRawRight(p *Port, r Right) Section {
+	return Section{Kind: PortRightSection, Right: r, port: p}
+}
+
+// RawPort exposes the resolved port of a received right section to
+// kernel-side receivers that do not use a name space.
+func (sec *Section) RawPort() *Port { return sec.port }
+
+// ReplyPort exposes the raw reply port of a message to kernel-side
+// receivers. It is only valid before the message is delivered to a space.
+func (m *Message) ReplyPort() *Port { return m.replyPort }
+
+// ArrivedOn exposes the port a raw-received message was queued on.
+func (m *Message) ArrivedOn() *Port { return m.arrivedOn }
+
+// RawSend transmits m directly to port p on behalf of kernel code running
+// on host from. Topology charges apply exactly as for task sends. Body
+// sections must use CarryRawRight (names cannot be resolved).
+func RawSend(topo *machine.Topology, from machine.HostID, p *Port, m *Message, opts SendOptions) error {
+	if p == nil {
+		return ErrInvalidPort
+	}
+	for i := range m.Sections {
+		sec := &m.Sections[i]
+		if sec.Kind == PortRightSection && sec.port == nil {
+			return ErrInvalidPort
+		}
+	}
+	if topo != nil {
+		topo.ChargeMessage(from, p.home, m.wireSize())
+	}
+	return p.enqueue(m, opts.Force, opts.NonBlocking, opts.Timeout)
+}
+
+// RawReceive dequeues the next message from a kernel-held port without
+// name-space delivery: right sections keep their raw ports (use
+// Section.RawPort) and the reply port is available via Message.ReplyPort.
+func RawReceive(p *Port, opts ReceiveOptions) (*Message, error) {
+	if p == nil {
+		return nil, ErrInvalidPort
+	}
+	return p.dequeue(opts.NonBlocking, opts.Timeout)
+}
+
+// Destroy kills a kernel-held port, notifying spaces with send rights.
+func (p *Port) Destroy() { p.destroy() }
+
+// Dead reports whether the port has been destroyed.
+func (p *Port) Dead() bool { return p.isDead() }

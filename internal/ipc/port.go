@@ -1,0 +1,248 @@
+package ipc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// DefaultBacklog is the initial limit on queued messages per port, the
+// value port_set_backlog adjusts.
+const DefaultBacklog = 16
+
+var portIDs atomic.Uint64
+
+// Port is a communication channel: a finite-length message queue
+// protected by the kernel. A port may have any number of senders but only
+// one receiver.
+//
+// Ports are package-internal; tasks address them through Names in their
+// Space. The kern layer may hold *Port directly, playing the role of the
+// kernel's own port references.
+type Port struct {
+	id uint64
+
+	mu       sync.Mutex
+	recvCond *sync.Cond
+	sendCond *sync.Cond
+	queue    []*Message
+	backlog  int
+	dead     bool
+
+	// receiver is the space holding the receive right (nil while the
+	// right is in flight inside a message).
+	receiver *Space
+	// home is the host whose kernel owns the queue; messages are
+	// charged as travelling from the sender's host to here.
+	home machine.HostID
+	// senders holds a refcount per space with send rights, used to
+	// deliver port-death notifications.
+	senders map[*Space]int
+}
+
+func newPort(receiver *Space) *Port {
+	p := &Port{
+		id:       portIDs.Add(1),
+		backlog:  DefaultBacklog,
+		receiver: receiver,
+		senders:  make(map[*Space]int),
+	}
+	if receiver != nil {
+		p.home = receiver.host
+	}
+	p.recvCond = sync.NewCond(&p.mu)
+	p.sendCond = sync.NewCond(&p.mu)
+	return p
+}
+
+// ID returns the port's kernel-wide identity, stable across right
+// transfers. Data managers can use it to correlate request ports.
+func (p *Port) ID() uint64 { return p.id }
+
+// condWait blocks on c until broadcast or until deadline passes (zero
+// deadline blocks indefinitely). Returns false if the deadline has
+// passed. The caller must hold c.L and must re-check its predicate.
+func condWait(c *sync.Cond, deadline time.Time) bool {
+	if deadline.IsZero() {
+		c.Wait()
+		return true
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return false
+	}
+	t := time.AfterFunc(d, func() {
+		c.L.Lock()
+		c.Broadcast()
+		c.L.Unlock()
+	})
+	c.Wait()
+	t.Stop()
+	return true
+}
+
+// enqueue places m on the queue, blocking while the backlog is full
+// unless force (kernel notifications) or nonblock is set. It wakes
+// receivers on success.
+func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	p.mu.Lock()
+	for {
+		if p.dead {
+			p.mu.Unlock()
+			return ErrPortDied
+		}
+		if force || len(p.queue) < p.backlog {
+			break
+		}
+		if nonblock {
+			p.mu.Unlock()
+			return ErrWouldBlock
+		}
+		if !condWait(p.sendCond, deadline) {
+			p.mu.Unlock()
+			return ErrSendTimedOut
+		}
+	}
+	m.arrivedOn = p
+	p.queue = append(p.queue, m)
+	recv := p.receiver
+	p.recvCond.Broadcast()
+	p.mu.Unlock()
+	if recv != nil {
+		recv.wakeAll()
+	}
+	return nil
+}
+
+// dequeue removes the oldest message, blocking per the options. nonblock
+// takes precedence over timeout.
+func (p *Port) dequeue(nonblock bool, timeout time.Duration) (*Message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if len(p.queue) > 0 {
+			m := p.queue[0]
+			p.queue = p.queue[1:]
+			p.sendCond.Broadcast()
+			return m, nil
+		}
+		if p.dead {
+			return nil, ErrPortDied
+		}
+		if nonblock {
+			return nil, ErrWouldBlock
+		}
+		if !condWait(p.recvCond, deadline) {
+			return nil, ErrRcvTimedOut
+		}
+	}
+}
+
+// tryDequeue removes the oldest message without blocking.
+func (p *Port) tryDequeue() (*Message, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return nil, false
+	}
+	m := p.queue[0]
+	p.queue = p.queue[1:]
+	p.sendCond.Broadcast()
+	return m, true
+}
+
+// queued returns the current queue depth.
+func (p *Port) queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// addSender registers a space as holding send rights. A right to a dead
+// port is a "dead name": sends fail, no notification will come.
+func (p *Port) addSender(s *Space) {
+	p.mu.Lock()
+	if !p.dead {
+		p.senders[s]++
+	}
+	p.mu.Unlock()
+}
+
+// dropSender removes one send-right reference for a space.
+func (p *Port) dropSender(s *Space) {
+	p.mu.Lock()
+	if !p.dead {
+		if p.senders[s]--; p.senders[s] <= 0 {
+			delete(p.senders, s)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// setReceiver installs the space now holding the receive right and
+// rehomes the queue to its host.
+func (p *Port) setReceiver(s *Space) {
+	p.mu.Lock()
+	if !p.dead {
+		p.receiver = s
+		if s != nil {
+			p.home = s.host
+		}
+	}
+	p.mu.Unlock()
+}
+
+// destroy kills the port: the queue is drained (destroying any rights in
+// flight), blocked senders and receivers are woken with ErrPortDied, and
+// every space holding send rights is sent a port-death notification on
+// its notify port.
+func (p *Port) destroy() {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	dropped := p.queue
+	p.queue = nil
+	p.receiver = nil
+	notify := make([]*Space, 0, len(p.senders))
+	for s := range p.senders {
+		notify = append(notify, s)
+	}
+	p.senders = nil
+	p.recvCond.Broadcast()
+	p.sendCond.Broadcast()
+	p.mu.Unlock()
+
+	// Destroy rights carried by undelivered messages.
+	for _, m := range dropped {
+		for i := range m.Sections {
+			sec := &m.Sections[i]
+			if sec.Kind == PortRightSection && sec.port != nil && sec.Right&ReceiveRight != 0 {
+				sec.port.destroy()
+			}
+		}
+	}
+	for _, s := range notify {
+		s.notifyPortDeath(p)
+		s.wakeAll()
+	}
+}
+
+// isDead reports whether the port has been destroyed.
+func (p *Port) isDead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}

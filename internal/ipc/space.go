@@ -1,0 +1,395 @@
+package ipc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Name is a task-local port name, the integer a task uses to denote a
+// port right in its space. Name 0 is never a valid right; as an argument
+// to Receive it means "the default group of enabled ports" (ReceiveAny).
+type Name uint32
+
+// ReceiveAny directs Receive to take the oldest message from any enabled
+// port, matching msg_receive's default-group behaviour.
+const ReceiveAny Name = 0
+
+// SendOptions control msg_send. The zero value blocks indefinitely while
+// the destination backlog is full.
+type SendOptions struct {
+	// Timeout bounds the wait for backlog space; zero means forever.
+	Timeout time.Duration
+	// NonBlocking makes a full backlog return ErrWouldBlock at once.
+	NonBlocking bool
+	// Force enqueues past the backlog limit. Reserved for the kernel's
+	// own notifications, which must not block the kernel.
+	Force bool
+}
+
+// ReceiveOptions control msg_receive. The zero value blocks indefinitely.
+type ReceiveOptions struct {
+	// Timeout bounds the wait for a message; zero means forever.
+	Timeout time.Duration
+	// NonBlocking makes an empty queue return ErrWouldBlock at once.
+	NonBlocking bool
+}
+
+type entry struct {
+	port   *Port
+	rights Right
+}
+
+// PortStatus is the information returned by port_status (Table 3-2).
+type PortStatus struct {
+	// HasReceive reports whether this space holds the receive right.
+	HasReceive bool
+	// Enabled reports membership in the default receive group.
+	Enabled bool
+	// NumMsgs is the current queue depth.
+	NumMsgs int
+	// Backlog is the queue limit set by port_set_backlog.
+	Backlog int
+	// Dead reports that the port's receive right has been destroyed.
+	Dead bool
+}
+
+// Space is a task's port name space: the kernel-held table mapping the
+// task's port names to port rights. All IPC a task performs goes through
+// its space, which is also where transferred rights are installed.
+type Space struct {
+	host machine.HostID
+	topo *machine.Topology
+
+	mu       sync.Mutex
+	names    map[Name]*entry
+	byPort   map[*Port]Name
+	enabled  map[Name]bool
+	nextName Name
+	notify   Name
+	dead     bool
+
+	wakeMu sync.Mutex
+	wakeCh chan struct{}
+}
+
+// NewSpace creates an empty port name space on the given host. Every
+// space is born with an enabled notify port on which the kernel delivers
+// port-death notifications (MsgIDPortDeleted).
+func NewSpace(host machine.HostID, topo *machine.Topology) *Space {
+	s := &Space{
+		host:     host,
+		topo:     topo,
+		names:    make(map[Name]*entry),
+		byPort:   make(map[*Port]Name),
+		enabled:  make(map[Name]bool),
+		nextName: 1,
+		wakeCh:   make(chan struct{}),
+	}
+	n, err := s.AllocatePort()
+	if err != nil {
+		panic("ipc: cannot allocate notify port: " + err.Error())
+	}
+	s.notify = n
+	if err := s.Enable(n); err != nil {
+		panic("ipc: cannot enable notify port: " + err.Error())
+	}
+	return s
+}
+
+// Host returns the simulated host this space lives on.
+func (s *Space) Host() machine.HostID { return s.host }
+
+// NotifyPort returns the name of the space's notification port.
+func (s *Space) NotifyPort() Name { return s.notify }
+
+// wakeAll wakes every thread blocked in a receive-any on this space.
+func (s *Space) wakeAll() {
+	s.wakeMu.Lock()
+	close(s.wakeCh)
+	s.wakeCh = make(chan struct{})
+	s.wakeMu.Unlock()
+}
+
+// wakeChan returns the channel a receive-any should wait on; it is closed
+// at the next wakeAll.
+func (s *Space) wakeChan() <-chan struct{} {
+	s.wakeMu.Lock()
+	ch := s.wakeCh
+	s.wakeMu.Unlock()
+	return ch
+}
+
+func (s *Space) allocName() Name {
+	for {
+		n := s.nextName
+		s.nextName++
+		if n == 0 {
+			continue
+		}
+		if _, used := s.names[n]; !used {
+			return n
+		}
+	}
+}
+
+// AllocatePort creates a new port with this space as receiver and returns
+// its name (port_allocate). The space holds both receive and send rights.
+func (s *Space) AllocatePort() (Name, error) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return 0, ErrSpaceDead
+	}
+	p := newPort(s)
+	n := s.allocName()
+	s.names[n] = &entry{port: p, rights: SendRight | ReceiveRight}
+	s.byPort[p] = n
+	s.mu.Unlock()
+	p.addSender(s)
+	return n, nil
+}
+
+// DeallocatePort removes the space's rights to the named port
+// (port_deallocate). Dropping the receive right destroys the port,
+// notifying all spaces that hold send rights.
+func (s *Space) DeallocatePort(n Name) error {
+	s.mu.Lock()
+	e, ok := s.names[n]
+	if !ok {
+		s.mu.Unlock()
+		return ErrInvalidPort
+	}
+	delete(s.names, n)
+	delete(s.byPort, e.port)
+	delete(s.enabled, n)
+	s.mu.Unlock()
+
+	if e.rights&SendRight != 0 {
+		e.port.dropSender(s)
+	}
+	if e.rights&ReceiveRight != 0 {
+		e.port.destroy()
+	}
+	return nil
+}
+
+// Enable adds the named port to the default group consulted by
+// Receive(ReceiveAny, ...) (port_enable). The space must hold the receive
+// right.
+func (s *Space) Enable(n Name) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.names[n]
+	if !ok {
+		return ErrInvalidPort
+	}
+	if e.rights&ReceiveRight == 0 {
+		return ErrNotReceiver
+	}
+	s.enabled[n] = true
+	return nil
+}
+
+// Disable removes the named port from the default receive group
+// (port_disable).
+func (s *Space) Disable(n Name) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.names[n]; !ok {
+		return ErrInvalidPort
+	}
+	delete(s.enabled, n)
+	return nil
+}
+
+// EnabledWithMessages returns the enabled ports that currently have
+// queued messages (port_messages).
+func (s *Space) EnabledWithMessages() []Name {
+	s.mu.Lock()
+	var candidates []Name
+	for n := range s.enabled {
+		candidates = append(candidates, n)
+	}
+	ports := make(map[Name]*Port, len(candidates))
+	for _, n := range candidates {
+		if e, ok := s.names[n]; ok {
+			ports[n] = e.port
+		}
+	}
+	s.mu.Unlock()
+	var out []Name
+	for n, p := range ports {
+		if p.queued() > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Status returns queue and right information for the named port
+// (port_status).
+func (s *Space) Status(n Name) (PortStatus, error) {
+	s.mu.Lock()
+	e, ok := s.names[n]
+	enabled := s.enabled[n]
+	s.mu.Unlock()
+	if !ok {
+		return PortStatus{}, ErrInvalidPort
+	}
+	e.port.mu.Lock()
+	st := PortStatus{
+		HasReceive: e.rights&ReceiveRight != 0,
+		Enabled:    enabled,
+		NumMsgs:    len(e.port.queue),
+		Backlog:    e.port.backlog,
+		Dead:       e.port.dead,
+	}
+	e.port.mu.Unlock()
+	return st, nil
+}
+
+// SetBacklog limits the number of messages that may wait on the named
+// port (port_set_backlog). The space must hold the receive right.
+func (s *Space) SetBacklog(n Name, backlog int) error {
+	if backlog < 1 {
+		backlog = 1
+	}
+	s.mu.Lock()
+	e, ok := s.names[n]
+	s.mu.Unlock()
+	if !ok {
+		return ErrInvalidPort
+	}
+	if e.rights&ReceiveRight == 0 {
+		return ErrNotReceiver
+	}
+	e.port.mu.Lock()
+	e.port.backlog = backlog
+	e.port.sendCond.Broadcast()
+	e.port.mu.Unlock()
+	return nil
+}
+
+// Resolve returns the port behind a name. It models the kernel's
+// privileged lookup of a right presented in a system call (for example
+// the memory object argument of vm_allocate_with_pager) and must only be
+// called by kernel-side code.
+func (s *Space) Resolve(n Name) (*Port, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.names[n]
+	if !ok {
+		return nil, ErrInvalidPort
+	}
+	return e.port, nil
+}
+
+// NameOf returns the name under which this space holds rights to p, if
+// any. Kernel-side use only.
+func (s *Space) NameOf(p *Port) (Name, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.byPort[p]
+	return n, ok
+}
+
+// InsertRight installs a right to p into the space and returns its name.
+// If the space already holds rights to p the existing name is reused and
+// the rights are merged. It models the kernel handing a task a
+// capability. Inserting a receive right rehomes the port to this space.
+func (s *Space) InsertRight(p *Port, r Right) (Name, error) {
+	if p == nil || r == 0 {
+		return 0, ErrInvalidPort
+	}
+	if p.isDead() {
+		return 0, ErrPortDied
+	}
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return 0, ErrSpaceDead
+	}
+	n, ok := s.byPort[p]
+	var had Right
+	if ok {
+		had = s.names[n].rights
+		s.names[n].rights |= r
+	} else {
+		n = s.allocName()
+		s.names[n] = &entry{port: p, rights: r}
+		s.byPort[p] = n
+	}
+	s.mu.Unlock()
+	if r&SendRight != 0 && had&SendRight == 0 {
+		p.addSender(s)
+	}
+	if r&ReceiveRight != 0 {
+		p.setReceiver(s)
+	}
+	return n, nil
+}
+
+// notifyPortDeath delivers a MsgIDPortDeleted message to the space's
+// notify port for a port this space held send rights to, and removes the
+// now-dead right from the space. Called by Port.destroy.
+func (s *Space) notifyPortDeath(p *Port) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	n, ok := s.byPort[p]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.names, n)
+	delete(s.byPort, p)
+	delete(s.enabled, n)
+	notifyEntry, haveNotify := s.names[s.notify]
+	s.mu.Unlock()
+	if !haveNotify {
+		return
+	}
+	m := &Message{
+		ID:       MsgIDPortDeleted,
+		Sections: []Section{InlineBytes(EncodeName(n))},
+	}
+	// Notifications are forced past the backlog: the kernel must never
+	// block delivering one.
+	_ = notifyEntry.port.enqueue(m, true, false, 0)
+}
+
+// Destroy tears down the space, as task termination would: receive rights
+// it holds destroy their ports (notifying senders), send rights are
+// released.
+func (s *Space) Destroy() {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	entries := make([]*entry, 0, len(s.names))
+	for _, e := range s.names {
+		entries = append(entries, e)
+	}
+	s.names = map[Name]*entry{}
+	s.byPort = map[*Port]Name{}
+	s.enabled = map[Name]bool{}
+	s.mu.Unlock()
+
+	for _, e := range entries {
+		if e.rights&SendRight != 0 {
+			e.port.dropSender(s)
+		}
+	}
+	for _, e := range entries {
+		if e.rights&ReceiveRight != 0 {
+			e.port.destroy()
+		}
+	}
+	s.wakeAll()
+}

@@ -1,0 +1,198 @@
+package kern
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/ipc"
+)
+
+// This file implements task ports (§3.2): "The act of creating a task or
+// thread returns send access rights to a port that represents the new
+// task ... Messages sent to such a port result in operations being
+// performed on the object it represents." The indirection makes the
+// operations location independent: "a thread can suspend another thread
+// by sending a suspend message to the port representing that other
+// thread even if the request is initiated on another node in a network."
+//
+// The kernel task acts as the server behind these ports.
+
+// Task port message IDs.
+const (
+	// MsgTaskSuspend suspends every thread of the task.
+	MsgTaskSuspend ipc.MsgID = 3400 + iota
+	// MsgTaskResume resumes the task's threads.
+	MsgTaskResume
+	// MsgTaskTerminate destroys the task.
+	MsgTaskTerminate
+	// MsgTaskVMRead reads the task's memory (payload: addr, size).
+	MsgTaskVMRead
+	// MsgTaskVMWrite writes the task's memory (payload: addr, data).
+	MsgTaskVMWrite
+	// MsgTaskReply answers any of the above (status byte + data).
+	MsgTaskReply
+)
+
+// TaskPort returns the port representing the task, creating it (and its
+// kernel service thread) on first use. Hand the send right to other
+// tasks with Space.InsertRight or by message.
+func (k *Kernel) TaskPort(t *Task) *ipc.Port {
+	t.mu.Lock()
+	if t.taskPort != nil {
+		p := t.taskPort
+		t.mu.Unlock()
+		return p
+	}
+	p := ipc.NewRawPort(k.host)
+	t.taskPort = p
+	t.mu.Unlock()
+	go k.serviceTaskPort(t, p)
+	return p
+}
+
+// serviceTaskPort is the kernel thread performing operations requested on
+// a task port.
+func (k *Kernel) serviceTaskPort(t *Task, port *ipc.Port) {
+	for {
+		m, err := ipc.RawReceive(port, ipc.ReceiveOptions{})
+		if err != nil {
+			return
+		}
+		status := byte(0)
+		var data []byte
+		switch m.ID {
+		case MsgTaskSuspend:
+			t.Suspend()
+		case MsgTaskResume:
+			t.Resume()
+		case MsgTaskTerminate:
+			t.Terminate()
+		case MsgTaskVMRead:
+			p := m.InlineData()
+			if len(p) < 16 {
+				status = 2
+				break
+			}
+			addr := binary.LittleEndian.Uint64(p)
+			size := binary.LittleEndian.Uint64(p[8:])
+			if size > 1<<20 {
+				status = 2
+				break
+			}
+			b, err := t.VMRead(addr, size)
+			if err != nil {
+				status = 1
+			} else {
+				data = b
+			}
+		case MsgTaskVMWrite:
+			p := m.InlineData()
+			if len(p) < 8 {
+				status = 2
+				break
+			}
+			addr := binary.LittleEndian.Uint64(p)
+			if err := t.VMWrite(addr, p[8:]); err != nil {
+				status = 1
+			}
+		default:
+			status = 3
+		}
+		if reply := m.ReplyPort(); reply != nil {
+			payload := append([]byte{status}, data...)
+			_ = ipc.RawSend(k.topo, k.host, reply, &ipc.Message{
+				ID:       MsgTaskReply,
+				Sections: []ipc.Section{ipc.InlineBytes(payload)},
+			}, ipc.SendOptions{Force: true})
+		}
+		if m.ID == MsgTaskTerminate {
+			port.Destroy()
+			return
+		}
+	}
+}
+
+// Suspend raises the suspend count of every thread in the task (threads
+// park at their next Preempt point).
+func (t *Task) Suspend() {
+	t.mu.Lock()
+	threads := append([]*Thread(nil), t.threads...)
+	t.mu.Unlock()
+	for _, th := range threads {
+		th.Suspend()
+	}
+}
+
+// Resume lowers every thread's suspend count.
+func (t *Task) Resume() {
+	t.mu.Lock()
+	threads := append([]*Thread(nil), t.threads...)
+	t.mu.Unlock()
+	for _, th := range threads {
+		th.Resume()
+	}
+}
+
+// --- client-side helpers (any task holding the task-port send right) ----
+
+const taskRPCTimeout = 10 * time.Second
+
+// taskRPC sends one task-port operation and waits for the reply.
+func taskRPC(requester *Task, taskPort ipc.Name, id ipc.MsgID, payload []byte) ([]byte, error) {
+	reply, err := requester.RPC(&ipc.Message{
+		ID:         id,
+		RemotePort: taskPort,
+		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
+	}, taskRPCTimeout, taskRPCTimeout)
+	if err != nil {
+		return nil, err
+	}
+	b := reply.InlineData()
+	if len(b) < 1 {
+		return nil, ipc.ErrInvalidPort
+	}
+	switch b[0] {
+	case 0:
+		return b[1:], nil
+	case 1:
+		return nil, ErrTaskDead
+	default:
+		return nil, ipc.ErrInvalidPort
+	}
+}
+
+// TaskSuspendRPC suspends the task behind taskPort.
+func TaskSuspendRPC(requester *Task, taskPort ipc.Name) error {
+	_, err := taskRPC(requester, taskPort, MsgTaskSuspend, nil)
+	return err
+}
+
+// TaskResumeRPC resumes the task behind taskPort.
+func TaskResumeRPC(requester *Task, taskPort ipc.Name) error {
+	_, err := taskRPC(requester, taskPort, MsgTaskResume, nil)
+	return err
+}
+
+// TaskTerminateRPC terminates the task behind taskPort.
+func TaskTerminateRPC(requester *Task, taskPort ipc.Name) error {
+	_, err := taskRPC(requester, taskPort, MsgTaskTerminate, nil)
+	return err
+}
+
+// TaskVMReadRPC reads another task's memory through its task port (the
+// debugger's view of §8: "easy access to user process state").
+func TaskVMReadRPC(requester *Task, taskPort ipc.Name, addr, size uint64) ([]byte, error) {
+	payload := make([]byte, 16)
+	binary.LittleEndian.PutUint64(payload, addr)
+	binary.LittleEndian.PutUint64(payload[8:], size)
+	return taskRPC(requester, taskPort, MsgTaskVMRead, payload)
+}
+
+// TaskVMWriteRPC writes another task's memory through its task port.
+func TaskVMWriteRPC(requester *Task, taskPort ipc.Name, addr uint64, data []byte) error {
+	payload := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint64(payload, addr)
+	copy(payload[8:], data)
+	_, err := taskRPC(requester, taskPort, MsgTaskVMWrite, payload)
+	return err
+}

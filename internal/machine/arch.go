@@ -1,0 +1,101 @@
+package machine
+
+import "time"
+
+// Arch identifies one of the three MIMD multiprocessor classes from
+// Section 7 of the paper.
+type Arch int
+
+const (
+	// UMA: uniform memory access (Encore MultiMax, Sequent Balance,
+	// VAX 8300/8800). Remote access "considerably less than one
+	// microsecond (on average)".
+	UMA Arch = iota
+	// NUMA: non-uniform memory access (BBN Butterfly, IBM RP3). Remote
+	// access "roughly 10 times greater than local"; the Butterfly's
+	// remote reference is about five microseconds.
+	NUMA
+	// NORMA: no remote memory access (Intel HyperCube, networked
+	// workstations). Remote communication "measured in the hundreds of
+	// microseconds"; all sharing is by message.
+	NORMA
+)
+
+// String returns the conventional name of the architecture class.
+func (a Arch) String() string {
+	switch a {
+	case UMA:
+		return "UMA"
+	case NUMA:
+		return "NUMA"
+	case NORMA:
+		return "NORMA"
+	default:
+		return "Arch(?)"
+	}
+}
+
+// CostModel gives the simulated memory and communication costs of a
+// multiprocessor class. The absolute values are taken from the paper's
+// Section 7 figures for the MultiMax, Butterfly and HyperCube; what the
+// experiments depend on is the 1 : 10 : 100s ratio between them.
+type CostModel struct {
+	Arch Arch
+
+	// LocalAccess is the cost of a CPU referencing its own memory
+	// (one cache-missing word reference).
+	LocalAccess time.Duration
+
+	// RemoteAccess is the cost of referencing another CPU's memory.
+	// For NORMA there is no hardware remote access; the value here is
+	// the cost of the software message round that substitutes for it.
+	RemoteAccess time.Duration
+
+	// MessageLatency is the end-to-end cost of delivering one kernel
+	// IPC message between CPUs/hosts of this class.
+	MessageLatency time.Duration
+
+	// ByteCopy is the per-byte cost of copying memory locally, used to
+	// charge for data copies in messages and COW resolution.
+	ByteCopy time.Duration
+
+	// SupportsSharedMemory reports whether hardware remote loads and
+	// stores exist at all (false for NORMA).
+	SupportsSharedMemory bool
+}
+
+// ModelFor returns the paper-calibrated cost model for an architecture
+// class.
+func ModelFor(a Arch) CostModel {
+	switch a {
+	case UMA:
+		return CostModel{
+			Arch:                 UMA,
+			LocalAccess:          500 * time.Nanosecond,
+			RemoteAccess:         800 * time.Nanosecond, // "considerably less than one microsecond"
+			MessageLatency:       50 * time.Microsecond, // software IPC on shared memory
+			ByteCopy:             100 * time.Nanosecond,
+			SupportsSharedMemory: true,
+		}
+	case NUMA:
+		return CostModel{
+			Arch:                 NUMA,
+			LocalAccess:          500 * time.Nanosecond,
+			RemoteAccess:         5 * time.Microsecond, // Butterfly: ~10x local
+			MessageLatency:       60 * time.Microsecond,
+			ByteCopy:             100 * time.Nanosecond,
+			SupportsSharedMemory: true,
+		}
+	case NORMA:
+		return CostModel{
+			Arch:                 NORMA,
+			LocalAccess:          500 * time.Nanosecond,
+			RemoteAccess:         400 * time.Microsecond, // one message round
+			MessageLatency:       200 * time.Microsecond, // HyperCube: hundreds of us
+			ByteCopy:             100 * time.Nanosecond,
+			SupportsSharedMemory: false,
+		}
+	default:
+		panic("machine: unknown architecture")
+	}
+}

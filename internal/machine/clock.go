@@ -1,0 +1,44 @@
+// Package machine provides the simulated hardware substrate beneath the
+// Mach reproduction: a deterministic virtual clock, a physical page-frame
+// pool, block storage devices with settable latency, an inter-host network
+// fabric, and the UMA/NUMA/NORMA memory-architecture cost models from
+// Section 7 of the paper.
+//
+// Everything above this package is machine-independent, mirroring the
+// paper's pmap split: the vm, ipc and kern packages consume frames, traps
+// and latencies from here and never touch real hardware.
+package machine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a deterministic virtual clock. Simulated devices and cost
+// models charge durations to the clock instead of sleeping, so experiment
+// output is reproducible and independent of host load.
+//
+// The clock accumulates total simulated work. For serial workloads this is
+// also elapsed virtual time; parallel experiments report per-actor clocks
+// or divide by the worker count as appropriate.
+type Clock struct {
+	ns atomic.Int64
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Advance charges d of simulated time to the clock. Negative durations are
+// ignored. Advance is safe for concurrent use.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.ns.Add(int64(d))
+	}
+}
+
+// Now returns the accumulated simulated time.
+func (c *Clock) Now() time.Duration { return time.Duration(c.ns.Load()) }
+
+// Reset rewinds the clock to zero. Intended for benchmark harnesses that
+// reuse a machine across iterations.
+func (c *Clock) Reset() { c.ns.Store(0) }

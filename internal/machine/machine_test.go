@@ -1,0 +1,280 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if got := c.Now(); got != 5*time.Millisecond {
+		t.Fatalf("clock at %v, want 5ms", got)
+	}
+	c.Advance(-time.Second) // negative durations ignored
+	if got := c.Now(); got != 5*time.Millisecond {
+		t.Fatalf("clock moved backwards to %v", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("reset clock at %v, want 0", c.Now())
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Nanosecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := c.Now(); got != 8000*time.Nanosecond {
+		t.Fatalf("clock at %v, want 8000ns", got)
+	}
+}
+
+func TestFrameTableAllocFree(t *testing.T) {
+	ft := NewFrameTable(4, 64)
+	if ft.TotalFrames() != 4 || ft.PageSize() != 64 {
+		t.Fatalf("geometry %d x %d", ft.TotalFrames(), ft.PageSize())
+	}
+	seen := map[Frame]bool{}
+	var frames []Frame
+	for i := 0; i < 4; i++ {
+		f, ok := ft.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed with free memory", i)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d allocated twice", f)
+		}
+		seen[f] = true
+		frames = append(frames, f)
+	}
+	if _, ok := ft.Alloc(); ok {
+		t.Fatal("alloc succeeded on exhausted table")
+	}
+	if ft.FreeFrames() != 0 {
+		t.Fatalf("free frames %d, want 0", ft.FreeFrames())
+	}
+	ft.Free(frames[2])
+	if ft.FreeFrames() != 1 {
+		t.Fatalf("free frames %d, want 1", ft.FreeFrames())
+	}
+	f, ok := ft.Alloc()
+	if !ok || f != frames[2] {
+		t.Fatalf("realloc got %d/%v, want %d", f, ok, frames[2])
+	}
+}
+
+func TestFrameTableDoubleFreePanics(t *testing.T) {
+	ft := NewFrameTable(2, 32)
+	f, _ := ft.Alloc()
+	ft.Free(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	ft.Free(f)
+}
+
+func TestFrameBytesIsolatedAndZeroed(t *testing.T) {
+	ft := NewFrameTable(2, 16)
+	a, _ := ft.Alloc()
+	b, _ := ft.Alloc()
+	ba := ft.Bytes(a)
+	bb := ft.Bytes(b)
+	if len(ba) != 16 || len(bb) != 16 {
+		t.Fatalf("frame sizes %d,%d", len(ba), len(bb))
+	}
+	for i := range ba {
+		ba[i] = 0xAA
+	}
+	for i := range bb {
+		if bb[i] == 0xAA {
+			t.Fatal("frames alias each other")
+		}
+	}
+	ft.Zero(a)
+	for i := range ba {
+		if ba[i] != 0 {
+			t.Fatal("Zero did not clear frame")
+		}
+	}
+}
+
+func TestDiskReadWrite(t *testing.T) {
+	clk := NewClock()
+	d := NewDisk(8, 32, time.Millisecond, clk)
+	buf := make([]byte, 32)
+	d.Read(3, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+	src := make([]byte, 32)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	d.Write(3, src)
+	d.Read(3, buf)
+	for i := range buf {
+		if buf[i] != byte(i) {
+			t.Fatalf("block byte %d = %d", i, buf[i])
+		}
+	}
+	st := d.Stats()
+	if st.Reads != 2 || st.Writes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if clk.Now() != 3*time.Millisecond {
+		t.Fatalf("clock %v, want 3ms", clk.Now())
+	}
+	d.ResetStats()
+	if st := d.Stats(); st.Reads != 0 || st.Writes != 0 {
+		t.Fatalf("reset stats %+v", st)
+	}
+}
+
+func TestDiskWriteDoesNotAliasCaller(t *testing.T) {
+	d := NewDisk(1, 8, 0, nil)
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	d.Write(0, src)
+	src[0] = 99
+	buf := make([]byte, 8)
+	d.Read(0, buf)
+	if buf[0] != 1 {
+		t.Fatal("disk aliased caller buffer")
+	}
+}
+
+func TestDiskBoundsPanic(t *testing.T) {
+	d := NewDisk(2, 8, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range block did not panic")
+		}
+	}()
+	d.Read(2, make([]byte, 8))
+}
+
+func TestArchModels(t *testing.T) {
+	uma, numa, norma := ModelFor(UMA), ModelFor(NUMA), ModelFor(NORMA)
+	// Section 7 ratios: NUMA remote ~10x local; NORMA communication in
+	// the hundreds of microseconds vs ~5us Butterfly vs <1us MultiMax.
+	if r := numa.RemoteAccess.Seconds() / numa.LocalAccess.Seconds(); r < 5 || r > 20 {
+		t.Fatalf("NUMA remote/local ratio %.1f, want ~10", r)
+	}
+	if uma.RemoteAccess >= time.Microsecond {
+		t.Fatalf("UMA remote access %v, want <1us", uma.RemoteAccess)
+	}
+	if norma.MessageLatency < 100*time.Microsecond {
+		t.Fatalf("NORMA message latency %v, want hundreds of us", norma.MessageLatency)
+	}
+	if !uma.SupportsSharedMemory || !numa.SupportsSharedMemory || norma.SupportsSharedMemory {
+		t.Fatal("shared-memory support flags wrong")
+	}
+	if UMA.String() != "UMA" || NUMA.String() != "NUMA" || NORMA.String() != "NORMA" {
+		t.Fatal("Arch.String wrong")
+	}
+}
+
+func TestTopologyChargesAndCounts(t *testing.T) {
+	clk := NewClock()
+	topo := NewTopology(ModelFor(NUMA), clk)
+	d1 := topo.ChargeMessage(0, 0, 100)
+	d2 := topo.ChargeMessage(0, 1, 100)
+	if d2 <= d1 {
+		t.Fatalf("remote message (%v) not dearer than local (%v)", d2, d1)
+	}
+	st := topo.Stats()
+	if st.LocalMessages != 1 || st.RemoteMessages != 1 || st.RemoteBytes != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+	if clk.Now() != d1+d2 {
+		t.Fatalf("clock %v, want %v", clk.Now(), d1+d2)
+	}
+	la := topo.ChargeAccess(2, 2)
+	ra := topo.ChargeAccess(2, 3)
+	if ra <= la {
+		t.Fatalf("remote access (%v) not dearer than local (%v)", ra, la)
+	}
+	topo.ResetStats()
+	if st := topo.Stats(); st != (NetStats{}) {
+		t.Fatalf("reset stats %+v", st)
+	}
+}
+
+func TestTopologyNORMARemoteAccessPanics(t *testing.T) {
+	topo := NewTopology(ModelFor(NORMA), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NORMA remote access did not panic")
+		}
+	}()
+	topo.ChargeAccess(0, 1)
+}
+
+// Property: any interleaving of allocs and frees conserves frames.
+func TestFrameTableConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		ft := NewFrameTable(8, 16)
+		var held []Frame
+		for _, alloc := range ops {
+			if alloc {
+				if fr, ok := ft.Alloc(); ok {
+					held = append(held, fr)
+				}
+			} else if len(held) > 0 {
+				ft.Free(held[len(held)-1])
+				held = held[:len(held)-1]
+			}
+			if ft.FreeFrames()+len(held) != 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: disk blocks retain the last value written.
+func TestDiskLastWriteWins(t *testing.T) {
+	f := func(writes []byte) bool {
+		d := NewDisk(4, 4, 0, nil)
+		last := map[int]byte{}
+		for i, v := range writes {
+			blk := i % 4
+			buf := []byte{v, v, v, v}
+			d.Write(blk, buf)
+			last[blk] = v
+		}
+		for blk, v := range last {
+			buf := make([]byte, 4)
+			d.Read(blk, buf)
+			if buf[0] != v || buf[3] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

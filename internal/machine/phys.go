@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Frame is an index into a FrameTable's physical page frames. The zero
+// frame is valid; InvalidFrame marks "no frame".
+type Frame int32
+
+// InvalidFrame is the sentinel for an unallocated or unmapped frame.
+const InvalidFrame Frame = -1
+
+// FrameTable models the machine's physical memory as a fixed pool of page
+// frames. It hands out frames, zero-fills them on request, and tracks how
+// many remain — the number the pageout daemon watches.
+//
+// The frame contents live in one contiguous slab so that a frame's bytes
+// can be sliced without per-frame allocation.
+type FrameTable struct {
+	mu        sync.Mutex
+	pageSize  int
+	slab      []byte
+	free      []Frame // LIFO free list
+	allocated []bool  // double-free / double-alloc detection
+	total     int
+}
+
+// NewFrameTable creates a physical memory of frames pages, each pageSize
+// bytes. It panics if either argument is non-positive, as a machine cannot
+// exist without memory.
+func NewFrameTable(frames, pageSize int) *FrameTable {
+	if frames <= 0 || pageSize <= 0 {
+		panic(fmt.Sprintf("machine: invalid physical memory %d x %d", frames, pageSize))
+	}
+	ft := &FrameTable{
+		pageSize:  pageSize,
+		slab:      make([]byte, frames*pageSize),
+		free:      make([]Frame, 0, frames),
+		allocated: make([]bool, frames),
+		total:     frames,
+	}
+	for i := frames - 1; i >= 0; i-- {
+		ft.free = append(ft.free, Frame(i))
+	}
+	return ft
+}
+
+// PageSize returns the machine page size in bytes.
+func (ft *FrameTable) PageSize() int { return ft.pageSize }
+
+// TotalFrames returns the number of physical page frames in the machine.
+func (ft *FrameTable) TotalFrames() int { return ft.total }
+
+// FreeFrames returns the number of frames currently unallocated.
+func (ft *FrameTable) FreeFrames() int {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return len(ft.free)
+}
+
+// Alloc takes a frame from the free list. The second result is false when
+// physical memory is exhausted; callers (the fault handler) must then wait
+// for the pageout daemon rather than panic.
+func (ft *FrameTable) Alloc() (Frame, bool) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	n := len(ft.free)
+	if n == 0 {
+		return InvalidFrame, false
+	}
+	f := ft.free[n-1]
+	ft.free = ft.free[:n-1]
+	ft.allocated[f] = true
+	return f, true
+}
+
+// Free returns a frame to the free list. Double-free is a kernel bug and
+// panics.
+func (ft *FrameTable) Free(f Frame) {
+	if f < 0 || int(f) >= ft.total {
+		panic(fmt.Sprintf("machine: free of invalid frame %d", f))
+	}
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if !ft.allocated[f] {
+		panic(fmt.Sprintf("machine: double free of frame %d", f))
+	}
+	ft.allocated[f] = false
+	ft.free = append(ft.free, f)
+}
+
+// Bytes returns the backing bytes of frame f. The slice aliases the
+// machine's slab; holders must respect the vm layer's page locking.
+func (ft *FrameTable) Bytes(f Frame) []byte {
+	if f < 0 || int(f) >= ft.total {
+		panic(fmt.Sprintf("machine: bytes of invalid frame %d", f))
+	}
+	off := int(f) * ft.pageSize
+	return ft.slab[off : off+ft.pageSize : off+ft.pageSize]
+}
+
+// Zero clears frame f, as hardware zero-fill would for vm_allocate memory.
+func (ft *FrameTable) Zero(f Frame) {
+	b := ft.Bytes(f)
+	for i := range b {
+		b[i] = 0
+	}
+}

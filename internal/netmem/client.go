@@ -1,0 +1,77 @@
+package netmem
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+)
+
+// rpcTimeout bounds client waits on the shared memory server.
+const rpcTimeout = 10 * time.Second
+
+// Create asks the server to create a named shared region of the given
+// size.
+func Create(t *kern.Task, svc ipc.Name, name string, size uint64) error {
+	payload := make([]byte, 8+len(name))
+	binary.LittleEndian.PutUint64(payload, size)
+	copy(payload[8:], name)
+	reply, err := t.RPC(&ipc.Message{
+		ID:         MsgCreateRegion,
+		RemotePort: svc,
+		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
+	}, rpcTimeout, rpcTimeout)
+	if err != nil {
+		return err
+	}
+	b := reply.InlineData()
+	if len(b) < 1 {
+		return ErrServer
+	}
+	switch b[0] {
+	case 0:
+		return nil
+	case 1:
+		return ErrExists
+	default:
+		return ErrServer
+	}
+}
+
+// Attach maps the named shared region into the task's address space with
+// vm_allocate_with_pager and returns its address and size. Tasks on any
+// kernel of the complex that attach the same name share the memory
+// consistently.
+func Attach(t *kern.Task, svc ipc.Name, name string) (addr, size uint64, err error) {
+	reply, err := t.RPC(&ipc.Message{
+		ID:         MsgAttachRegion,
+		RemotePort: svc,
+		Sections:   []ipc.Section{ipc.InlineBytes([]byte(name))},
+	}, rpcTimeout, rpcTimeout)
+	if err != nil {
+		return 0, 0, err
+	}
+	b := reply.InlineData()
+	if len(b) < 9 {
+		return 0, 0, ErrServer
+	}
+	if b[0] != 1 {
+		return 0, 0, ErrNoRegion
+	}
+	size = binary.LittleEndian.Uint64(b[1:])
+	var moName ipc.Name
+	for i := range reply.Sections {
+		if reply.Sections[i].Kind == ipc.PortRightSection {
+			moName = reply.Sections[i].PortName
+		}
+	}
+	if moName == 0 {
+		return 0, 0, ErrServer
+	}
+	addr, err = t.VMAllocateWithPager(moName, 0, 0, size, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	return addr, size, nil
+}

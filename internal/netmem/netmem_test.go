@@ -1,0 +1,400 @@
+package netmem
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/vm"
+)
+
+const pgsz = 256
+
+// complex boots n kernels sharing one NORMA interconnect, with the shared
+// memory server on kernel 0.
+func newComplex(t *testing.T, n int) ([]*kern.Kernel, *Server) {
+	t.Helper()
+	clock := machine.NewClock()
+	topo := machine.NewTopology(machine.ModelFor(machine.NORMA), clock)
+	kernels := make([]*kern.Kernel, n)
+	for i := range kernels {
+		kernels[i] = kern.NewKernel(kern.Config{
+			Host: machine.HostID(i), Frames: 256, PageSize: pgsz,
+			Clock: clock, Topo: topo,
+		})
+	}
+	t.Cleanup(func() {
+		for _, k := range kernels {
+			k.Shutdown()
+		}
+	})
+	srv, err := NewServer(kernels[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+	t.Cleanup(srv.Stop)
+	return kernels, srv
+}
+
+func TestCreateAttachReadZeros(t *testing.T) {
+	kernels, srv := newComplex(t, 1)
+	task := kernels[0].NewTask()
+	svc, _ := srv.Publish(task)
+	if err := Create(task, svc, "r", 4*pgsz); err != nil {
+		t.Fatal(err)
+	}
+	if err := Create(task, svc, "r", pgsz); err != ErrExists {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	addr, size, err := Attach(task, svc, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 4*pgsz {
+		t.Fatalf("size %d", size)
+	}
+	buf, err := task.VMRead(addr, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("fresh region not zero")
+		}
+	}
+	if _, _, err := Attach(task, svc, "missing"); err != ErrNoRegion {
+		t.Fatalf("attach missing: %v", err)
+	}
+}
+
+func TestWriteVisibleAcrossKernels(t *testing.T) {
+	kernels, srv := newComplex(t, 2)
+	t0 := kernels[0].NewTask()
+	t1 := kernels[1].NewTask()
+	svc0, _ := srv.Publish(t0)
+	svc1, _ := srv.Publish(t1)
+	if err := Create(t0, svc0, "shared", pgsz); err != nil {
+		t.Fatal(err)
+	}
+	a0, _, err := Attach(t0, svc0, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _, err := Attach(t1, svc1, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Host 0 writes; host 1 must see it.
+	if err := t0.VMWrite(a0, []byte("hello from host 0")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := t1.VMRead(a1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello from host 0" {
+		t.Fatalf("host 1 sees %q", got)
+	}
+	// Now host 1 writes; host 0's cached read-only copy must be
+	// invalidated and host 0 must see the new data.
+	if err := t1.VMWrite(a1, []byte("HELLO FROM HOST 1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = t0.VMRead(a0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "HELLO FROM HOST 1" {
+		t.Fatalf("host 0 sees %q", got)
+	}
+	st := srv.Stats()
+	if st.Invalidations == 0 {
+		t.Fatalf("no invalidations recorded: %+v", st)
+	}
+	if st.WriteGrants < 2 {
+		t.Fatalf("write grants %d, want >=2", st.WriteGrants)
+	}
+}
+
+func TestMultipleReadersNoInvalidation(t *testing.T) {
+	kernels, srv := newComplex(t, 3)
+	tasks := make([]*kern.Task, 3)
+	addrs := make([]uint64, 3)
+	for i, k := range kernels {
+		tasks[i] = k.NewTask()
+		svc, _ := srv.Publish(tasks[i])
+		if i == 0 {
+			if err := Create(tasks[i], svc, "ro", pgsz); err != nil {
+				t.Fatal(err)
+			}
+			a, _, err := Attach(tasks[i], svc, "ro")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs[i] = a
+			if err := tasks[i].VMWrite(a, []byte{42}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			a, _, err := Attach(tasks[i], svc, "ro")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs[i] = a
+		}
+	}
+	// First reads: the initial writer is flushed exactly once, then all
+	// hosts hold read-only copies.
+	for i, task := range tasks {
+		if _, err := task.VMRead(addrs[i], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inv0 := srv.Stats().Invalidations
+	// All three read concurrently-held read-only copies; many times.
+	for round := 0; round < 5; round++ {
+		for i, task := range tasks {
+			b, err := task.VMRead(addrs[i], 1)
+			if err != nil || b[0] != 42 {
+				t.Fatalf("reader %d round %d: %v %v", i, round, err, b)
+			}
+		}
+	}
+	if got := srv.Stats().Invalidations; got != inv0 {
+		t.Fatalf("read sharing caused %d invalidations", got-inv0)
+	}
+}
+
+func TestWriterRevokedByReader(t *testing.T) {
+	// §7: "A subsequent attempt to read by another workstation will
+	// cause the writer to revert to reader status."
+	kernels, srv := newComplex(t, 2)
+	t0 := kernels[0].NewTask()
+	t1 := kernels[1].NewTask()
+	svc0, _ := srv.Publish(t0)
+	svc1, _ := srv.Publish(t1)
+	Create(t0, svc0, "rw", pgsz)
+	a0, _, _ := Attach(t0, svc0, "rw")
+	a1, _, _ := Attach(t1, svc1, "rw")
+
+	if err := t0.VMWrite(a0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Reader forces write-back + flush of the writer.
+	b, err := t1.VMRead(a1, 1)
+	if err != nil || b[0] != 1 {
+		t.Fatalf("reader: %v %v", err, b)
+	}
+	wb := srv.Stats().WriteBacks
+	if wb == 0 {
+		t.Fatal("writer was not flushed for reader")
+	}
+	// Writer writing again must re-acquire (another grant).
+	grants0 := srv.Stats().WriteGrants
+	if err := t0.VMWrite(a0, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().WriteGrants; got <= grants0 {
+		t.Fatal("writer kept exclusive access across a reader")
+	}
+	b, err = t1.VMRead(a1, 1)
+	if err != nil || b[0] != 2 {
+		t.Fatalf("reader after rewrite: %v %v", err, b)
+	}
+}
+
+func TestPingPongCounter(t *testing.T) {
+	// Two hosts increment a shared counter alternately; the final
+	// value proves sequential consistency of the ownership protocol.
+	kernels, srv := newComplex(t, 2)
+	t0 := kernels[0].NewTask()
+	t1 := kernels[1].NewTask()
+	svc0, _ := srv.Publish(t0)
+	svc1, _ := srv.Publish(t1)
+	Create(t0, svc0, "ctr", pgsz)
+	a0, _, _ := Attach(t0, svc0, "ctr")
+	a1, _, _ := Attach(t1, svc1, "ctr")
+
+	const rounds = 20
+	var wg sync.WaitGroup
+	turn := make(chan int, 1)
+	turn <- 0
+	incr := func(task *kern.Task, addr uint64, id int) {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			for {
+				who := <-turn
+				if who == id {
+					break
+				}
+				turn <- who
+				time.Sleep(time.Microsecond)
+			}
+			b, err := task.VMRead(addr, 1)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if err := task.VMWrite(addr, []byte{b[0] + 1}); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			turn <- 1 - id
+		}
+	}
+	wg.Add(2)
+	go incr(t0, a0, 0)
+	go incr(t1, a1, 1)
+	wg.Wait()
+	b, err := t0.VMRead(a0, 1)
+	if err != nil || b[0] != 2*rounds {
+		t.Fatalf("counter %d, want %d (err %v)", b[0], 2*rounds, err)
+	}
+	// Ping-ponging a written page MUST invalidate each round.
+	if st := srv.Stats(); st.Invalidations < rounds {
+		t.Fatalf("invalidations %d, want >= %d", st.Invalidations, rounds)
+	}
+}
+
+func TestDistinctPagesNoFalseSharing(t *testing.T) {
+	kernels, srv := newComplex(t, 2)
+	t0 := kernels[0].NewTask()
+	t1 := kernels[1].NewTask()
+	svc0, _ := srv.Publish(t0)
+	svc1, _ := srv.Publish(t1)
+	Create(t0, svc0, "2p", 2*pgsz)
+	a0, _, _ := Attach(t0, svc0, "2p")
+	a1, _, _ := Attach(t1, svc1, "2p")
+
+	// Warm both writers on separate pages.
+	if err := t0.VMWrite(a0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.VMWrite(a1+pgsz, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	inv0 := srv.Stats().Invalidations
+	for i := byte(0); i < 10; i++ {
+		if err := t0.VMWrite(a0, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+		if err := t1.VMWrite(a1+pgsz, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Stats().Invalidations; got != inv0 {
+		t.Fatalf("independent pages caused %d invalidations", got-inv0)
+	}
+}
+
+func TestSharedPagesSurviveEviction(t *testing.T) {
+	// A kernel under memory pressure evicts shared pages (dirty ones
+	// come back to the server as write-backs); later reads must still
+	// be correct.
+	clock := machine.NewClock()
+	topo := machine.NewTopology(machine.ModelFor(machine.NORMA), clock)
+	k0 := kern.NewKernel(kern.Config{Host: 0, Frames: 256, PageSize: pgsz, Clock: clock, Topo: topo})
+	k1 := kern.NewKernel(kern.Config{Host: 1, Frames: 16, PageSize: pgsz, Clock: clock, Topo: topo})
+	t.Cleanup(func() { k0.Shutdown(); k1.Shutdown() })
+	srv, err := NewServer(k0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+	t.Cleanup(srv.Stop)
+
+	task := k1.NewTask()
+	svc, _ := srv.Publish(task)
+	const npages = 48
+	if err := Create(task, svc, "big", npages*pgsz); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, err := Attach(task, svc, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < npages; i++ {
+		if err := task.VMWrite(addr+uint64(i)*pgsz, []byte{byte(i + 1)}); err != nil {
+			t.Fatalf("write page %d: %v", i, err)
+		}
+	}
+	for i := 0; i < npages; i++ {
+		b, err := task.VMRead(addr+uint64(i)*pgsz, 1)
+		if err != nil || b[0] != byte(i+1) {
+			t.Fatalf("page %d after eviction: %v %v", i, b, err)
+		}
+	}
+	if srv.Stats().WriteBacks == 0 {
+		t.Fatal("no write-backs despite pressure")
+	}
+}
+
+func TestMultipleIndependentRegions(t *testing.T) {
+	kernels, srv := newComplex(t, 2)
+	t0 := kernels[0].NewTask()
+	t1 := kernels[1].NewTask()
+	svc0, _ := srv.Publish(t0)
+	svc1, _ := srv.Publish(t1)
+	Create(t0, svc0, "ra", pgsz)
+	Create(t0, svc0, "rb", pgsz)
+	a0, _, _ := Attach(t0, svc0, "ra")
+	b1, _, _ := Attach(t1, svc1, "rb")
+	t0.VMWrite(a0, []byte{0xA})
+	t1.VMWrite(b1, []byte{0xB})
+	// Each region is independent: re-attach the other side and check.
+	a1, _, _ := Attach(t1, svc1, "ra")
+	b0, _, _ := Attach(t0, svc0, "rb")
+	ba, _ := t1.VMRead(a1, 1)
+	bb, _ := t0.VMRead(b0, 1)
+	if ba[0] != 0xA || bb[0] != 0xB {
+		t.Fatalf("regions crossed: %x %x", ba[0], bb[0])
+	}
+}
+
+func TestServerDeathFailsClients(t *testing.T) {
+	// §6.2.1: "The potential problems associated with external data
+	// managers are strongly analogous to communication failure." When
+	// the shared memory server dies, client faults abort with a memory
+	// failure (under a timeout policy) instead of hanging forever.
+	clock := machine.NewClock()
+	topo := machine.NewTopology(machine.ModelFor(machine.NORMA), clock)
+	k0 := kern.NewKernel(kern.Config{Host: 0, Frames: 256, PageSize: pgsz, Clock: clock, Topo: topo})
+	k1 := kern.NewKernel(kern.Config{
+		Host: 1, Frames: 256, PageSize: pgsz, Clock: clock, Topo: topo,
+		Fault: vm.FaultPolicy{Timeout: 50 * time.Millisecond},
+	})
+	t.Cleanup(func() { k0.Shutdown(); k1.Shutdown() })
+	srv, err := NewServer(k0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+
+	task := k1.NewTask()
+	svc, _ := srv.Publish(task)
+	if err := Create(task, svc, "doomed", 2*pgsz); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, err := Attach(task, svc, "doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page 0 is cached before the crash; page 1 is not.
+	if _, err := task.VMRead(addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop() // the manager dies
+
+	// The cached page still reads fine (it is in the kernel's cache).
+	if _, err := task.VMRead(addr, 1); err != nil {
+		t.Fatalf("cached page after server death: %v", err)
+	}
+	// The uncached page aborts rather than hanging.
+	if _, err := task.VMRead(addr+pgsz, 1); err != vm.ErrMemoryFailure {
+		t.Fatalf("uncached page after server death: %v", err)
+	}
+}

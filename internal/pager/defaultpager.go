@@ -1,0 +1,132 @@
+package pager
+
+import (
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/vm"
+)
+
+// DefaultPager is the trusted data manager of §6.2.2: it backs memory
+// objects created by the kernel — zero-filled vm_allocate memory, shadow
+// objects, and pages evicted from errant managers — on a simulated disk.
+// Its interface to the kernel is identical to any other external data
+// manager ("a new default pager may be debugged as a regular data
+// manager"); pages that have never been written are reported unavailable
+// so the kernel zero-fills them.
+type DefaultPager struct {
+	disk *machine.Disk
+
+	mu      sync.Mutex
+	free    []int                      // free disk blocks
+	blocks  map[*MemoryObject]blockMap // per-object offset -> block
+	nextBlk int
+}
+
+type blockMap map[uint64]int
+
+// NewDefaultPager builds a default pager over a disk whose block size
+// must equal the system page size.
+func NewDefaultPager(disk *machine.Disk) *DefaultPager {
+	return &DefaultPager{
+		disk:   disk,
+		blocks: make(map[*MemoryObject]blockMap),
+	}
+}
+
+// allocBlock hands out a disk block, preferring freed ones.
+func (dp *DefaultPager) allocBlock() (int, bool) {
+	if n := len(dp.free); n > 0 {
+		b := dp.free[n-1]
+		dp.free = dp.free[:n-1]
+		return b, true
+	}
+	if dp.nextBlk >= dp.disk.Blocks() {
+		return 0, false // backing store full
+	}
+	b := dp.nextBlk
+	dp.nextBlk++
+	return b, true
+}
+
+// PagerInit implements Handler (kernel-created objects arrive via
+// PagerCreate; an Init can still happen if a task maps the object).
+func (dp *DefaultPager) PagerInit(mo *MemoryObject) { dp.PagerCreate(mo) }
+
+// PagerCreate accepts responsibility for a kernel-created memory object.
+func (dp *DefaultPager) PagerCreate(mo *MemoryObject) {
+	dp.mu.Lock()
+	if _, ok := dp.blocks[mo]; !ok {
+		dp.blocks[mo] = blockMap{}
+	}
+	dp.mu.Unlock()
+}
+
+// DataRequest serves a page from backing store, or reports it
+// unavailable (never written) so the kernel zero-fills.
+func (dp *DefaultPager) DataRequest(mo *MemoryObject, offset, length uint64, desired vm.Prot) {
+	dp.mu.Lock()
+	bm := dp.blocks[mo]
+	var blk int
+	ok := false
+	if bm != nil {
+		blk, ok = bm[offset]
+	}
+	dp.mu.Unlock()
+	if !ok {
+		_ = mo.DataUnavailable(offset, length)
+		return
+	}
+	buf := make([]byte, dp.disk.BlockSize())
+	dp.disk.Read(blk, buf)
+	_ = mo.DataProvided(offset, buf, vm.ProtNone)
+}
+
+// DataWrite stores an evicted page.
+func (dp *DefaultPager) DataWrite(mo *MemoryObject, offset uint64, data []byte) {
+	dp.mu.Lock()
+	bm := dp.blocks[mo]
+	if bm == nil {
+		bm = blockMap{}
+		dp.blocks[mo] = bm
+	}
+	blk, ok := bm[offset]
+	if !ok {
+		var fits bool
+		blk, fits = dp.allocBlock()
+		if !fits {
+			dp.mu.Unlock()
+			return // backing store exhausted; drop (kernel data loss, as a full paging disk would)
+		}
+		bm[offset] = blk
+	}
+	dp.mu.Unlock()
+	dp.disk.Write(blk, data)
+}
+
+// DataUnlock never fires: the default pager sets no locks.
+func (dp *DefaultPager) DataUnlock(mo *MemoryObject, offset, length uint64, desired vm.Prot) {
+	_ = mo.DataLock(offset, length, vm.ProtNone)
+}
+
+// PortDeath releases the object's backing blocks.
+func (dp *DefaultPager) PortDeath(mo *MemoryObject) {
+	dp.mu.Lock()
+	for _, blk := range dp.blocks[mo] {
+		dp.free = append(dp.free, blk)
+	}
+	delete(dp.blocks, mo)
+	dp.mu.Unlock()
+	mo.mgr.Remove(mo)
+}
+
+// BackingPages returns how many pages currently occupy backing store.
+func (dp *DefaultPager) BackingPages() int {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	n := 0
+	for _, bm := range dp.blocks {
+		n += len(bm)
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+// Package pager implements the external memory management protocol of
+// Section 3.4 of the paper as IPC messages: the kernel-to-data-manager
+// calls of Table 3-5 (pager_init, pager_data_request, pager_data_write,
+// pager_data_unlock, pager_create) and the data-manager-to-kernel calls
+// of Table 3-6 (pager_data_provided, pager_data_lock,
+// pager_flush_request, pager_clean_request, pager_cache,
+// pager_data_unavailable).
+//
+// It also provides the manager-side library (Manager) that data-manager
+// tasks embed — the filesystem server, shared memory server, migration
+// manager and Camelot disk manager are all built on it — and the trusted
+// DefaultPager of §6.2.2, which backs kernel-created memory objects on a
+// simulated disk through exactly the same interface.
+package pager
+
+import (
+	"encoding/binary"
+
+	"repro/internal/ipc"
+	"repro/internal/vm"
+)
+
+// Message IDs of the external memory management interface. IDs in the
+// kernel-to-manager range arrive on memory object ports; IDs in the
+// manager-to-kernel range arrive on pager request ports.
+const (
+	// MsgPagerInit initializes a memory object (pager_init). Body:
+	// [request-port right, name-port right, header].
+	MsgPagerInit ipc.MsgID = 2200 + iota
+	// MsgDataRequest asks the manager for data (pager_data_request).
+	MsgDataRequest
+	// MsgDataWrite returns dirty data to the manager
+	// (pager_data_write).
+	MsgDataWrite
+	// MsgDataUnlock asks the manager to relax a data lock
+	// (pager_data_unlock).
+	MsgDataUnlock
+	// MsgPagerCreate asks the default pager to accept responsibility
+	// for a kernel-created object (pager_create). Body: [memory-object
+	// receive right, request-port right, name-port right, header].
+	MsgPagerCreate
+
+	// MsgDataProvided supplies object data (pager_data_provided).
+	MsgDataProvided
+	// MsgDataLock restricts cache access (pager_data_lock).
+	MsgDataLock
+	// MsgFlushRequest invalidates cached data (pager_flush_request).
+	MsgFlushRequest
+	// MsgCleanRequest writes back cached data (pager_clean_request).
+	MsgCleanRequest
+	// MsgCache grants/revokes caching permission (pager_cache).
+	MsgCache
+	// MsgDataUnavailable reports that data does not exist
+	// (pager_data_unavailable).
+	MsgDataUnavailable
+	// MsgLockCompleted is the kernel's completion notification for a
+	// flush or clean request that carried a reply port (Mach 3's
+	// memory_object_lock_completed; consistency protocols depend on
+	// it). Flag byte = pages written back ahead of the ack.
+	MsgLockCompleted
+)
+
+// wireHeaderLen is the fixed prefix of every pager message payload:
+// offset (8), length (8), prot (1), flag (1).
+const wireHeaderLen = 18
+
+// EncodePayload builds the inline payload of a pager message: offset,
+// length, a protection/lock value, a flag byte, and optional page data.
+// Exported for data managers that need to parse protocol messages
+// themselves (e.g. flush acknowledgements).
+func EncodePayload(offset, length uint64, prot vm.Prot, flag byte, data []byte) []byte {
+	return encodePayload(offset, length, prot, flag, data)
+}
+
+// DecodePayload splits a pager message payload; ok is false if the
+// payload is shorter than the fixed header.
+func DecodePayload(b []byte) (offset, length uint64, prot vm.Prot, flag byte, data []byte, ok bool) {
+	return decodePayload(b)
+}
+
+// encodePayload builds the inline payload of a pager message.
+func encodePayload(offset, length uint64, prot vm.Prot, flag byte, data []byte) []byte {
+	b := make([]byte, wireHeaderLen+len(data))
+	binary.LittleEndian.PutUint64(b[0:], offset)
+	binary.LittleEndian.PutUint64(b[8:], length)
+	b[16] = byte(prot)
+	b[17] = flag
+	copy(b[wireHeaderLen:], data)
+	return b
+}
+
+// decodePayload splits a pager message payload.
+func decodePayload(b []byte) (offset, length uint64, prot vm.Prot, flag byte, data []byte, ok bool) {
+	if len(b) < wireHeaderLen {
+		return 0, 0, 0, 0, nil, false
+	}
+	offset = binary.LittleEndian.Uint64(b[0:])
+	length = binary.LittleEndian.Uint64(b[8:])
+	prot = vm.Prot(b[16])
+	flag = b[17]
+	data = b[wireHeaderLen:]
+	return offset, length, prot, flag, data, true
+}

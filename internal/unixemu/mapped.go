@@ -1,0 +1,106 @@
+package unixemu
+
+import (
+	"repro/internal/fs"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+)
+
+// MappedFS is the Mach I/O path of §8.1: "UNIX filesystem I/O can be
+// emulated by a library package that maps open and close calls to a
+// filesystem server task. An open call would result in the file being
+// mapped into memory. Subsequent read and write calls would operate
+// directly on virtual memory."
+type MappedFS struct {
+	task *kern.Task
+	svc  ipc.Name
+}
+
+// NewMappedFS builds the mapped-file library for one task against a
+// published filesystem service port.
+func NewMappedFS(task *kern.Task, svc ipc.Name) *MappedFS {
+	return &MappedFS{task: task, svc: svc}
+}
+
+// Create stores a file through the server.
+func (m *MappedFS) Create(name string, data []byte) error {
+	addr, err := m.task.VMAllocate(0, uint64(len(data))+1, true)
+	if err != nil {
+		return err
+	}
+	if err := m.task.VMWrite(addr, data); err != nil {
+		return err
+	}
+	err = fs.WriteFile(m.task, m.svc, name, addr, uint64(len(data)))
+	ps := m.task.Kernel().VM.PageSize()
+	mapped := (uint64(len(data)) + ps) / ps * ps
+	_ = m.task.VMDeallocate(addr, mapped)
+	return err
+}
+
+// Open maps the file into the task's address space.
+func (m *MappedFS) Open(name string) (File, error) {
+	addr, size, err := fs.ReadFile(m.task, m.svc, name)
+	if err == fs.ErrNotFound {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &mappedHandle{fs: m, name: name, addr: addr, size: size}, nil
+}
+
+// mappedHandle reads and writes the mapped region directly; the kernel's
+// page cache makes repeated access free of server traffic.
+type mappedHandle struct {
+	fs    *MappedFS
+	name  string
+	addr  uint64
+	size  uint64
+	dirty bool
+}
+
+func (h *mappedHandle) Size() int64 { return int64(h.size) }
+
+func (h *mappedHandle) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(h.size) {
+		return 0, nil
+	}
+	if int64(len(p)) > int64(h.size)-off {
+		p = p[:int64(h.size)-off]
+	}
+	if err := h.fs.task.Map.ReadBytes(h.addr+uint64(off), p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (h *mappedHandle) WriteAt(p []byte, off int64) (int, error) {
+	end := uint64(off) + uint64(len(p))
+	if end > h.size {
+		// Growing a mapped file beyond its mapping is not supported by
+		// this minimal library; clamp like the paper's
+		// write-back-half example.
+		if uint64(off) >= h.size {
+			return 0, nil
+		}
+		p = p[:h.size-uint64(off)]
+	}
+	if err := h.fs.task.Map.WriteBytes(h.addr+uint64(off), p); err != nil {
+		return 0, err
+	}
+	h.dirty = true
+	return len(p), nil
+}
+
+// Close writes back the (copy-on-write private) contents if modified and
+// releases the mapping.
+func (h *mappedHandle) Close() error {
+	var err error
+	if h.dirty {
+		err = fs.WriteFile(h.fs.task, h.fs.svc, h.name, h.addr, h.size)
+	}
+	mapped := fs.MappedSize(h.fs.task, h.size)
+	_ = h.fs.task.VMDeallocate(h.addr, mapped)
+	return err
+}

@@ -1,0 +1,297 @@
+package unixemu
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/vm"
+)
+
+// This file is the §8.1 emulation library proper: a UNIX-like process
+// veneer over Mach tasks — file descriptors, read/write/lseek/dup, and
+// fork. The paper's sentence "Shared process state information can be
+// passed on to child processes using inherited shared memory" is taken
+// literally: every open file description's OFFSET lives in a page of
+// task virtual memory marked InheritShare, so after Fork the parent and
+// child share offsets through the Mach inheritance machinery (as POSIX
+// requires of fork), with no Go-level shared state at all.
+
+// Errors returned by the process layer.
+var (
+	// ErrBadFD: the descriptor is not open.
+	ErrBadFD = errors.New("unixemu: bad file descriptor")
+	// ErrTooManyFiles: the shared offset page is full.
+	ErrTooManyFiles = errors.New("unixemu: too many open files")
+	// ErrBadWhence: lseek whence out of range.
+	ErrBadWhence = errors.New("unixemu: bad whence")
+)
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// openFile is an open file description (shared between descriptors that
+// dup or fork created). Its offset is NOT here — it lives in the
+// process's shared u-area page, indexed by slot.
+type openFile struct {
+	name string
+	file File
+	slot int
+	refs int
+}
+
+// Process is a UNIX-like process: a Mach task plus a descriptor table
+// and a shared "u-area" page holding file offsets.
+type Process struct {
+	// Task is the underlying Mach task.
+	Task *kern.Task
+
+	fsys FileSystem
+
+	mu     sync.Mutex
+	fds    map[int]*openFile
+	nextFD int
+
+	// uarea is the InheritShare page of file offsets.
+	uarea     uint64
+	slotInUse []bool
+}
+
+// NewProcess wraps a task and filesystem into a process. The u-area page
+// is allocated with share inheritance so Fork children see the same
+// offsets.
+func NewProcess(task *kern.Task, fsys FileSystem) (*Process, error) {
+	ps := task.Kernel().VM.PageSize()
+	uarea, err := task.VMAllocate(0, ps, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := task.VMInherit(uarea, ps, vm.InheritShare); err != nil {
+		return nil, err
+	}
+	return &Process{
+		Task:      task,
+		fsys:      fsys,
+		fds:       make(map[int]*openFile),
+		nextFD:    3, // 0..2 reserved, as tradition demands
+		uarea:     uarea,
+		slotInUse: make([]bool, ps/8),
+	}, nil
+}
+
+// offset slot accessors: 8 bytes per open file description, read and
+// written through task virtual memory (the shared page).
+func (p *Process) readOffset(slot int) int64 {
+	b, err := p.Task.VMRead(p.uarea+uint64(slot*8), 8)
+	if err != nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (p *Process) writeOffset(slot int, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	_ = p.Task.VMWrite(p.uarea+uint64(slot*8), b[:])
+}
+
+func (p *Process) allocSlot() (int, bool) {
+	for i, used := range p.slotInUse {
+		if !used {
+			p.slotInUse[i] = true
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Open opens a file and returns its descriptor.
+func (p *Process) Open(name string) (int, error) {
+	f, err := p.fsys.Open(name)
+	if err != nil {
+		return -1, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	slot, ok := p.allocSlot()
+	if !ok {
+		return -1, ErrTooManyFiles
+	}
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = &openFile{name: name, file: f, slot: slot, refs: 1}
+	p.writeOffset(slot, 0)
+	return fd, nil
+}
+
+// Close releases a descriptor; the open file description closes with its
+// last reference.
+func (p *Process) Close(fd int) error {
+	p.mu.Lock()
+	of, ok := p.fds[fd]
+	if !ok {
+		p.mu.Unlock()
+		return ErrBadFD
+	}
+	delete(p.fds, fd)
+	of.refs--
+	last := of.refs == 0
+	if last {
+		p.slotInUse[of.slot] = false
+	}
+	p.mu.Unlock()
+	if last {
+		return of.file.Close()
+	}
+	return nil
+}
+
+// Read reads into buf at the descriptor's current offset, advancing it.
+func (p *Process) Read(fd int, buf []byte) (int, error) {
+	p.mu.Lock()
+	of, ok := p.fds[fd]
+	p.mu.Unlock()
+	if !ok {
+		return 0, ErrBadFD
+	}
+	off := p.readOffset(of.slot)
+	n, err := of.file.ReadAt(buf, off)
+	if n > 0 {
+		p.writeOffset(of.slot, off+int64(n))
+	}
+	return n, err
+}
+
+// Write writes buf at the current offset, advancing it.
+func (p *Process) Write(fd int, buf []byte) (int, error) {
+	p.mu.Lock()
+	of, ok := p.fds[fd]
+	p.mu.Unlock()
+	if !ok {
+		return 0, ErrBadFD
+	}
+	off := p.readOffset(of.slot)
+	n, err := of.file.WriteAt(buf, off)
+	if n > 0 {
+		p.writeOffset(of.slot, off+int64(n))
+	}
+	return n, err
+}
+
+// Lseek repositions the descriptor's offset.
+func (p *Process) Lseek(fd int, offset int64, whence int) (int64, error) {
+	p.mu.Lock()
+	of, ok := p.fds[fd]
+	p.mu.Unlock()
+	if !ok {
+		return 0, ErrBadFD
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = p.readOffset(of.slot)
+	case SeekEnd:
+		base = of.file.Size()
+	default:
+		return 0, ErrBadWhence
+	}
+	no := base + offset
+	if no < 0 {
+		no = 0
+	}
+	p.writeOffset(of.slot, no)
+	return no, nil
+}
+
+// Dup duplicates a descriptor; both share one offset (one open file
+// description).
+func (p *Process) Dup(fd int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	of, ok := p.fds[fd]
+	if !ok {
+		return -1, ErrBadFD
+	}
+	of.refs++
+	nfd := p.nextFD
+	p.nextFD++
+	p.fds[nfd] = of
+	return nfd, nil
+}
+
+// Fork creates a child process: the task forks per Mach inheritance (the
+// u-area is shared, everything else copy-on-write), and the descriptor
+// table is copied with shared open file descriptions — so parent and
+// child share file offsets exactly as POSIX fork specifies, purely
+// through the Mach memory system.
+func (p *Process) Fork() (*Process, error) {
+	childTask, err := p.Task.Fork()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	child := &Process{
+		Task:      childTask,
+		fsys:      p.fsys,
+		fds:       make(map[int]*openFile, len(p.fds)),
+		nextFD:    p.nextFD,
+		uarea:     p.uarea,
+		slotInUse: append([]bool(nil), p.slotInUse...),
+	}
+	// Rebind the filesystem and mapped handles to the child task. Port
+	// rights are NOT inherited by task creation in Mach — the parent
+	// explicitly hands the child a send right to the file server.
+	if m, ok := p.fsys.(*MappedFS); ok {
+		port, err := p.Task.Space.Resolve(m.svc)
+		if err != nil {
+			childTask.Terminate()
+			return nil, err
+		}
+		cname, err := childTask.Space.InsertRight(port, ipc.SendRight)
+		if err != nil {
+			childTask.Terminate()
+			return nil, err
+		}
+		child.fsys = NewMappedFS(childTask, cname)
+	}
+	seen := map[*openFile]*openFile{}
+	for fd, of := range p.fds {
+		cof, dup := seen[of]
+		if !dup {
+			cof = &openFile{name: of.name, file: of.file, slot: of.slot, refs: 0}
+			if mh, isMapped := of.file.(*mappedHandle); isMapped {
+				// The mapped region was inherited copy-on-write at the
+				// same address; the child accesses it through its own
+				// map.
+				cof.file = &mappedHandle{
+					fs:   child.fsys.(*MappedFS),
+					name: mh.name, addr: mh.addr, size: mh.size,
+				}
+			}
+			seen[of] = cof
+		}
+		cof.refs++
+		child.fds[fd] = cof
+	}
+	return child, nil
+}
+
+// OpenFDs returns the open descriptors (diagnostics).
+func (p *Process) OpenFDs() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.fds))
+	for fd := range p.fds {
+		out = append(out, fd)
+	}
+	return out
+}

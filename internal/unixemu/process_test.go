@@ -1,0 +1,221 @@
+package unixemu
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newProc(t *testing.T) (*Process, *BufferCacheFS) {
+	t.Helper()
+	b, _, _ := newBaseline(32)
+	m, _, k := newMapped(t, 512)
+	_ = m
+	task := k.NewTask()
+	p, err := NewProcess(task, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, b
+}
+
+func TestProcessOpenReadWriteSeek(t *testing.T) {
+	p, b := newProc(t)
+	b.Create("f", []byte("0123456789"))
+	fd, err := p.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := p.Read(fd, buf)
+	if err != nil || n != 4 || string(buf) != "0123" {
+		t.Fatalf("read %d %q %v", n, buf, err)
+	}
+	// Sequential read continues where the first stopped.
+	n, _ = p.Read(fd, buf)
+	if n != 4 || string(buf) != "4567" {
+		t.Fatalf("second read %q", buf)
+	}
+	// Seek and overwrite.
+	if off, err := p.Lseek(fd, 2, SeekSet); err != nil || off != 2 {
+		t.Fatalf("lseek %d %v", off, err)
+	}
+	if _, err := p.Write(fd, []byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	p.Lseek(fd, 0, SeekSet)
+	full := make([]byte, 10)
+	p.Read(fd, full)
+	if string(full) != "01XY456789" {
+		t.Fatalf("after write %q", full)
+	}
+	// SeekEnd.
+	if off, _ := p.Lseek(fd, -3, SeekEnd); off != 7 {
+		t.Fatalf("seek end %d", off)
+	}
+	if _, err := p.Lseek(fd, 0, 9); err != ErrBadWhence {
+		t.Fatalf("bad whence: %v", err)
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(fd, buf); err != ErrBadFD {
+		t.Fatalf("read closed fd: %v", err)
+	}
+}
+
+func TestProcessDupSharesOffset(t *testing.T) {
+	p, b := newProc(t)
+	b.Create("f", []byte("abcdefgh"))
+	fd, _ := p.Open("f")
+	fd2, err := p.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	p.Read(fd, buf) // offset -> 2
+	p.Read(fd2, buf)
+	if string(buf) != "cd" {
+		t.Fatalf("dup offset not shared: %q", buf)
+	}
+	// Closing one keeps the other usable.
+	p.Close(fd)
+	if _, err := p.Read(fd2, buf); err != nil {
+		t.Fatalf("read after sibling close: %v", err)
+	}
+}
+
+func TestProcessForkSharesOffsetsViaInheritedMemory(t *testing.T) {
+	// The §8.1 sentence made executable: after fork, the parent and
+	// child share file offsets because the u-area page was inherited
+	// shared — reads in the child advance the parent's position.
+	p, b := newProc(t)
+	b.Create("f", []byte("0123456789abcdef"))
+	fd, _ := p.Open("f")
+	buf := make([]byte, 4)
+	p.Read(fd, buf) // parent reads "0123"
+
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child continues at the shared offset.
+	child.Read(fd, buf)
+	if string(buf) != "4567" {
+		t.Fatalf("child read %q, want 4567", buf)
+	}
+	// And the child's read moved the PARENT's offset too.
+	p.Read(fd, buf)
+	if string(buf) != "89ab" {
+		t.Fatalf("parent read after child %q, want 89ab", buf)
+	}
+	// Offsets move both ways.
+	child.Lseek(fd, 0, SeekSet)
+	p.Read(fd, buf)
+	if string(buf) != "0123" {
+		t.Fatalf("parent after child lseek %q", buf)
+	}
+}
+
+func TestProcessForkMappedFiles(t *testing.T) {
+	// Fork with the Mach mapped-file path: the mapped region is
+	// inherited copy-on-write at the same address; descriptors keep
+	// working in both processes and offsets stay shared.
+	_, srv, k := newMapped(t, 512)
+	srv.CreateFile("m", bytes.Repeat([]byte("ab"), 2*pgsz))
+	task := k.NewTask()
+	svc, err := srv.Publish(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProcess(task, NewMappedFS(task, svc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := p.Open("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	p.Read(fd, buf)
+	if string(buf) != "abab" {
+		t.Fatalf("parent read %q", buf)
+	}
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.Read(fd, buf)
+	if string(buf) != "abab" {
+		t.Fatalf("child read %q", buf)
+	}
+	// Offset shared: parent continues after child's read.
+	off, _ := p.Lseek(fd, 0, SeekCur)
+	if off != 8 {
+		t.Fatalf("shared offset %d, want 8", off)
+	}
+}
+
+func TestProcessTooManyFilesAndBadFD(t *testing.T) {
+	p, b := newProc(t)
+	b.Create("f", []byte("x"))
+	max := len(p.slotInUse)
+	opened := 0
+	for i := 0; i <= max; i++ {
+		_, err := p.Open("f")
+		if err == ErrTooManyFiles {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		opened++
+	}
+	if opened != max {
+		t.Fatalf("opened %d, want %d", opened, max)
+	}
+	if err := p.Close(99999); err != ErrBadFD {
+		t.Fatalf("close bad fd: %v", err)
+	}
+	if _, err := p.Dup(99999); err != ErrBadFD {
+		t.Fatalf("dup bad fd: %v", err)
+	}
+}
+
+func TestProcessForkChildWriteBack(t *testing.T) {
+	// The child's write-back path must work: fork hands the child a
+	// send right to the file server explicitly.
+	_, srv, k := newMapped(t, 512)
+	srv.CreateFile("wb", bytes.Repeat([]byte{1}, pgsz))
+	task := k.NewTask()
+	svc, _ := srv.Publish(task)
+	p, err := NewProcess(task, NewMappedFS(task, svc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := p.Open("wb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := child.Write(fd, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh read sees the child's stored data.
+	fd2, err := p.Open("wb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := p.Read(fd2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 || buf[1] != 9 {
+		t.Fatalf("child write-back lost: %v", buf)
+	}
+}

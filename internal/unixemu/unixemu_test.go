@@ -1,0 +1,247 @@
+package unixemu
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/kern"
+	"repro/internal/machine"
+)
+
+const pgsz = 256
+
+func newBaseline(cacheBlocks int) (*BufferCacheFS, *machine.Disk, *machine.Clock) {
+	clock := machine.NewClock()
+	disk := machine.NewDisk(4096, pgsz, machine.DefaultDiskLatency, clock)
+	return NewBufferCacheFS(disk, clock, machine.ModelFor(machine.UMA), cacheBlocks), disk, clock
+}
+
+func newMapped(t *testing.T, frames int) (*MappedFS, *fs.Server, *kern.Kernel) {
+	t.Helper()
+	k := kern.NewKernel(kern.Config{Frames: frames, PageSize: pgsz})
+	t.Cleanup(k.Shutdown)
+	disk := machine.NewDisk(4096, pgsz, machine.DefaultDiskLatency, k.Clock())
+	srv, err := fs.NewServer(k, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+	t.Cleanup(srv.Stop)
+	task := k.NewTask()
+	svc, err := srv.Publish(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewMappedFS(task, svc), srv, k
+}
+
+func TestBufferCacheReadWrite(t *testing.T) {
+	b, _, _ := newBaseline(16)
+	content := bytes.Repeat([]byte("unix"), 300)
+	if err := b.Create("f", content); err != nil {
+		t.Fatal(err)
+	}
+	f, err := b.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != int64(len(content)) {
+		t.Fatalf("size %d", f.Size())
+	}
+	got := make([]byte, len(content))
+	if n, err := f.ReadAt(got, 0); err != nil || n != len(content) {
+		t.Fatalf("read %d %v", n, err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch")
+	}
+	// Overwrite mid-file across a block boundary.
+	if _, err := f.WriteAt([]byte("XXXX"), pgsz-2); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 8)
+	f.ReadAt(small, pgsz-4)
+	if string(small[2:6]) != "XXXX" {
+		t.Fatalf("after write: %q", small)
+	}
+	if _, err := b.Open("ghost"); err != ErrNotFound {
+		t.Fatalf("open ghost: %v", err)
+	}
+}
+
+func TestBufferCacheEvictsAtCapacity(t *testing.T) {
+	b, disk, _ := newBaseline(4)
+	content := make([]byte, 16*pgsz)
+	b.Create("big", content)
+	f, _ := b.Open("big")
+	buf := make([]byte, pgsz)
+	// Two sequential passes over 16 blocks with a 4-block cache: the
+	// second pass misses everything again (classic thrash).
+	for pass := 0; pass < 2; pass++ {
+		for off := int64(0); off < 16*pgsz; off += pgsz {
+			f.ReadAt(buf, off)
+		}
+	}
+	st := b.Stats()
+	if st.Misses < 32 {
+		t.Fatalf("misses %d, want >= 32 (thrash)", st.Misses)
+	}
+	if disk.Stats().Reads < 32 {
+		t.Fatalf("disk reads %d", disk.Stats().Reads)
+	}
+}
+
+func TestBufferCacheHitsWhenFits(t *testing.T) {
+	b, disk, _ := newBaseline(32)
+	content := make([]byte, 16*pgsz)
+	b.Create("fits", content)
+	f, _ := b.Open("fits")
+	buf := make([]byte, pgsz)
+	for pass := 0; pass < 4; pass++ {
+		for off := int64(0); off < 16*pgsz; off += pgsz {
+			f.ReadAt(buf, off)
+		}
+	}
+	if got := disk.Stats().Reads; got != 16 {
+		t.Fatalf("disk reads %d, want 16 (first pass only)", got)
+	}
+	st := b.Stats()
+	if st.Hits != 48 {
+		t.Fatalf("hits %d, want 48", st.Hits)
+	}
+}
+
+func TestBufferCacheDirtyEvictionAndSync(t *testing.T) {
+	b, disk, _ := newBaseline(2)
+	b.Create("d", make([]byte, 8*pgsz))
+	f, _ := b.Open("d")
+	for i := 0; i < 8; i++ {
+		if _, err := f.WriteAt([]byte{byte(i + 1)}, int64(i)*pgsz); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Sync()
+	w := disk.Stats().Writes
+	if w < 8+6 { // 8 creation writes + at least 6 evictions/sync
+		t.Fatalf("disk writes %d", w)
+	}
+	// All data still correct through the cache.
+	buf := make([]byte, 1)
+	for i := 0; i < 8; i++ {
+		f.ReadAt(buf, int64(i)*pgsz)
+		if buf[0] != byte(i+1) {
+			t.Fatalf("block %d lost: %d", i, buf[0])
+		}
+	}
+}
+
+func TestMappedFSReadWrite(t *testing.T) {
+	m, _, _ := newMapped(t, 512)
+	content := bytes.Repeat([]byte("mach"), 300)
+	if err := m.Create("f", content); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(content))
+	if n, err := f.ReadAt(got, 0); err != nil || n != len(content) {
+		t.Fatalf("read %d %v", n, err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch")
+	}
+	// Modify and close: write-back makes it durable.
+	if _, err := f.WriteAt([]byte("EDIT"), 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := m.Open("f")
+	small := make([]byte, 4)
+	f2.ReadAt(small, 8)
+	if string(small) != "EDIT" {
+		t.Fatalf("write-back lost: %q", small)
+	}
+	f2.Close()
+	if _, err := m.Open("ghost"); err != ErrNotFound {
+		t.Fatalf("open ghost: %v", err)
+	}
+}
+
+func TestCompilePassBothPaths(t *testing.T) {
+	names := []string{"a.c", "b.c", "h.h"}
+	contents := [][]byte{
+		bytes.Repeat([]byte{1}, 3*pgsz),
+		bytes.Repeat([]byte{2}, 2*pgsz),
+		bytes.Repeat([]byte{3}, 1*pgsz),
+	}
+	b, _, _ := newBaseline(8)
+	m, srv, _ := newMapped(t, 512)
+	for i, n := range names {
+		if err := b.Create(n, contents[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.CreateFile(n, contents[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := int64(6 * pgsz)
+	got, err := CompilePass(b, names, 512)
+	if err != nil || got != want {
+		t.Fatalf("baseline pass read %d (%v), want %d", got, err, want)
+	}
+	got, err = CompilePass(m, names, 512)
+	if err != nil || got != want {
+		t.Fatalf("mapped pass read %d (%v), want %d", got, err, want)
+	}
+}
+
+func TestMachCutsIOOnRepeatedBuilds(t *testing.T) {
+	// The E3 shape in miniature: a source tree larger than the 10%
+	// buffer cache but smaller than physical memory. Repeated builds
+	// through the buffer cache re-read from disk every pass; the Mach
+	// mapped path reads each page once.
+	const nfiles = 8
+	const filePages = 8
+	var names []string
+	var contents [][]byte
+	for i := 0; i < nfiles; i++ {
+		names = append(names, fmt.Sprintf("src%d.c", i))
+		contents = append(contents, bytes.Repeat([]byte{byte(i + 1)}, filePages*pgsz))
+	}
+
+	// Baseline: 256-frame machine -> 25-block buffer cache (10%),
+	// tree = 64 blocks.
+	b, bdisk, _ := newBaseline(25)
+	for i := range names {
+		b.Create(names[i], contents[i])
+	}
+	if _, err := Build(b, names, 5, pgsz); err != nil {
+		t.Fatal(err)
+	}
+	baselineReads := bdisk.Stats().Reads
+
+	// Mach: same physical memory, page cache covers the tree.
+	m, srv, _ := newMapped(t, 256)
+	for i := range names {
+		srv.CreateFile(names[i], contents[i])
+	}
+	if _, err := Build(m, names, 5, pgsz); err != nil {
+		t.Fatal(err)
+	}
+	machReads := srv.Disk().Stats().Reads
+
+	if machReads == 0 {
+		t.Fatal("mach path never read the disk")
+	}
+	ratio := float64(baselineReads) / float64(machReads)
+	if ratio < 3 {
+		t.Fatalf("I/O reduction ratio %.1f (baseline %d, mach %d), want >= 3",
+			ratio, baselineReads, machReads)
+	}
+}

@@ -1,0 +1,51 @@
+package unixemu
+
+// This file provides the synthetic "compilation" workload of experiment
+// E3. Section 9 measures compilation because a build re-reads the same
+// sources and headers over and over: the benefit of a big file cache is
+// repeated-access locality.
+
+// CompilePass models one compiler run over a source tree: every named
+// file is opened, read in full (in readSize chunks, like stdio), and
+// closed. Returns the number of bytes read.
+func CompilePass(fsys FileSystem, names []string, readSize int) (int64, error) {
+	if readSize <= 0 {
+		readSize = 4096
+	}
+	buf := make([]byte, readSize)
+	var total int64
+	for _, name := range names {
+		f, err := fsys.Open(name)
+		if err != nil {
+			return total, err
+		}
+		size := f.Size()
+		for off := int64(0); off < size; off += int64(readSize) {
+			n, err := f.ReadAt(buf, off)
+			if err != nil {
+				f.Close()
+				return total, err
+			}
+			total += int64(n)
+		}
+		if err := f.Close(); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Build models a full build: passes compilation passes over the same
+// tree (object files of one pass feeding the next, headers re-read every
+// time).
+func Build(fsys FileSystem, names []string, passes, readSize int) (int64, error) {
+	var total int64
+	for i := 0; i < passes; i++ {
+		n, err := CompilePass(fsys, names, readSize)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}

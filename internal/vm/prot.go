@@ -1,0 +1,81 @@
+// Package vm implements the Mach virtual memory system of Section 5 of
+// the paper: two-level address maps with sharing maps, memory-object
+// structures with shadow chains for copy-on-write, resident-page
+// structures linked into a virtual-to-physical hash table and pageout
+// queues, the five-step machine-independent fault handler, and the pmap
+// hardware-validation layer.
+//
+// One vm.System exists per simulated host (per Mach kernel). Data
+// managers integrate through the Pager interface (the kernel-to-manager
+// half of the external memory interface, Table 3-5) and through the
+// manager-to-kernel entry points on System (Table 3-6): DataProvided,
+// LockRequest, FlushRequest, CleanRequest, SetCanCache, DataUnavailable.
+package vm
+
+// Prot is a memory protection value: any combination of read, write and
+// execute permission, as used by vm_protect and pager_data_lock.
+type Prot uint8
+
+// Protection bits.
+const (
+	// ProtNone permits no access (and, as a pager lock value,
+	// prohibits none).
+	ProtNone Prot = 0
+	// ProtRead permits (or, as a lock value, prohibits) reads.
+	ProtRead Prot = 1 << iota
+	// ProtWrite permits/prohibits writes.
+	ProtWrite
+	// ProtExecute permits/prohibits instruction fetch.
+	ProtExecute
+	// ProtAll is read, write and execute together.
+	ProtAll = ProtRead | ProtWrite | ProtExecute
+	// ProtDefault is the protection of freshly allocated memory.
+	ProtDefault = ProtRead | ProtWrite
+)
+
+// Allows reports whether a protection value permits the desired access.
+func (p Prot) Allows(desired Prot) bool { return p&desired == desired }
+
+// String renders the protection as "rwx" flags.
+func (p Prot) String() string {
+	b := []byte{'-', '-', '-'}
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExecute != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Inherit controls what a child task receives for an address range at
+// task-creation time (vm_inherit, §3.3).
+type Inherit uint8
+
+const (
+	// InheritCopy gives the child a copy-on-write snapshot (the
+	// default, as for Unix fork).
+	InheritCopy Inherit = iota
+	// InheritShare maps the same memory read/write into the child via
+	// a sharing map.
+	InheritShare
+	// InheritNone leaves the range unmapped in the child.
+	InheritNone
+)
+
+// String names the inheritance mode.
+func (i Inherit) String() string {
+	switch i {
+	case InheritCopy:
+		return "copy"
+	case InheritShare:
+		return "share"
+	case InheritNone:
+		return "none"
+	default:
+		return "inherit(?)"
+	}
+}

@@ -1,0 +1,292 @@
+// Package mach is the public API of the Mach reproduction: a user-level
+// simulation of the multiprocessor operating system described in "The
+// Duality of Memory and Communication in the Implementation of a
+// Multiprocessor Operating System" (Young et al., SOSP 1987).
+//
+// The five Mach abstractions are all here:
+//
+//   - Task and Thread (execution control, §3.1) — create with
+//     Kernel.NewTask, Task.Fork, Task.SpawnThread.
+//   - Port and Message (IPC, §3.2) — every task has a port name Space;
+//     msg_send / msg_receive / msg_rpc are Task.Send / Task.Receive /
+//     Task.RPC; Tables 3-1 and 3-2 map to the Space methods.
+//   - Memory object (external memory management, §3.4) — data managers
+//     are built on Manager/Handler (Table 3-5 arrives as Handler calls;
+//     Table 3-6 goes out through MemoryObject methods), and applications
+//     map objects with Task.VMAllocateWithPager (Table 3-4).
+//
+// One Kernel simulates one host. Kernels constructed over a shared
+// Topology form a multiprocessor complex (UMA, NUMA or NORMA, §7);
+// message and memory costs are charged to a virtual Clock so experiments
+// are deterministic.
+//
+// The package also re-exports the paper's application suite: the minimal
+// filesystem (§4.1), consistent network shared memory (§4.2), UNIX
+// emulation paths (§8.1), copy-on-reference migration (§8.2), and the
+// Camelot-style recoverable virtual memory manager (§8.3).
+//
+// Quick start:
+//
+//	k := mach.NewKernel(mach.Config{})
+//	defer k.Shutdown()
+//	task := k.NewTask()
+//	addr, _ := task.VMAllocate(0, 1<<20, true)   // vm_allocate
+//	_ = task.VMWrite(addr, []byte("hello"))
+//	child, _ := task.Fork()                      // copy-on-write
+package mach
+
+import (
+	"time"
+
+	"repro/internal/camelot"
+	"repro/internal/fs"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/migrate"
+	"repro/internal/netmem"
+	"repro/internal/pager"
+	"repro/internal/unixemu"
+	"repro/internal/vm"
+)
+
+// --- kernel, tasks, threads -------------------------------------------------
+
+// Kernel is one simulated Mach kernel (one host).
+type Kernel = kern.Kernel
+
+// Config sizes a kernel; the zero value gives 1024 frames of 4 KiB on a
+// private UMA host.
+type Config = kern.Config
+
+// Task is the basic unit of resource allocation (§3.1).
+type Task = kern.Task
+
+// Thread is the basic unit of computation (§3.1).
+type Thread = kern.Thread
+
+// NewKernel boots a kernel (VM system, object cache, default pager).
+func NewKernel(cfg Config) *Kernel { return kern.NewKernel(cfg) }
+
+// --- machine substrate --------------------------------------------------------
+
+// Clock is the deterministic virtual clock experiments read.
+type Clock = machine.Clock
+
+// Topology is the interconnect between hosts of one complex.
+type Topology = machine.Topology
+
+// Disk is a simulated block device with an operation counter.
+type Disk = machine.Disk
+
+// HostID identifies a host on a topology.
+type HostID = machine.HostID
+
+// Arch selects a multiprocessor class (§7).
+type Arch = machine.Arch
+
+// CostModel carries the latency parameters of a multiprocessor class.
+type CostModel = machine.CostModel
+
+// Multiprocessor classes (§7).
+const (
+	UMA   = machine.UMA
+	NUMA  = machine.NUMA
+	NORMA = machine.NORMA
+)
+
+// NewClock returns a virtual clock at zero.
+func NewClock() *Clock { return machine.NewClock() }
+
+// NewTopology builds an interconnect with the given cost model.
+func NewTopology(model CostModel, clock *Clock) *Topology {
+	return machine.NewTopology(model, clock)
+}
+
+// ModelFor returns the paper-calibrated cost model for an architecture.
+func ModelFor(a Arch) CostModel { return machine.ModelFor(a) }
+
+// NewDisk creates a simulated disk charging latency to clock.
+func NewDisk(blocks, blockSize int, latency DiskLatency, clock *Clock) *Disk {
+	return machine.NewDisk(blocks, blockSize, latency, clock)
+}
+
+// DiskLatency is the per-operation cost of a Disk.
+type DiskLatency = time.Duration
+
+// DefaultDiskLatency approximates a late-1980s disk access.
+const DefaultDiskLatency = machine.DefaultDiskLatency
+
+// Complex boots n kernels sharing one clock and one interconnect of the
+// given architecture — the shape every multi-host experiment uses.
+func Complex(n int, arch Arch, framesPerHost, pageSize int) ([]*Kernel, *Topology, *Clock) {
+	clock := machine.NewClock()
+	topo := machine.NewTopology(machine.ModelFor(arch), clock)
+	kernels := make([]*Kernel, n)
+	for i := range kernels {
+		kernels[i] = kern.NewKernel(kern.Config{
+			Host:     machine.HostID(i),
+			Frames:   framesPerHost,
+			PageSize: pageSize,
+			Clock:    clock,
+			Topo:     topo,
+		})
+	}
+	return kernels, topo, clock
+}
+
+// --- IPC ---------------------------------------------------------------------
+
+// Port name, rights, messages (§3.2, Tables 3-1 and 3-2).
+type (
+	// Name is a task-local port name.
+	Name = ipc.Name
+	// Message is a Mach message: header plus typed sections.
+	Message = ipc.Message
+	// Section is one typed item of a message body.
+	Section = ipc.Section
+	// MsgID tags message kinds.
+	MsgID = ipc.MsgID
+	// Space is a task's port name space.
+	Space = ipc.Space
+	// SendOptions / ReceiveOptions control msg_send / msg_receive.
+	SendOptions    = ipc.SendOptions
+	ReceiveOptions = ipc.ReceiveOptions
+)
+
+// Rights and the receive-any sentinel.
+const (
+	SendRight    = ipc.SendRight
+	ReceiveRight = ipc.ReceiveRight
+	ReceiveAny   = ipc.ReceiveAny
+)
+
+// Message body constructors.
+var (
+	// InlineBytes builds an inline data section (copied eagerly).
+	InlineBytes = ipc.InlineBytes
+	// CarryRight builds a section transferring a port right.
+	CarryRight = ipc.CarryRight
+	// CarryRegion builds an out-of-line section (moved copy-on-write).
+	CarryRegion = ipc.CarryRegion
+)
+
+// --- virtual memory ------------------------------------------------------------
+
+// Protection, inheritance and region description (Table 3-3).
+type (
+	// Prot is a protection value (read/write/execute bits).
+	Prot = vm.Prot
+	// Inherit controls fork-time inheritance of a region.
+	Inherit = vm.Inherit
+	// RegionInfo is one vm_regions entry.
+	RegionInfo = vm.RegionInfo
+	// VMStatistics is the vm_statistics result.
+	VMStatistics = vm.Statistics
+	// FaultPolicy is the memory-failure policy of §6.2.1.
+	FaultPolicy = vm.FaultPolicy
+)
+
+// Protection bits and inheritance modes.
+const (
+	ProtNone    = vm.ProtNone
+	ProtRead    = vm.ProtRead
+	ProtWrite   = vm.ProtWrite
+	ProtExecute = vm.ProtExecute
+	ProtAll     = vm.ProtAll
+	ProtDefault = vm.ProtDefault
+
+	InheritCopy  = vm.InheritCopy
+	InheritShare = vm.InheritShare
+	InheritNone  = vm.InheritNone
+)
+
+// ErrMemoryFailure is returned by faults whose data manager failed
+// (§6.2.1).
+var ErrMemoryFailure = vm.ErrMemoryFailure
+
+// --- external memory management -------------------------------------------------
+
+// Data manager toolkit (§3.4): Manager runs a data manager task's service
+// loop, Handler receives the Table 3-5 calls, MemoryObject sends the
+// Table 3-6 calls.
+type (
+	Manager      = pager.Manager
+	Handler      = pager.Handler
+	MemoryObject = pager.MemoryObject
+	NopHandler   = pager.NopHandler
+	// DefaultPager is the trusted backing-store manager of §6.2.2.
+	DefaultPager = pager.DefaultPager
+)
+
+// NewManager wraps a space and handler into a manager service loop.
+func NewManager(space *Space, h Handler) *Manager { return pager.NewManager(space, h) }
+
+// --- application suite ------------------------------------------------------------
+
+// Minimal filesystem (§4.1).
+type FSServer = fs.Server
+
+// NewFSServer creates the read-whole-file/write-whole-file server.
+func NewFSServer(k *Kernel, disk *Disk) (*FSServer, error) { return fs.NewServer(k, disk) }
+
+// FSReadFile / FSWriteFile / FSStat are the client calls of §4.1.
+var (
+	FSReadFile   = fs.ReadFile
+	FSWriteFile  = fs.WriteFile
+	FSStat       = fs.Stat
+	FSList       = fs.List
+	FSMappedSize = fs.MappedSize
+)
+
+// Consistent network shared memory (§4.2).
+type SharedMemoryServer = netmem.Server
+
+// NewSharedMemoryServer creates the shared memory data manager.
+func NewSharedMemoryServer(k *Kernel) (*SharedMemoryServer, error) { return netmem.NewServer(k) }
+
+// SharedCreate / SharedAttach are the client calls.
+var (
+	SharedCreate = netmem.Create
+	SharedAttach = netmem.Attach
+)
+
+// Copy-on-reference task migration (§8.2).
+type (
+	MigrationOptions = migrate.Options
+	Migration        = migrate.Migration
+)
+
+// Migrate moves a task's address space to another kernel
+// copy-on-reference.
+var Migrate = migrate.Migrate
+
+// Camelot-style recoverable virtual memory (§8.3).
+type (
+	CamelotDiskManager = camelot.DiskManager
+	CamelotClient      = camelot.Client
+	CamelotSegment     = camelot.Segment
+	CamelotTx          = camelot.Tx
+)
+
+// NewCamelotDiskManager creates the write-ahead-logging disk manager.
+func NewCamelotDiskManager(k *Kernel, dataDisk, logDisk *Disk) (*CamelotDiskManager, error) {
+	return camelot.NewDiskManager(k, dataDisk, logDisk)
+}
+
+// CamelotOpen connects a task to a disk manager service port.
+var CamelotOpen = camelot.Open
+
+// UNIX emulation I/O paths (§8.1).
+type (
+	UnixFileSystem = unixemu.FileSystem
+	UnixFile       = unixemu.File
+	BufferCacheFS  = unixemu.BufferCacheFS
+	MappedFS       = unixemu.MappedFS
+)
+
+// NewBufferCacheFS builds the traditional buffer-cache baseline.
+var NewBufferCacheFS = unixemu.NewBufferCacheFS
+
+// NewMappedFS builds the Mach mapped-file path over an FS service port.
+var NewMappedFS = unixemu.NewMappedFS
