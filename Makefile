@@ -1,0 +1,36 @@
+# Targets mirror .github/workflows/ci.yml so local runs and CI are
+# identical.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke
+
+all: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/ipc ./internal/kern ./internal/vm
+
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+	$(GO) test -bench=. -benchmem -run XXX ./internal/ipc
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run XXX .
+	$(GO) test -bench=. -benchtime=1x -run XXX ./internal/ipc

@@ -6,7 +6,10 @@
 package repro
 
 import (
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/mach"
@@ -87,8 +90,7 @@ func BenchmarkIPCRoundTrip(b *testing.B) {
 				mach.SendOptions{Force: true})
 		}
 	}()
-	p, _ := server.Space.Resolve(svc)
-	name, _ := client.Space.InsertRight(p, mach.SendRight)
+	name, _ := server.Space.CopySendRight(client.Space, svc)
 	reply, _ := client.Space.AllocatePort()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -98,6 +100,121 @@ func BenchmarkIPCRoundTrip(b *testing.B) {
 		if _, err := client.Receive(reply, mach.ReceiveOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIPCSendParallel measures one-way msg_send throughput through
+// one task's port space with 1, 4 and 16 concurrent sender threads, each
+// targeting its own port of a receiver task. The sharded port namespace
+// lets the name lookups proceed in parallel instead of serializing on a
+// space-wide lock; throughput per sender should hold (and on multicore
+// hardware rise) as senders are added.
+func BenchmarkIPCSendParallel(b *testing.B) {
+	for _, senders := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("senders=%d", senders), func(b *testing.B) {
+			k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+			// LIFO: Shutdown destroys the spaces, which unblocks the
+			// drainers; then wait for them.
+			var drainers sync.WaitGroup
+			defer drainers.Wait()
+			defer k.Shutdown()
+			receiver := k.NewTask()
+			sender := k.NewTask()
+			names := make([]mach.Name, senders)
+			for i := range names {
+				svc, err := receiver.Space.AllocatePort()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := receiver.Space.SetBacklog(svc, 1024); err != nil {
+					b.Fatal(err)
+				}
+				n, err := receiver.Space.CopySendRight(sender.Space, svc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				names[i] = n
+				drainers.Add(1)
+				go func(svc mach.Name) {
+					defer drainers.Done()
+					for {
+						if _, err := receiver.Receive(svc, mach.ReceiveOptions{}); err != nil {
+							return
+						}
+					}
+				}(svc)
+			}
+			per := b.N / senders
+			if per == 0 {
+				per = 1
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < senders; i++ {
+				wg.Add(1)
+				go func(n mach.Name) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := sender.Send(&mach.Message{ID: 1, RemotePort: n}, mach.SendOptions{}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(names[i])
+			}
+			wg.Wait()
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			if elapsed > 0 {
+				b.ReportMetric(float64(per*senders)/elapsed.Seconds(), "msgs/s")
+			}
+		})
+	}
+}
+
+// BenchmarkIPCReceiveFanIn measures the service-port shape: 1, 4 or 16
+// sender threads converge on ONE port drained by a single receiver.
+func BenchmarkIPCReceiveFanIn(b *testing.B) {
+	for _, senders := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("senders=%d", senders), func(b *testing.B) {
+			k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+			defer k.Shutdown()
+			receiver := k.NewTask()
+			sender := k.NewTask()
+			svc, _ := receiver.Space.AllocatePort()
+			_ = receiver.Space.SetBacklog(svc, 1024)
+			name, _ := receiver.Space.CopySendRight(sender.Space, svc)
+			per := b.N / senders
+			if per == 0 {
+				per = 1
+			}
+			total := per * senders
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < senders; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := sender.Send(&mach.Message{ID: 1, RemotePort: name}, mach.SendOptions{}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			for i := 0; i < total; i++ {
+				if _, err := receiver.Receive(svc, mach.ReceiveOptions{Timeout: 10 * time.Second}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wg.Wait()
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			if elapsed > 0 {
+				b.ReportMetric(float64(total)/elapsed.Seconds(), "msgs/s")
+			}
+		})
 	}
 }
 
@@ -154,8 +271,7 @@ func BenchmarkOOLTransfer(b *testing.B) {
 	receiver := k.NewTask()
 	svc, _ := receiver.Space.AllocatePort()
 	_ = receiver.Space.SetBacklog(svc, 4)
-	p, _ := receiver.Space.Resolve(svc)
-	name, _ := sender.Space.InsertRight(p, mach.SendRight)
+	name, _ := receiver.Space.CopySendRight(sender.Space, svc)
 	const size = 256 * 1024
 	addr, _ := sender.VMAllocate(0, size, true)
 	_ = sender.Map.Touch(addr, size, mach.ProtWrite)
@@ -198,8 +314,7 @@ func BenchmarkPagerBackedFault(b *testing.B) {
 	}
 	go mgr.Run()
 	defer mgr.Stop()
-	p, _ := mgrTask.Space.Resolve(mo.Port)
-	name, _ := task.Space.InsertRight(p, mach.SendRight)
+	name, _ := mgrTask.Space.CopySendRight(task.Space, mo.Port)
 	const npages = 64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

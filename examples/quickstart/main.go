@@ -82,8 +82,7 @@ func main() {
 			_ = server.Send(reply, mach.SendOptions{})
 		}
 	}()
-	p, _ := server.Space.Resolve(svc)
-	name, _ := task.Space.InsertRight(p, mach.SendRight)
+	name, _ := server.Space.CopySendRight(task.Space, svc)
 	resp, err := task.RPC(&mach.Message{
 		ID: 100, RemotePort: name,
 		Sections: []mach.Section{mach.InlineBytes([]byte("ping over a port"))},
@@ -102,8 +101,7 @@ func main() {
 	}
 	go mgr.Run()
 	defer mgr.Stop()
-	moPort, _ := mgrTask.Space.Resolve(mo.Port)
-	moName, _ := task.Space.InsertRight(moPort, mach.SendRight)
+	moName, _ := mgrTask.Space.CopySendRight(task.Space, mo.Port)
 	maddr, err := task.VMAllocateWithPager(moName, 0, 0, 16*4096, true)
 	if err != nil {
 		log.Fatal(err)

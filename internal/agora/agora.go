@@ -125,11 +125,7 @@ func (b *Board) Stop() {
 
 // PublishBroker hands a message-passing agent a send right to the broker.
 func (b *Board) PublishBroker(client *kern.Task) (ipc.Name, error) {
-	p, err := b.task.Space.Resolve(b.BrokerPort)
-	if err != nil {
-		return 0, err
-	}
-	return client.Space.InsertRight(p, ipc.SendRight)
+	return b.task.Space.CopySendRight(client.Space, b.BrokerPort)
 }
 
 // PublishSharedMemory hands a tightly coupled agent the shared memory

@@ -143,11 +143,7 @@ func (dm *DiskManager) Stats() Stats {
 
 // Publish hands a client task a send right to the service port.
 func (dm *DiskManager) Publish(client *kern.Task) (ipc.Name, error) {
-	p, err := dm.task.Space.Resolve(dm.ServicePort)
-	if err != nil {
-		return 0, err
-	}
-	return client.Space.InsertRight(p, ipc.SendRight)
+	return dm.task.Space.CopySendRight(client.Space, dm.ServicePort)
 }
 
 func pageKey(seg uint32, page uint64) uint64 { return uint64(seg)<<32 | page }

@@ -32,8 +32,7 @@ func E2MessageCopyVsCOW() Table {
 		receiver := k.NewTask()
 		svc, _ := receiver.Space.AllocatePort()
 		_ = receiver.Space.SetBacklog(svc, 64)
-		p, _ := receiver.Space.Resolve(svc)
-		sName, _ := sender.Space.InsertRight(p, ipc.SendRight)
+		sName, _ := receiver.Space.CopySendRight(sender.Space, svc)
 
 		addr, _ := sender.VMAllocate(0, uint64(size), true)
 		_ = sender.Map.Touch(addr, uint64(size), 0x3) // warm: ProtDefault
@@ -203,8 +202,7 @@ func E4ArchLatency() Table {
 		stop := make(chan struct{})
 		go echoServer(server, svc, stop)
 		client := k1.NewTask()
-		p, _ := server.Space.Resolve(svc)
-		name, _ := client.Space.InsertRight(p, ipc.SendRight)
+		name, _ := server.Space.CopySendRight(client.Space, svc)
 		const rounds = 16
 		start := clock.Now()
 		for i := 0; i < rounds; i++ {

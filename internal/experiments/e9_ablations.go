@@ -77,8 +77,7 @@ func E9Ablations() Table {
 			sender := k0.NewTask()
 			receiver := k1.NewTask()
 			svc, _ := receiver.Space.AllocatePort()
-			p, _ := receiver.Space.Resolve(svc)
-			name, _ := sender.Space.InsertRight(p, ipc.SendRight)
+			name, _ := receiver.Space.CopySendRight(sender.Space, svc)
 			addr, _ := sender.VMAllocate(0, npages*pageSize, true)
 			_ = sender.Map.Touch(addr, npages*pageSize, vm.ProtWrite)
 

@@ -82,11 +82,7 @@ func startMemPager(k *kern.Kernel, client *kern.Task, pageSize int) (*memPager, 
 		return nil, nil, 0, err
 	}
 	go mgr.Run()
-	p, err := task.Space.Resolve(mo.Port)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	name, err := client.Space.InsertRight(p, ipc.SendRight)
+	name, err := task.Space.CopySendRight(client.Space, mo.Port)
 	if err != nil {
 		return nil, nil, 0, err
 	}

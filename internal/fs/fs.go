@@ -115,11 +115,7 @@ func (s *Server) Stop() { s.mgr.Stop() }
 // Publish installs a send right for the service port into a client task's
 // space, the capability handoff a name server would perform.
 func (s *Server) Publish(client *kern.Task) (ipc.Name, error) {
-	p, err := s.task.Space.Resolve(s.ServicePort)
-	if err != nil {
-		return 0, err
-	}
-	return client.Space.InsertRight(p, ipc.SendRight)
+	return s.task.Space.CopySendRight(client.Space, s.ServicePort)
 }
 
 // Disk returns the server's backing disk (for I/O accounting in

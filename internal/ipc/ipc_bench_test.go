@@ -1,0 +1,196 @@
+package ipc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkSendReceivePingPong is the space-level round trip: one
+// client, one server, request and reply through two ports. The handoff
+// fast path should make each leg a direct transfer to the parked peer.
+func BenchmarkSendReceivePingPong(b *testing.B) {
+	server := NewSpace(0, nil)
+	client := NewSpace(0, nil)
+	svc, _ := server.AllocatePort()
+	name, _ := server.CopySendRight(client, svc)
+	reply, _ := client.AllocatePort()
+	go func() {
+		for {
+			m, err := server.Receive(svc, ReceiveOptions{})
+			if err != nil {
+				return
+			}
+			if err := server.Send(&Message{ID: m.ID + 1, RemotePort: m.RemotePort},
+				SendOptions{Force: true}); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(&Message{ID: 1, RemotePort: name, LocalPort: reply}, SendOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Receive(reply, ReceiveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	server.Destroy()
+	client.Destroy()
+}
+
+// BenchmarkParallelSendDistinctPorts measures one-way send throughput
+// with 1, 4 and 16 sender goroutines, each sender owning a distinct
+// destination port in ONE shared space. Under the old single-mutex
+// namespace every name lookup serialized on Space.mu, so throughput was
+// flat in the number of senders; with the sharded table it must scale.
+func BenchmarkParallelSendDistinctPorts(b *testing.B) {
+	for _, senders := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("senders=%d", senders), func(b *testing.B) {
+			recv := NewSpace(0, nil)
+			sender := NewSpace(0, nil)
+			names := make([]Name, senders)
+			var drainers sync.WaitGroup
+			for i := range names {
+				svc, err := recv.AllocatePort()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := recv.SetBacklog(svc, 1024); err != nil {
+					b.Fatal(err)
+				}
+				n, err := recv.CopySendRight(sender, svc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				names[i] = n
+				drainers.Add(1)
+				go func(svc Name) {
+					defer drainers.Done()
+					for {
+						if _, err := recv.Receive(svc, ReceiveOptions{}); err != nil {
+							return
+						}
+					}
+				}(svc)
+			}
+			per := b.N / senders
+			if per == 0 {
+				per = 1
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < senders; i++ {
+				wg.Add(1)
+				go func(n Name) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := sender.Send(&Message{ID: 1, RemotePort: n}, SendOptions{}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(names[i])
+			}
+			wg.Wait()
+			b.StopTimer()
+			recv.Destroy()
+			sender.Destroy()
+			drainers.Wait()
+		})
+	}
+}
+
+// BenchmarkReceiveFanIn measures many senders converging on ONE port
+// drained by one receiver — the service-port shape. The port queue
+// serializes delivery by design; this pins the cost of that contention.
+func BenchmarkReceiveFanIn(b *testing.B) {
+	for _, senders := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("senders=%d", senders), func(b *testing.B) {
+			recv := NewSpace(0, nil)
+			sender := NewSpace(0, nil)
+			svc, _ := recv.AllocatePort()
+			_ = recv.SetBacklog(svc, 1024)
+			name, _ := recv.CopySendRight(sender, svc)
+			per := b.N / senders
+			if per == 0 {
+				per = 1
+			}
+			total := per * senders
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < senders; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := sender.Send(&Message{ID: 1, RemotePort: name}, SendOptions{}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			for i := 0; i < total; i++ {
+				if _, err := recv.Receive(svc, ReceiveOptions{Timeout: 10 * time.Second}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wg.Wait()
+			b.StopTimer()
+			recv.Destroy()
+			sender.Destroy()
+		})
+	}
+}
+
+// BenchmarkResolveParallel measures pure name-table lookups from all
+// procs at once — the operation the sharding exists for.
+func BenchmarkResolveParallel(b *testing.B) {
+	s := NewSpace(0, nil)
+	const nPorts = 64
+	names := make([]Name, nPorts)
+	for i := range names {
+		n, err := s.AllocatePort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		names[i] = n
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.Resolve(names[i%nPorts]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	s.Destroy()
+}
+
+// BenchmarkAllocateDeallocate measures port churn: allocation round-robins
+// over shards, so parallel churn spreads the write locks.
+func BenchmarkAllocateDeallocate(b *testing.B) {
+	s := NewSpace(0, nil)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n, err := s.AllocatePort()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := s.DeallocatePort(n); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	s.Destroy()
+}

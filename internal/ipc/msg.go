@@ -6,31 +6,73 @@ import (
 	"repro/internal/machine"
 )
 
+// lookupRight resolves a name under its shard's read lock, requiring the
+// given rights (0 requires mere existence). This is the send-path lookup:
+// concurrent senders resolving names in different shards do not contend.
+func (s *Space) lookupRight(n Name, need Right) (*Port, error) {
+	sh := s.shardFor(n)
+	sh.mu.RLock()
+	e, ok := sh.names[n]
+	if !ok || (need != 0 && e.rights&need != need) {
+		sh.mu.RUnlock()
+		return nil, ErrInvalidPort
+	}
+	p := e.port
+	sh.mu.RUnlock()
+	return p, nil
+}
+
+// extractRights moves the rights r for name n out of the space for
+// transfer in a message body. Carrying a receive right strips it from the
+// entry; an entry left with no rights is removed entirely.
+func (s *Space) extractRights(n Name, r Right) (*Port, error) {
+	sh := s.shardFor(n)
+	sh.mu.Lock()
+	e, ok := sh.names[n]
+	if !ok || e.rights&r != r {
+		sh.mu.Unlock()
+		return nil, ErrInvalidPort
+	}
+	p := e.port
+	e.rights &^= ReceiveRight
+	gone := e.rights == 0
+	if gone {
+		delete(sh.names, n)
+		delete(sh.enabled, n)
+	}
+	sh.mu.Unlock()
+	p.setReceiver(nil)
+	if gone {
+		ps := s.portShardFor(p)
+		ps.mu.Lock()
+		if cur, ok := ps.m[p]; ok && cur == n {
+			delete(ps.m, p)
+		}
+		ps.mu.Unlock()
+	}
+	return p, nil
+}
+
 // Send transmits m to the port named by m.RemotePort (msg_send). The
 // space must hold a send right. If m.LocalPort is non-zero, a send right
 // to that port travels with the message as the reply port. Port rights in
 // the body are transferred: send rights are copied, receive rights are
 // moved out of this space.
 func (s *Space) Send(m *Message, opts SendOptions) error {
-	s.mu.Lock()
-	if s.dead {
-		s.mu.Unlock()
+	if s.dead.Load() {
 		return ErrSpaceDead
 	}
-	de, ok := s.names[m.RemotePort]
-	if !ok || de.rights&SendRight == 0 {
-		s.mu.Unlock()
-		return ErrInvalidPort
+	dest, err := s.lookupRight(m.RemotePort, SendRight)
+	if err != nil {
+		return err
 	}
-	dest := de.port
 
 	if m.LocalPort != 0 {
-		re, ok := s.names[m.LocalPort]
-		if !ok {
-			s.mu.Unlock()
-			return ErrInvalidPort
+		rp, err := s.lookupRight(m.LocalPort, 0)
+		if err != nil {
+			return err
 		}
-		m.replyPort = re.port
+		m.replyPort = rp
 	} else {
 		m.replyPort = nil
 	}
@@ -41,28 +83,22 @@ func (s *Space) Send(m *Message, opts SendOptions) error {
 		if sec.Kind != PortRightSection {
 			continue
 		}
-		e, ok := s.names[sec.PortName]
-		if !ok || e.rights&sec.Right != sec.Right {
-			s.mu.Unlock()
-			return ErrInvalidPort
-		}
-		sec.port = e.port
+		var p *Port
 		if sec.Right&ReceiveRight != 0 {
-			e.rights &^= ReceiveRight
-			e.port.setReceiver(nil)
-			if e.rights == 0 {
-				delete(s.names, sec.PortName)
-				delete(s.byPort, e.port)
-				delete(s.enabled, sec.PortName)
-			}
+			p, err = s.extractRights(sec.PortName, sec.Right)
+		} else {
+			p, err = s.lookupRight(sec.PortName, sec.Right)
 		}
+		if err != nil {
+			return err
+		}
+		sec.port = p
 	}
-	s.mu.Unlock()
 
 	if s.topo != nil {
 		s.topo.ChargeMessage(s.host, dest.home, m.wireSize())
 	}
-	err := s.sendResolved(dest, m, opts)
+	err = s.sendResolved(dest, m, opts)
 	if err != nil {
 		// Rights moved out of the space are destroyed with the failed
 		// message, as Mach destroys undeliverable rights.
@@ -91,22 +127,22 @@ func (s *Space) Receive(from Name, opts ReceiveOptions) (*Message, error) {
 	if from == ReceiveAny {
 		m, err = s.receiveAny(opts)
 	} else {
-		s.mu.Lock()
-		e, ok := s.names[from]
-		if s.dead {
-			s.mu.Unlock()
+		if s.dead.Load() {
 			return nil, ErrSpaceDead
 		}
+		sh := s.shardFor(from)
+		sh.mu.RLock()
+		e, ok := sh.names[from]
 		if !ok {
-			s.mu.Unlock()
+			sh.mu.RUnlock()
 			return nil, ErrInvalidPort
 		}
 		if e.rights&ReceiveRight == 0 {
-			s.mu.Unlock()
+			sh.mu.RUnlock()
 			return nil, ErrNotReceiver
 		}
 		p := e.port
-		s.mu.Unlock()
+		sh.mu.RUnlock()
 		m, err = p.dequeue(opts.NonBlocking, opts.Timeout)
 	}
 	if err != nil {
@@ -124,25 +160,26 @@ func (s *Space) receiveAny(opts ReceiveOptions) (*Message, error) {
 		deadline = time.Now().Add(opts.Timeout)
 	}
 	for {
-		s.mu.Lock()
-		if s.dead {
-			s.mu.Unlock()
+		if s.dead.Load() {
 			return nil, ErrSpaceDead
 		}
-		type cand struct{ p *Port }
-		var cands []cand
-		for n := range s.enabled {
-			if e, ok := s.names[n]; ok && e.rights&ReceiveRight != 0 {
-				cands = append(cands, cand{e.port})
+		var cands []*Port
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.RLock()
+			for n := range sh.enabled {
+				if e, ok := sh.names[n]; ok && e.rights&ReceiveRight != 0 {
+					cands = append(cands, e.port)
+				}
 			}
+			sh.mu.RUnlock()
 		}
-		s.mu.Unlock()
 		if len(cands) == 0 {
 			return nil, ErrNoEnabledPorts
 		}
 		ch := s.wakeChan()
-		for _, c := range cands {
-			if m, ok := c.p.tryDequeue(); ok {
+		for _, p := range cands {
+			if m, ok := p.tryDequeue(); ok {
 				return m, nil
 			}
 		}

@@ -14,6 +14,29 @@ const DefaultBacklog = 16
 
 var portIDs atomic.Uint64
 
+// recvWaiter is one receiver parked in dequeue. The sender hands the
+// message straight to the waiter (under the port lock) and signals the
+// buffered channel, so delivery to a blocked receiver never touches the
+// space-level wakeup machinery.
+type recvWaiter struct {
+	m     *Message
+	err   error
+	ready chan struct{} // buffered, capacity 1
+}
+
+var waiterPool = sync.Pool{
+	New: func() any { return &recvWaiter{ready: make(chan struct{}, 1)} },
+}
+
+func getWaiter() *recvWaiter { return waiterPool.Get().(*recvWaiter) }
+
+// putWaiter returns a waiter whose signal (if any) has been consumed.
+func putWaiter(w *recvWaiter) {
+	w.m = nil
+	w.err = nil
+	waiterPool.Put(w)
+}
+
 // Port is a communication channel: a finite-length message queue
 // protected by the kernel. A port may have any number of senders but only
 // one receiver.
@@ -25,9 +48,9 @@ type Port struct {
 	id uint64
 
 	mu       sync.Mutex
-	recvCond *sync.Cond
 	sendCond *sync.Cond
 	queue    []*Message
+	waiters  []*recvWaiter
 	backlog  int
 	dead     bool
 
@@ -52,7 +75,6 @@ func newPort(receiver *Space) *Port {
 	if receiver != nil {
 		p.home = receiver.host
 	}
-	p.recvCond = sync.NewCond(&p.mu)
 	p.sendCond = sync.NewCond(&p.mu)
 	return p
 }
@@ -84,8 +106,13 @@ func condWait(c *sync.Cond, deadline time.Time) bool {
 }
 
 // enqueue places m on the queue, blocking while the backlog is full
-// unless force (kernel notifications) or nonblock is set. It wakes
-// receivers on success.
+// unless force (kernel notifications) or nonblock is set.
+//
+// Delivery is entirely per-port state: if a receiver is parked on the
+// port the message is handed to it directly (FIFO via the queue head)
+// and the space-level receive-any wakeup is skipped — the lock-split
+// fast path that keeps one sender/receiver pair from touching any
+// namespace state.
 func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) error {
 	var deadline time.Time
 	if timeout > 0 {
@@ -111,10 +138,22 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 	}
 	m.arrivedOn = p
 	p.queue = append(p.queue, m)
+	handedOff := false
+	for len(p.waiters) > 0 && len(p.queue) > 0 {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		w.m = p.queue[0]
+		p.queue = p.queue[1:]
+		w.ready <- struct{}{}
+		handedOff = true
+	}
+	queued := len(p.queue) > 0
 	recv := p.receiver
-	p.recvCond.Broadcast()
+	if handedOff {
+		p.sendCond.Broadcast()
+	}
 	p.mu.Unlock()
-	if recv != nil {
+	if queued && recv != nil {
 		recv.wakeAll()
 	}
 	return nil
@@ -128,24 +167,66 @@ func (p *Port) dequeue(nonblock bool, timeout time.Duration) (*Message, error) {
 		deadline = time.Now().Add(timeout)
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	for {
-		if len(p.queue) > 0 {
-			m := p.queue[0]
-			p.queue = p.queue[1:]
-			p.sendCond.Broadcast()
-			return m, nil
-		}
-		if p.dead {
-			return nil, ErrPortDied
-		}
-		if nonblock {
-			return nil, ErrWouldBlock
-		}
-		if !condWait(p.recvCond, deadline) {
+	if len(p.queue) > 0 {
+		m := p.queue[0]
+		p.queue = p.queue[1:]
+		p.sendCond.Broadcast()
+		p.mu.Unlock()
+		return m, nil
+	}
+	if p.dead {
+		p.mu.Unlock()
+		return nil, ErrPortDied
+	}
+	if nonblock {
+		p.mu.Unlock()
+		return nil, ErrWouldBlock
+	}
+	if !deadline.IsZero() && time.Until(deadline) <= 0 {
+		p.mu.Unlock()
+		return nil, ErrRcvTimedOut
+	}
+	w := getWaiter()
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+
+	if deadline.IsZero() {
+		<-w.ready
+		m, err := w.m, w.err
+		putWaiter(w)
+		return m, err
+	}
+	t := time.NewTimer(time.Until(deadline))
+	select {
+	case <-w.ready:
+		t.Stop()
+		m, err := w.m, w.err
+		putWaiter(w)
+		return m, err
+	case <-t.C:
+		return p.cancelWait(w)
+	}
+}
+
+// cancelWait unparks a timed-out waiter. If the waiter is still parked it
+// is removed and the receive times out; otherwise a handoff (or port
+// death) won the race and its signal — already posted, since waiters are
+// only signalled under p.mu before leaving the list — is consumed.
+func (p *Port) cancelWait(w *recvWaiter) (*Message, error) {
+	p.mu.Lock()
+	for i, x := range p.waiters {
+		if x == w {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			p.mu.Unlock()
+			putWaiter(w)
 			return nil, ErrRcvTimedOut
 		}
 	}
+	p.mu.Unlock()
+	<-w.ready
+	m, err := w.m, w.err
+	putWaiter(w)
+	return m, err
 }
 
 // tryDequeue removes the oldest message without blocking.
@@ -166,6 +247,21 @@ func (p *Port) queued() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.queue)
+}
+
+// status returns queue depth, backlog and liveness in one lock round.
+func (p *Port) status() (depth, backlog int, dead bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue), p.backlog, p.dead
+}
+
+// setBacklog adjusts the queue limit and releases senders waiting on it.
+func (p *Port) setBacklog(backlog int) {
+	p.mu.Lock()
+	p.backlog = backlog
+	p.sendCond.Broadcast()
+	p.mu.Unlock()
 }
 
 // addSender registers a space as holding send rights. A right to a dead
@@ -221,7 +317,11 @@ func (p *Port) destroy() {
 		notify = append(notify, s)
 	}
 	p.senders = nil
-	p.recvCond.Broadcast()
+	for _, w := range p.waiters {
+		w.err = ErrPortDied
+		w.ready <- struct{}{}
+	}
+	p.waiters = nil
 	p.sendCond.Broadcast()
 	p.mu.Unlock()
 

@@ -2,6 +2,7 @@ package ipc
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
@@ -55,20 +56,59 @@ type PortStatus struct {
 	Dead bool
 }
 
+// numShards is the number of independent locks the name table is split
+// over. A power of two so shard selection is a mask. Name n lives in
+// shard n&shardMask; names are allocated per shard so the low bits of a
+// name identify its shard forever.
+const (
+	numShards = 16
+	shardMask = numShards - 1
+)
+
+// nameShard is one slice of the name table: the names congruent to its
+// index mod numShards, each shard under its own read-write lock so
+// lookups on the send/receive path only read-lock one shard instead of
+// serializing the whole space.
+type nameShard struct {
+	mu      sync.RWMutex
+	names   map[Name]*entry
+	enabled map[Name]bool
+	// seq drives name allocation within the shard: candidate names are
+	// seq*numShards + shardIndex.
+	seq uint32
+}
+
+// portShard is one slice of the port->name reverse index, sharded by
+// port ID. Its lock also serializes InsertRight calls for the ports it
+// covers, which is what keeps "one name per port" atomic without a
+// space-wide lock.
+type portShard struct {
+	mu sync.RWMutex
+	m  map[*Port]Name
+}
+
 // Space is a task's port name space: the kernel-held table mapping the
 // task's port names to port rights. All IPC a task performs goes through
 // its space, which is also where transferred rights are installed.
+//
+// The table is split into numShards name shards plus a sharded reverse
+// index, so concurrent senders resolving different names proceed in
+// parallel. Locking protocol: a goroutine holding a portShard lock may
+// acquire a nameShard lock (InsertRight does), but never the reverse —
+// every other operation takes the two locks sequentially, which is what
+// makes the pairing deadlock-free.
 type Space struct {
 	host machine.HostID
 	topo *machine.Topology
 
-	mu       sync.Mutex
-	names    map[Name]*entry
-	byPort   map[*Port]Name
-	enabled  map[Name]bool
-	nextName Name
+	shards [numShards]nameShard
+	ports  [numShards]portShard
+
+	// allocCtr round-robins fresh allocations over shards so that the
+	// ports of one busy space spread across every lock.
+	allocCtr atomic.Uint32
+	dead     atomic.Bool
 	notify   Name
-	dead     bool
 
 	wakeMu sync.Mutex
 	wakeCh chan struct{}
@@ -79,13 +119,16 @@ type Space struct {
 // port-death notifications (MsgIDPortDeleted).
 func NewSpace(host machine.HostID, topo *machine.Topology) *Space {
 	s := &Space{
-		host:     host,
-		topo:     topo,
-		names:    make(map[Name]*entry),
-		byPort:   make(map[*Port]Name),
-		enabled:  make(map[Name]bool),
-		nextName: 1,
-		wakeCh:   make(chan struct{}),
+		host:   host,
+		topo:   topo,
+		wakeCh: make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].names = make(map[Name]*entry)
+		s.shards[i].enabled = make(map[Name]bool)
+	}
+	for i := range s.ports {
+		s.ports[i].m = make(map[*Port]Name)
 	}
 	n, err := s.AllocatePort()
 	if err != nil {
@@ -104,6 +147,10 @@ func (s *Space) Host() machine.HostID { return s.host }
 // NotifyPort returns the name of the space's notification port.
 func (s *Space) NotifyPort() Name { return s.notify }
 
+func (s *Space) shardFor(n Name) *nameShard { return &s.shards[uint32(n)&shardMask] }
+
+func (s *Space) portShardFor(p *Port) *portShard { return &s.ports[p.id&shardMask] }
+
 // wakeAll wakes every thread blocked in a receive-any on this space.
 func (s *Space) wakeAll() {
 	s.wakeMu.Lock()
@@ -121,32 +168,64 @@ func (s *Space) wakeChan() <-chan struct{} {
 	return ch
 }
 
-func (s *Space) allocName() Name {
+// allocName reserves an unused name in the shard. Caller holds sh.mu.
+func (sh *nameShard) allocName(idx uint32) Name {
 	for {
-		n := s.nextName
-		s.nextName++
+		seq := sh.seq
+		sh.seq++
+		n := Name(seq)*numShards + Name(idx)
 		if n == 0 {
 			continue
 		}
-		if _, used := s.names[n]; !used {
+		if _, used := sh.names[n]; !used {
 			return n
 		}
 	}
 }
 
+// allocEntry installs a fresh entry for p in a round-robin-chosen shard
+// and returns its new name. It re-checks the dead flag under the shard
+// lock: Destroy sets the flag before sweeping shards, so an insert that
+// observed the space alive under its shard lock is guaranteed to be seen
+// by the sweep.
+func (s *Space) allocEntry(p *Port, r Right) (Name, error) {
+	idx := s.allocCtr.Add(1) & shardMask
+	sh := &s.shards[idx]
+	sh.mu.Lock()
+	if s.dead.Load() {
+		sh.mu.Unlock()
+		return 0, ErrSpaceDead
+	}
+	n := sh.allocName(idx)
+	sh.names[n] = &entry{port: p, rights: r}
+	sh.mu.Unlock()
+	return n, nil
+}
+
 // AllocatePort creates a new port with this space as receiver and returns
 // its name (port_allocate). The space holds both receive and send rights.
 func (s *Space) AllocatePort() (Name, error) {
-	s.mu.Lock()
-	if s.dead {
-		s.mu.Unlock()
+	if s.dead.Load() {
 		return 0, ErrSpaceDead
 	}
 	p := newPort(s)
-	n := s.allocName()
-	s.names[n] = &entry{port: p, rights: SendRight | ReceiveRight}
-	s.byPort[p] = n
-	s.mu.Unlock()
+	n, err := s.allocEntry(p, SendRight|ReceiveRight)
+	if err != nil {
+		return 0, err
+	}
+	ps := s.portShardFor(p)
+	ps.mu.Lock()
+	// Re-check under the index lock: if Destroy began between
+	// allocEntry and here, its sweep collects the name entry (the entry
+	// went in before the flag-then-sweep could pass its shard) and
+	// destroys the port, so report the death rather than repopulate an
+	// index the sweep clears.
+	if s.dead.Load() {
+		ps.mu.Unlock()
+		return 0, ErrSpaceDead
+	}
+	ps.m[p] = n
+	ps.mu.Unlock()
 	p.addSender(s)
 	return n, nil
 }
@@ -155,16 +234,25 @@ func (s *Space) AllocatePort() (Name, error) {
 // (port_deallocate). Dropping the receive right destroys the port,
 // notifying all spaces that hold send rights.
 func (s *Space) DeallocatePort(n Name) error {
-	s.mu.Lock()
-	e, ok := s.names[n]
+	sh := s.shardFor(n)
+	sh.mu.Lock()
+	e, ok := sh.names[n]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return ErrInvalidPort
 	}
-	delete(s.names, n)
-	delete(s.byPort, e.port)
-	delete(s.enabled, n)
-	s.mu.Unlock()
+	delete(sh.names, n)
+	delete(sh.enabled, n)
+	sh.mu.Unlock()
+
+	ps := s.portShardFor(e.port)
+	ps.mu.Lock()
+	// A racing InsertRight may already have installed the port under a
+	// fresh name; only remove the index entry if it is still ours.
+	if cur, ok := ps.m[e.port]; ok && cur == n {
+		delete(ps.m, e.port)
+	}
+	ps.mu.Unlock()
 
 	if e.rights&SendRight != 0 {
 		e.port.dropSender(s)
@@ -179,50 +267,55 @@ func (s *Space) DeallocatePort(n Name) error {
 // Receive(ReceiveAny, ...) (port_enable). The space must hold the receive
 // right.
 func (s *Space) Enable(n Name) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.names[n]
+	sh := s.shardFor(n)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.names[n]
 	if !ok {
 		return ErrInvalidPort
 	}
 	if e.rights&ReceiveRight == 0 {
 		return ErrNotReceiver
 	}
-	s.enabled[n] = true
+	sh.enabled[n] = true
 	return nil
 }
 
 // Disable removes the named port from the default receive group
 // (port_disable).
 func (s *Space) Disable(n Name) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.names[n]; !ok {
+	sh := s.shardFor(n)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.names[n]; !ok {
 		return ErrInvalidPort
 	}
-	delete(s.enabled, n)
+	delete(sh.enabled, n)
 	return nil
 }
 
 // EnabledWithMessages returns the enabled ports that currently have
 // queued messages (port_messages).
 func (s *Space) EnabledWithMessages() []Name {
-	s.mu.Lock()
-	var candidates []Name
-	for n := range s.enabled {
-		candidates = append(candidates, n)
-	}
-	ports := make(map[Name]*Port, len(candidates))
-	for _, n := range candidates {
-		if e, ok := s.names[n]; ok {
-			ports[n] = e.port
-		}
-	}
-	s.mu.Unlock()
 	var out []Name
-	for n, p := range ports {
-		if p.queued() > 0 {
-			out = append(out, n)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		type cand struct {
+			n Name
+			p *Port
+		}
+		cands := make([]cand, 0, len(sh.enabled))
+		for n := range sh.enabled {
+			if e, ok := sh.names[n]; ok {
+				cands = append(cands, cand{n, e.port})
+			}
+		}
+		sh.mu.RUnlock()
+		for _, c := range cands {
+			if c.p.queued() > 0 {
+				out = append(out, c.n)
+			}
 		}
 	}
 	return out
@@ -231,23 +324,26 @@ func (s *Space) EnabledWithMessages() []Name {
 // Status returns queue and right information for the named port
 // (port_status).
 func (s *Space) Status(n Name) (PortStatus, error) {
-	s.mu.Lock()
-	e, ok := s.names[n]
-	enabled := s.enabled[n]
-	s.mu.Unlock()
+	sh := s.shardFor(n)
+	sh.mu.RLock()
+	e, ok := sh.names[n]
+	enabled := sh.enabled[n]
+	var rights Right
+	if ok {
+		rights = e.rights
+	}
+	sh.mu.RUnlock()
 	if !ok {
 		return PortStatus{}, ErrInvalidPort
 	}
-	e.port.mu.Lock()
-	st := PortStatus{
-		HasReceive: e.rights&ReceiveRight != 0,
+	depth, backlog, dead := e.port.status()
+	return PortStatus{
+		HasReceive: rights&ReceiveRight != 0,
 		Enabled:    enabled,
-		NumMsgs:    len(e.port.queue),
-		Backlog:    e.port.backlog,
-		Dead:       e.port.dead,
-	}
-	e.port.mu.Unlock()
-	return st, nil
+		NumMsgs:    depth,
+		Backlog:    backlog,
+		Dead:       dead,
+	}, nil
 }
 
 // SetBacklog limits the number of messages that may wait on the named
@@ -256,19 +352,21 @@ func (s *Space) SetBacklog(n Name, backlog int) error {
 	if backlog < 1 {
 		backlog = 1
 	}
-	s.mu.Lock()
-	e, ok := s.names[n]
-	s.mu.Unlock()
+	sh := s.shardFor(n)
+	sh.mu.RLock()
+	e, ok := sh.names[n]
+	var rights Right
+	if ok {
+		rights = e.rights
+	}
+	sh.mu.RUnlock()
 	if !ok {
 		return ErrInvalidPort
 	}
-	if e.rights&ReceiveRight == 0 {
+	if rights&ReceiveRight == 0 {
 		return ErrNotReceiver
 	}
-	e.port.mu.Lock()
-	e.port.backlog = backlog
-	e.port.sendCond.Broadcast()
-	e.port.mu.Unlock()
+	e.port.setBacklog(backlog)
 	return nil
 }
 
@@ -277,21 +375,36 @@ func (s *Space) SetBacklog(n Name, backlog int) error {
 // the memory object argument of vm_allocate_with_pager) and must only be
 // called by kernel-side code.
 func (s *Space) Resolve(n Name) (*Port, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.names[n]
+	sh := s.shardFor(n)
+	sh.mu.RLock()
+	e, ok := sh.names[n]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, ErrInvalidPort
 	}
 	return e.port, nil
 }
 
+// CopySendRight copies a send right for the port this space names n into
+// the space dst, returning the name dst holds it under. It is the
+// kernel-privileged idiom a server uses to hand a client access to a
+// service port (the bootstrapping shortcut for rights that would
+// otherwise travel in a message).
+func (s *Space) CopySendRight(dst *Space, n Name) (Name, error) {
+	p, err := s.Resolve(n)
+	if err != nil {
+		return 0, err
+	}
+	return dst.InsertRight(p, SendRight)
+}
+
 // NameOf returns the name under which this space holds rights to p, if
 // any. Kernel-side use only.
 func (s *Space) NameOf(p *Port) (Name, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, ok := s.byPort[p]
+	ps := s.portShardFor(p)
+	ps.mu.RLock()
+	n, ok := ps.m[p]
+	ps.mu.RUnlock()
 	return n, ok
 }
 
@@ -306,51 +419,76 @@ func (s *Space) InsertRight(p *Port, r Right) (Name, error) {
 	if p.isDead() {
 		return 0, ErrPortDied
 	}
-	s.mu.Lock()
-	if s.dead {
-		s.mu.Unlock()
+	if s.dead.Load() {
 		return 0, ErrSpaceDead
 	}
-	n, ok := s.byPort[p]
+	ps := s.portShardFor(p)
+	ps.mu.Lock()
 	var had Right
+	n, ok := ps.m[p]
 	if ok {
-		had = s.names[n].rights
-		s.names[n].rights |= r
-	} else {
-		n = s.allocName()
-		s.names[n] = &entry{port: p, rights: r}
-		s.byPort[p] = n
+		sh := s.shardFor(n)
+		sh.mu.Lock()
+		if e, live := sh.names[n]; live && e.port == p {
+			had = e.rights
+			e.rights |= r
+			sh.mu.Unlock()
+			ps.mu.Unlock()
+			s.applyInsert(p, r, had)
+			return n, nil
+		}
+		sh.mu.Unlock()
+		// The index entry was stale (a deallocation raced us); fall
+		// through and install the port under a fresh name.
 	}
-	s.mu.Unlock()
+	n, err := s.allocEntry(p, r)
+	if err != nil {
+		ps.mu.Unlock()
+		return 0, err
+	}
+	ps.m[p] = n
+	ps.mu.Unlock()
+	s.applyInsert(p, r, 0)
+	return n, nil
+}
+
+// applyInsert performs the port-side effects of installing a right.
+func (s *Space) applyInsert(p *Port, r, had Right) {
 	if r&SendRight != 0 && had&SendRight == 0 {
 		p.addSender(s)
 	}
 	if r&ReceiveRight != 0 {
 		p.setReceiver(s)
 	}
-	return n, nil
 }
 
 // notifyPortDeath delivers a MsgIDPortDeleted message to the space's
 // notify port for a port this space held send rights to, and removes the
 // now-dead right from the space. Called by Port.destroy.
 func (s *Space) notifyPortDeath(p *Port) {
-	s.mu.Lock()
-	if s.dead {
-		s.mu.Unlock()
+	if s.dead.Load() {
 		return
 	}
-	n, ok := s.byPort[p]
+	ps := s.portShardFor(p)
+	ps.mu.Lock()
+	n, ok := ps.m[p]
+	if ok {
+		delete(ps.m, p)
+	}
+	ps.mu.Unlock()
 	if !ok {
-		s.mu.Unlock()
 		return
 	}
-	delete(s.names, n)
-	delete(s.byPort, p)
-	delete(s.enabled, n)
-	notifyEntry, haveNotify := s.names[s.notify]
-	s.mu.Unlock()
-	if !haveNotify {
+	sh := s.shardFor(n)
+	sh.mu.Lock()
+	if e, live := sh.names[n]; live && e.port == p {
+		delete(sh.names, n)
+		delete(sh.enabled, n)
+	}
+	sh.mu.Unlock()
+
+	notifyPort, err := s.Resolve(s.notify)
+	if err != nil {
 		return
 	}
 	m := &Message{
@@ -359,27 +497,36 @@ func (s *Space) notifyPortDeath(p *Port) {
 	}
 	// Notifications are forced past the backlog: the kernel must never
 	// block delivering one.
-	_ = notifyEntry.port.enqueue(m, true, false, 0)
+	_ = notifyPort.enqueue(m, true, false, 0)
 }
 
 // Destroy tears down the space, as task termination would: receive rights
 // it holds destroy their ports (notifying senders), send rights are
 // released.
 func (s *Space) Destroy() {
-	s.mu.Lock()
-	if s.dead {
-		s.mu.Unlock()
+	if s.dead.Swap(true) {
 		return
 	}
-	s.dead = true
-	entries := make([]*entry, 0, len(s.names))
-	for _, e := range s.names {
-		entries = append(entries, e)
+	// The dead flag is set before the sweep, so any insert that got its
+	// shard lock first will be collected here, and any insert arriving
+	// later aborts on the flag.
+	var entries []*entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.names {
+			entries = append(entries, e)
+		}
+		sh.names = make(map[Name]*entry)
+		sh.enabled = make(map[Name]bool)
+		sh.mu.Unlock()
 	}
-	s.names = map[Name]*entry{}
-	s.byPort = map[*Port]Name{}
-	s.enabled = map[Name]bool{}
-	s.mu.Unlock()
+	for i := range s.ports {
+		ps := &s.ports[i]
+		ps.mu.Lock()
+		ps.m = make(map[*Port]Name)
+		ps.mu.Unlock()
+	}
 
 	for _, e := range entries {
 		if e.rights&SendRight != 0 {

@@ -17,7 +17,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/pager"
 	"repro/internal/vm"
@@ -110,13 +109,7 @@ func Migrate(src *kern.Task, dst *kern.Kernel, opts Options) (*kern.Task, *Migra
 		m.mu.Unlock()
 		// Hand the destination task the object and map it at the SAME
 		// address, preserving the task's pointers.
-		p, err := mgrTask.Space.Resolve(mo.Port)
-		if err != nil {
-			m.Stop()
-			newTask.Terminate()
-			return nil, nil, err
-		}
-		name, err := newTask.Space.InsertRight(p, ipc.SendRight)
+		name, err := mgrTask.Space.CopySendRight(newTask.Space, mo.Port)
 		if err != nil {
 			m.Stop()
 			newTask.Terminate()

@@ -157,11 +157,7 @@ func (s *Server) Stats() Stats {
 
 // Publish installs a send right for the service port into a client task.
 func (s *Server) Publish(client *kern.Task) (ipc.Name, error) {
-	p, err := s.task.Space.Resolve(s.ServicePort)
-	if err != nil {
-		return 0, err
-	}
-	return client.Space.InsertRight(p, ipc.SendRight)
+	return s.task.Space.CopySendRight(client.Space, s.ServicePort)
 }
 
 func (s *Server) pageSize() uint64 { return s.kernel.VM.PageSize() }

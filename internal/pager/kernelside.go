@@ -24,7 +24,7 @@ type ObjectCache struct {
 	host machine.HostID
 	topo *machine.Topology
 
-	mu               sync.Mutex
+	mu               sync.RWMutex
 	objects          map[*ipc.Port]*vm.Object
 	defaultPagerPort *ipc.Port
 }
@@ -51,10 +51,18 @@ func (c *ObjectCache) SetDefaultPagerPort(p *ipc.Port) {
 // Lookup resolves a memory object port to the kernel's internal object
 // structure, creating it — and sending pager_init — on first use. minSize
 // grows the object if the new mapping extends past its current size.
+// Repeat lookups (every vm_allocate_with_pager after the first) take only
+// the read lock, so concurrent mappers do not serialize on the table.
 func (c *ObjectCache) Lookup(moPort *ipc.Port, minSize uint64) *vm.Object {
-	c.mu.Lock()
+	c.mu.RLock()
 	obj, ok := c.objects[moPort]
+	c.mu.RUnlock()
 	if ok {
+		c.sys.GrowObject(obj, minSize)
+		return obj
+	}
+	c.mu.Lock()
+	if obj, ok := c.objects[moPort]; ok {
 		c.mu.Unlock()
 		c.sys.GrowObject(obj, minSize)
 		return obj

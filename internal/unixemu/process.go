@@ -5,7 +5,6 @@ import (
 	"errors"
 	"sync"
 
-	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/vm"
 )
@@ -251,12 +250,7 @@ func (p *Process) Fork() (*Process, error) {
 	// rights are NOT inherited by task creation in Mach — the parent
 	// explicitly hands the child a send right to the file server.
 	if m, ok := p.fsys.(*MappedFS); ok {
-		port, err := p.Task.Space.Resolve(m.svc)
-		if err != nil {
-			childTask.Terminate()
-			return nil, err
-		}
-		cname, err := childTask.Space.InsertRight(port, ipc.SendRight)
+		cname, err := p.Task.Space.CopySendRight(childTask.Space, m.svc)
 		if err != nil {
 			childTask.Terminate()
 			return nil, err

@@ -9,7 +9,10 @@
 //     Kernel.NewTask, Task.Fork, Task.SpawnThread.
 //   - Port and Message (IPC, §3.2) — every task has a port name Space;
 //     msg_send / msg_receive / msg_rpc are Task.Send / Task.Receive /
-//     Task.RPC; Tables 3-1 and 3-2 map to the Space methods.
+//     Task.RPC; Tables 3-1 and 3-2 map to the Space methods. A server
+//     bootstraps a client with Space.CopySendRight. Name spaces are
+//     sharded and delivery is per-port, so IPC throughput scales with
+//     concurrent senders.
 //   - Memory object (external memory management, §3.4) — data managers
 //     are built on Manager/Handler (Table 3-5 arrives as Handler calls;
 //     Table 3-6 goes out through MemoryObject methods), and applications
