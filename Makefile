@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke fuzz
 
 all: build vet fmt-check test
 
@@ -25,7 +25,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ipc ./internal/kern ./internal/vm
+	$(GO) test -race ./internal/ipc ./internal/kern ./internal/vm ./internal/rpc ./internal/fs ./internal/netmem
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rpc
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .

@@ -7,7 +7,6 @@
 package main
 
 import (
-	"encoding/binary"
 	"fmt"
 	"log"
 
@@ -22,12 +21,12 @@ func balance(seg *mach.CamelotSegment, i int) uint64 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	return binary.LittleEndian.Uint64(b)
+	return mach.U64(b)
 }
 
 func setBalance(tx *mach.CamelotTx, seg *mach.CamelotSegment, i int, v uint64) {
 	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
+	mach.PutU64(b[:], v)
 	if err := tx.Write(seg, uint64(i*8), b[:]); err != nil {
 		log.Fatal(err)
 	}
@@ -98,8 +97,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a0 := binary.LittleEndian.Uint64(data[0:])
-	a1 := binary.LittleEndian.Uint64(data[8:])
+	a0 := mach.U64(data[0:])
+	a1 := mach.U64(data[8:])
 	fmt.Printf("after recovery: acct0=%d acct1=%d (committed kept, in-flight rolled back)\n", a0, a1)
 	if a0 != 750 || a1 != 1250 {
 		log.Fatalf("recovery violated atomicity: %d/%d", a0, a1)

@@ -1,12 +1,12 @@
 package agora
 
 import (
-	"encoding/binary"
 	"time"
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/netmem"
+	"repro/internal/rpc"
 )
 
 // MaxAgents bounds the number of shared-memory agents (bakery lock
@@ -69,12 +69,12 @@ func (a *Agent) readWord(off uint64) uint64 {
 	if err != nil {
 		return 0
 	}
-	return binary.LittleEndian.Uint64(b)
+	return rpc.U64(b)
 }
 
 func (a *Agent) writeWord(off uint64, v uint64) {
 	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
+	rpc.PutU64(b[:], v)
 	_ = a.task.VMWrite(a.addr+off, b[:])
 }
 
@@ -130,7 +130,7 @@ func (a *Agent) Post(h Hypothesis) error {
 		return ErrFull
 	}
 	slot := make([]byte, SlotSize)
-	binary.LittleEndian.PutUint64(slot, h.Score)
+	rpc.PutU64(slot, h.Score)
 	copy(slot[8:], h.Text)
 	if err := a.task.VMWrite(a.addr+a.slotOffset(int(count)), slot); err != nil {
 		return err
@@ -151,7 +151,7 @@ func (a *Agent) Snapshot() ([]Hypothesis, error) {
 		if err != nil {
 			return nil, err
 		}
-		score := binary.LittleEndian.Uint64(b)
+		score := rpc.U64(b)
 		text := b[8:]
 		end := 0
 		for end < len(text) && text[end] != 0 {
@@ -190,38 +190,29 @@ func JoinRemote(task *kern.Task, broker ipc.Name) *RemoteAgent {
 
 // Post sends a hypothesis to the board by message.
 func (r *RemoteAgent) Post(h Hypothesis) error {
-	if len(h.Text) > SlotSize-8 {
-		return ErrTooLarge
-	}
-	payload := make([]byte, 8+len(h.Text))
-	binary.LittleEndian.PutUint64(payload, h.Score)
-	copy(payload[8:], h.Text)
-	reply, err := r.task.RPC(&ipc.Message{
-		ID:         MsgPost,
-		RemotePort: r.broker,
-		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
-	}, 10*time.Second, 10*time.Second)
+	resp, err := rpc.NewClient(r.task.Space, r.broker, 10*time.Second).
+		Call(MsgPost, rpc.NewEnc().U64(h.Score).String(h.Text))
 	if err != nil {
 		return err
 	}
-	b := reply.InlineData()
-	if len(b) < 1 || b[0] != 0 {
-		if len(b) >= 1 && b[0] == 1 {
-			return ErrFull
-		}
+	switch resp.Status {
+	case rpc.StatusOK:
+		return nil
+	case rpc.StatusFull:
+		return ErrFull
+	case rpc.StatusTooLarge:
 		return ErrTooLarge
+	default:
+		return resp.Err()
 	}
-	return nil
 }
 
 // Snapshot fetches all hypotheses by message.
 func (r *RemoteAgent) Snapshot() ([]Hypothesis, error) {
-	reply, err := r.task.RPC(&ipc.Message{
-		ID:         MsgSnapshot,
-		RemotePort: r.broker,
-	}, 10*time.Second, 10*time.Second)
+	resp, err := rpc.NewClient(r.task.Space, r.broker, 10*time.Second).
+		Invoke(MsgSnapshot, nil)
 	if err != nil {
 		return nil, err
 	}
-	return decodeSnapshot(reply.InlineData())
+	return decodeSnapshot(resp.Dec)
 }

@@ -16,13 +16,12 @@
 package agora
 
 import (
-	"encoding/binary"
 	"errors"
-	"time"
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/netmem"
+	"repro/internal/rpc"
 )
 
 // Blackboard layout, all little-endian:
@@ -56,14 +55,13 @@ var (
 )
 
 // Message IDs of the broker protocol (for message-passing agents).
+// Replies echo the request ID and follow the rpc reply convention.
 const (
-	// MsgPost posts a hypothesis (payload: score + text).
+	// MsgPost posts a hypothesis (score: u64, text: string).
 	MsgPost ipc.MsgID = 3300 + iota
-	// MsgSnapshot asks for all hypotheses.
+	// MsgSnapshot asks for all hypotheses (reply count: u32, then per
+	// entry score u64 + text string).
 	MsgSnapshot
-	// MsgPostReply / MsgSnapshotReply answer the above.
-	MsgPostReply
-	MsgSnapshotReply
 )
 
 // Board is the hub: it owns the shared memory region and runs the broker
@@ -73,12 +71,12 @@ type Board struct {
 	task   *kern.Task
 	srv    *netmem.Server
 	local  *Agent // the board's own mapping, used by the broker
+	broker *rpc.Server
 
 	// BrokerPort receives message-passing agents' requests.
 	BrokerPort ipc.Name
 
 	slots int
-	stop  chan struct{}
 }
 
 // NewBoard creates a blackboard with the given number of hypothesis slots
@@ -98,28 +96,27 @@ func NewBoard(k *kern.Kernel, srv *netmem.Server, slots int) (*Board, error) {
 		task:   k.NewTask(),
 		srv:    srv,
 		slots:  slots,
-		stop:   make(chan struct{}),
 	}
 	var err error
 	b.local, err = JoinShared(b.task, srv, slots)
 	if err != nil {
 		return nil, err
 	}
-	broker, err := b.task.Space.AllocatePort()
+	broker, err := rpc.NewServer(b.task.Space)
 	if err != nil {
 		return nil, err
 	}
-	if err := b.task.Space.Enable(broker); err != nil {
-		return nil, err
-	}
-	b.BrokerPort = broker
-	go b.runBroker()
+	broker.Handle(MsgPost, b.handlePost)
+	broker.Handle(MsgSnapshot, b.handleSnapshot)
+	b.broker = broker
+	b.BrokerPort = broker.Port
+	go broker.Run()
 	return b, nil
 }
 
 // Stop shuts the broker down.
 func (b *Board) Stop() {
-	close(b.stop)
+	b.broker.Stop()
 	b.task.Terminate()
 }
 
@@ -134,97 +131,60 @@ func (b *Board) PublishSharedMemory(client *kern.Task) (ipc.Name, error) {
 	return b.srv.Publish(client)
 }
 
-// runBroker serves message-passing agents: their posts and reads go
-// through the board's own shared memory mapping — the procedural
-// interface deciding "if shared memory or communication must be used".
-func (b *Board) runBroker() {
-	for {
-		select {
-		case <-b.stop:
-			return
+// handlePost serves a message-passing agent's post through the board's
+// own shared memory mapping — the procedural interface deciding "if
+// shared memory or communication must be used".
+func (b *Board) handlePost(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	h := Hypothesis{Score: d.U64(), Text: d.String()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := b.local.Post(h); err != nil {
+		switch {
+		case errors.Is(err, ErrFull):
+			return nil, rpc.Errf(rpc.StatusFull, "agora: blackboard full")
+		case errors.Is(err, ErrTooLarge):
+			return nil, rpc.Errf(rpc.StatusTooLarge, "agora: hypothesis too large")
 		default:
-		}
-		m, err := b.task.Receive(b.BrokerPort, ipc.ReceiveOptions{Timeout: 100 * time.Millisecond})
-		if err == ipc.ErrRcvTimedOut {
-			continue
-		}
-		if err != nil {
-			return
-		}
-		switch m.ID {
-		case MsgPost:
-			payload := m.InlineData()
-			status := byte(0)
-			if len(payload) < 8 {
-				status = 2
-			} else {
-				h := Hypothesis{
-					Score: binary.LittleEndian.Uint64(payload),
-					Text:  string(payload[8:]),
-				}
-				if err := b.local.Post(h); err != nil {
-					status = 1
-				}
-			}
-			b.reply(m, &ipc.Message{ID: MsgPostReply,
-				Sections: []ipc.Section{ipc.InlineBytes([]byte{status})}})
-		case MsgSnapshot:
-			hyps, err := b.local.Snapshot()
-			if err != nil {
-				b.reply(m, &ipc.Message{ID: MsgSnapshotReply,
-					Sections: []ipc.Section{ipc.InlineBytes([]byte{1})}})
-				continue
-			}
-			b.reply(m, &ipc.Message{ID: MsgSnapshotReply,
-				Sections: []ipc.Section{ipc.InlineBytes(encodeSnapshot(hyps))}})
+			return nil, err
 		}
 	}
+	return rpc.NewReply(), nil
 }
 
-func (b *Board) reply(m *ipc.Message, r *ipc.Message) {
-	if m.RemotePort == 0 {
-		return
+// handleSnapshot reads the blackboard for a message-passing agent.
+func (b *Board) handleSnapshot(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	hyps, err := b.local.Snapshot()
+	if err != nil {
+		return nil, err
 	}
-	r.RemotePort = m.RemotePort
-	_ = b.task.Send(r, ipc.SendOptions{Force: true})
-	_ = b.task.Space.DeallocatePort(m.RemotePort)
+	return encodeSnapshot(hyps), nil
 }
 
-// encodeSnapshot packs hypotheses: status byte, count uint32, then per
-// entry score + textlen + text.
-func encodeSnapshot(hyps []Hypothesis) []byte {
-	out := make([]byte, 5)
-	out[0] = 0
-	binary.LittleEndian.PutUint32(out[1:], uint32(len(hyps)))
+// encodeSnapshot packs hypotheses into a reply: count u32, then per
+// entry score u64 + text string.
+func encodeSnapshot(hyps []Hypothesis) *rpc.Reply {
+	r := rpc.NewReply()
+	r.U32(uint32(len(hyps)))
 	for _, h := range hyps {
-		var rec [12]byte
-		binary.LittleEndian.PutUint64(rec[0:], h.Score)
-		binary.LittleEndian.PutUint32(rec[8:], uint32(len(h.Text)))
-		out = append(out, rec[:]...)
-		out = append(out, h.Text...)
+		r.U64(h.Score)
+		r.String(h.Text)
 	}
-	return out
+	return r
 }
 
-func decodeSnapshot(b []byte) ([]Hypothesis, error) {
-	if len(b) < 5 || b[0] != 0 {
-		return nil, errors.New("agora: bad snapshot")
+// decodeSnapshot is the client half of the snapshot result encoding.
+func decodeSnapshot(d *rpc.Dec) ([]Hypothesis, error) {
+	n := d.U32()
+	out := make([]Hypothesis, 0, rpc.ListCap(n))
+	for i := uint32(0); i < n; i++ {
+		out = append(out, Hypothesis{Score: d.U64(), Text: d.String()})
+		if d.Err() != nil {
+			break
+		}
 	}
-	n := int(binary.LittleEndian.Uint32(b[1:]))
-	b = b[5:]
-	out := make([]Hypothesis, 0, n)
-	for i := 0; i < n; i++ {
-		if len(b) < 12 {
-			return nil, errors.New("agora: truncated snapshot")
-		}
-		score := binary.LittleEndian.Uint64(b)
-		tl := int(binary.LittleEndian.Uint32(b[8:]))
-		b = b[12:]
-		if len(b) < tl {
-			return nil, errors.New("agora: truncated snapshot text")
-		}
-		out = append(out, Hypothesis{Score: score, Text: string(b[:tl])})
-		b = b[tl:]
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/netmem"
+	"repro/internal/rpc"
 )
 
 const pgsz = 4096
@@ -195,14 +196,14 @@ func TestBoardFullAndOversize(t *testing.T) {
 
 func TestSnapshotCodecRoundTrip(t *testing.T) {
 	in := []Hypothesis{{Score: 1, Text: "x"}, {Score: 99, Text: "a longer hypothesis"}}
-	out, err := decodeSnapshot(encodeSnapshot(in))
+	out, err := decodeSnapshot(rpc.NewDec(encodeSnapshot(in).Payload()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
 		t.Fatalf("round trip %+v", out)
 	}
-	if _, err := decodeSnapshot([]byte{1}); err == nil {
+	if _, err := decodeSnapshot(rpc.NewDec([]byte{1})); err == nil {
 		t.Fatal("bad snapshot decoded")
 	}
 }

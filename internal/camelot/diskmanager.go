@@ -1,7 +1,6 @@
 package camelot
 
 import (
-	"encoding/binary"
 	"errors"
 	"sync"
 
@@ -9,28 +8,28 @@ import (
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/pager"
+	"repro/internal/rpc"
 	"repro/internal/vm"
 )
 
-// Service protocol message IDs.
+// Service protocol message IDs. Replies echo the request ID and follow
+// the rpc reply convention (rpc.Status byte, then result fields).
 const (
-	// MsgCreateSegment creates a recoverable segment (size + name).
+	// MsgCreateSegment creates a recoverable segment (size: u64, name:
+	// string).
 	MsgCreateSegment ipc.MsgID = 3200 + iota
-	// MsgAttachSegment returns a segment's memory object and size.
+	// MsgAttachSegment returns a segment's size (u64), id (u32) and
+	// memory object right (name: string).
 	MsgAttachSegment
-	// MsgLogAppend appends an update record; replied to only after the
-	// record is in the manager's log buffer (the WAL "log before
-	// update" discipline).
+	// MsgLogAppend appends an update record (tx: u64, seg: u32, offset:
+	// u64, old: bytes, new: bytes); replied to only after the record is
+	// in the manager's log buffer (the WAL "log before update"
+	// discipline).
 	MsgLogAppend
-	// MsgTxCommit forces the log through the commit record.
+	// MsgTxCommit forces the log through the commit record (tx: u64).
 	MsgTxCommit
-	// MsgTxAbort records an abort.
+	// MsgTxAbort records an abort (tx: u64).
 	MsgTxAbort
-	// Replies.
-	MsgCreateSegReply
-	MsgAttachSegReply
-	MsgLogAppendReply
-	MsgTxReply
 )
 
 // Errors returned by the client library.
@@ -74,6 +73,7 @@ type DiskManager struct {
 	kernel *kern.Kernel
 	task   *kern.Task
 	mgr    *pager.Manager
+	rpc    *rpc.Server
 
 	dataDisk *machine.Disk
 	logDisk  *machine.Disk
@@ -116,15 +116,22 @@ func NewDiskManager(k *kern.Kernel, dataDisk, logDisk *machine.Disk) (*DiskManag
 		outcomes: make(map[uint64]recordKind),
 	}
 	dm.mgr = pager.NewManager(dm.task.Space, (*dmHandler)(dm))
-	dm.mgr.Default = dm.handleRequest
-	svc, err := dm.task.Space.AllocatePort()
+	srv, err := rpc.NewServer(dm.task.Space)
 	if err != nil {
 		return nil, err
 	}
-	if err := dm.task.Space.Enable(svc); err != nil {
-		return nil, err
-	}
-	dm.ServicePort = svc
+	srv.Handle(MsgCreateSegment, dm.handleCreate)
+	srv.Handle(MsgAttachSegment, dm.handleAttach)
+	srv.Handle(MsgLogAppend, dm.handleLogAppend)
+	srv.Handle(MsgTxCommit, func(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+		return dm.handleOutcome(d, recCommit)
+	})
+	srv.Handle(MsgTxAbort, func(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+		return dm.handleOutcome(d, recAbort)
+	})
+	dm.rpc = srv
+	dm.mgr.Default = srv.Dispatch
+	dm.ServicePort = srv.Port
 	return dm, nil
 }
 
@@ -241,42 +248,16 @@ func (h *dmHandler) DataWrite(mo *pager.MemoryObject, offset uint64, data []byte
 
 // --- service protocol --------------------------------------------------------
 
-func (dm *DiskManager) reply(m *ipc.Message, r *ipc.Message) {
-	if m.RemotePort == 0 {
-		return
+func (dm *DiskManager) handleCreate(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	size := d.U64()
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
-	r.RemotePort = m.RemotePort
-	_ = dm.task.Send(r, ipc.SendOptions{Force: true})
-	_ = dm.task.Space.DeallocatePort(m.RemotePort)
-}
-
-func (dm *DiskManager) handleRequest(m *ipc.Message) {
-	switch m.ID {
-	case MsgCreateSegment:
-		dm.handleCreate(m)
-	case MsgAttachSegment:
-		dm.handleAttach(m)
-	case MsgLogAppend:
-		dm.handleLogAppend(m)
-	case MsgTxCommit:
-		dm.handleOutcome(m, recCommit)
-	case MsgTxAbort:
-		dm.handleOutcome(m, recAbort)
-	}
-}
-
-func (dm *DiskManager) handleCreate(m *ipc.Message) {
-	payload := m.InlineData()
-	if len(payload) < 8 {
-		return
-	}
-	size := binary.LittleEndian.Uint64(payload)
-	name := string(payload[8:])
-	status := byte(0)
 	if _, err := dm.createSegment(name, size); err != nil {
-		status = 1
+		return nil, err
 	}
-	dm.reply(m, &ipc.Message{ID: MsgCreateSegReply, Sections: []ipc.Section{ipc.InlineBytes([]byte{status})}})
+	return rpc.NewReply(), nil
 }
 
 func (dm *DiskManager) createSegment(name string, size uint64) (*segment, error) {
@@ -312,66 +293,61 @@ func (dm *DiskManager) createSegment(name string, size uint64) (*segment, error)
 	return seg, nil
 }
 
-func (dm *DiskManager) handleAttach(m *ipc.Message) {
-	name := string(m.InlineData())
+func (dm *DiskManager) handleAttach(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
 	dm.mu.Lock()
 	seg := dm.segments[name]
 	dm.mu.Unlock()
 	if seg == nil || seg.mo == nil {
-		dm.reply(m, &ipc.Message{ID: MsgAttachSegReply, Sections: []ipc.Section{ipc.InlineBytes(make([]byte, 13))}})
-		return
+		return nil, rpc.Errf(rpc.StatusNotFound, "camelot: no segment %q", name)
 	}
-	payload := make([]byte, 13)
-	payload[0] = 1
-	binary.LittleEndian.PutUint64(payload[1:], seg.size)
-	binary.LittleEndian.PutUint32(payload[9:], seg.id)
-	dm.reply(m, &ipc.Message{
-		ID: MsgAttachSegReply,
-		Sections: []ipc.Section{
-			ipc.InlineBytes(payload),
-			ipc.CarryRight(seg.mo.Port, ipc.SendRight),
-		},
-	})
+	r := rpc.NewReply()
+	r.U64(seg.size)
+	r.U32(seg.id)
+	r.Carry(ipc.CarryRight(seg.mo.Port, ipc.SendRight))
+	return r, nil
 }
 
 // handleLogAppend records an update BEFORE the client applies it to
 // mapped memory (the reply is the client's permission to proceed).
-// Payload: tx(8) seg(4) offset(8) oldLen(2) old new.
-func (dm *DiskManager) handleLogAppend(m *ipc.Message) {
-	p := m.InlineData()
-	if len(p) < 22 {
-		return
+func (dm *DiskManager) handleLogAppend(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	tx := d.U64()
+	segID := d.U32()
+	offset := d.U64()
+	old := append([]byte(nil), d.Bytes()...)
+	newData := append([]byte(nil), d.Bytes()...)
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
-	tx := binary.LittleEndian.Uint64(p)
-	segID := binary.LittleEndian.Uint32(p[8:])
-	offset := binary.LittleEndian.Uint64(p[12:])
-	oldLen := int(binary.LittleEndian.Uint16(p[20:]))
-	if 22+oldLen > len(p) {
-		return
+	if max := MaxUpdate(dm.logDisk.BlockSize()); len(old) > max || len(newData) > max {
+		return nil, rpc.Errf(rpc.StatusTooLarge, "camelot: update exceeds log record capacity")
 	}
-	old := append([]byte(nil), p[22:22+oldLen]...)
-	newData := append([]byte(nil), p[22+oldLen:]...)
 
 	ps := dm.kernel.VM.PageSize()
 	dm.mu.Lock()
 	lsn := dm.appendRecord(record{tx: tx, kind: recUpdate, seg: segID, offset: offset, old: old, new: newData})
-	// An update can span two pages; tag both.
-	first := offset / ps
-	last := (offset + uint64(len(newData)) - 1) / ps
-	for pg := first; pg <= last; pg++ {
-		dm.pageLSN[pageKey(segID, pg)] = lsn
+	// An update can span two pages; tag both. (An empty update logs a
+	// record but dirties no page.)
+	if len(newData) > 0 {
+		first := offset / ps
+		last := (offset + uint64(len(newData)) - 1) / ps
+		for pg := first; pg <= last; pg++ {
+			dm.pageLSN[pageKey(segID, pg)] = lsn
+		}
 	}
 	dm.mu.Unlock()
-	dm.reply(m, &ipc.Message{ID: MsgLogAppendReply, Sections: []ipc.Section{ipc.InlineBytes([]byte{0})}})
+	return rpc.NewReply(), nil
 }
 
 // handleOutcome logs commit/abort; commit also forces the log (permanence).
-func (dm *DiskManager) handleOutcome(m *ipc.Message, kind recordKind) {
-	p := m.InlineData()
-	if len(p) < 8 {
-		return
+func (dm *DiskManager) handleOutcome(d *rpc.Dec, kind recordKind) (*rpc.Reply, error) {
+	tx := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
-	tx := binary.LittleEndian.Uint64(p)
 	dm.mu.Lock()
 	lsn := dm.appendRecord(record{tx: tx, kind: kind})
 	dm.outcomes[tx] = kind
@@ -382,7 +358,7 @@ func (dm *DiskManager) handleOutcome(m *ipc.Message, kind recordKind) {
 		dm.stats.Aborts++
 	}
 	dm.mu.Unlock()
-	dm.reply(m, &ipc.Message{ID: MsgTxReply, Sections: []ipc.Section{ipc.InlineBytes([]byte{0})}})
+	return rpc.NewReply(), nil
 }
 
 // --- crash and recovery -------------------------------------------------------

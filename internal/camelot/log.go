@@ -13,8 +13,9 @@
 package camelot
 
 import (
-	"encoding/binary"
 	"errors"
+
+	"repro/internal/rpc"
 )
 
 // recordKind discriminates log records.
@@ -41,46 +42,45 @@ type record struct {
 	new    []byte
 }
 
-// recHeaderLen is the on-disk record prefix:
-// magic(1) kind(1) lsn(8) tx(8) seg(4) offset(8) oldLen(2) newLen(2).
-const recHeaderLen = 34
+// recHeaderLen is the on-disk record prefix, encoded with the rpc codec:
+// magic(1) kind(1) lsn(8) tx(8) seg(4) offset(8) plus the two u32 length
+// prefixes of the old and new byte fields.
+const recHeaderLen = 38
 
 // encodeRecord serializes a record into a log block of size blockSize.
 // Records must fit one block (enforced by MaxUpdate).
 func encodeRecord(r *record, blockSize int) []byte {
+	p := rpc.NewEnc().
+		U8(logMagic).U8(byte(r.kind)).
+		U64(r.lsn).U64(r.tx).U32(r.seg).U64(r.offset).
+		Bytes(r.old).Bytes(r.new).
+		Payload()
 	b := make([]byte, blockSize)
-	b[0] = logMagic
-	b[1] = byte(r.kind)
-	binary.LittleEndian.PutUint64(b[2:], r.lsn)
-	binary.LittleEndian.PutUint64(b[10:], r.tx)
-	binary.LittleEndian.PutUint32(b[18:], r.seg)
-	binary.LittleEndian.PutUint64(b[22:], r.offset)
-	binary.LittleEndian.PutUint16(b[30:], uint16(len(r.old)))
-	binary.LittleEndian.PutUint16(b[32:], uint16(len(r.new)))
-	copy(b[recHeaderLen:], r.old)
-	copy(b[recHeaderLen+len(r.old):], r.new)
+	copy(b, p)
 	return b
 }
 
-// decodeRecord parses a log block; ok is false for unwritten blocks.
+// decodeRecord parses a log block; ok is false for unwritten or
+// corrupted blocks.
 func decodeRecord(b []byte) (record, bool) {
-	if len(b) < recHeaderLen || b[0] != logMagic {
+	d := rpc.NewDec(b)
+	if d.U8() != logMagic {
 		return record{}, false
 	}
 	r := record{
-		kind:   recordKind(b[1]),
-		lsn:    binary.LittleEndian.Uint64(b[2:]),
-		tx:     binary.LittleEndian.Uint64(b[10:]),
-		seg:    binary.LittleEndian.Uint32(b[18:]),
-		offset: binary.LittleEndian.Uint64(b[22:]),
+		kind:   recordKind(d.U8()),
+		lsn:    d.U64(),
+		tx:     d.U64(),
+		seg:    d.U32(),
+		offset: d.U64(),
 	}
-	oldLen := int(binary.LittleEndian.Uint16(b[30:]))
-	newLen := int(binary.LittleEndian.Uint16(b[32:]))
-	if recHeaderLen+oldLen+newLen > len(b) {
+	// The block buffer is reused by the recovery scan; copy the
+	// payloads out.
+	r.old = append([]byte(nil), d.Bytes()...)
+	r.new = append([]byte(nil), d.Bytes()...)
+	if d.Err() != nil {
 		return record{}, false
 	}
-	r.old = append([]byte(nil), b[recHeaderLen:recHeaderLen+oldLen]...)
-	r.new = append([]byte(nil), b[recHeaderLen+oldLen:recHeaderLen+oldLen+newLen]...)
 	return r, true
 }
 

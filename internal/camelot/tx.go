@@ -1,12 +1,12 @@
 package camelot
 
 import (
-	"encoding/binary"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
+	"repro/internal/rpc"
 )
 
 // rpcTimeout bounds client waits on the disk manager.
@@ -17,7 +17,7 @@ var txIDs atomic.Uint64
 // Client is an application task's connection to the Camelot disk manager.
 type Client struct {
 	task *kern.Task
-	svc  ipc.Name
+	rpc  *rpc.Client
 }
 
 // Segment is a recoverable segment mapped into the client's address
@@ -38,24 +38,16 @@ type Segment struct {
 // Open connects a task to a disk manager's service port (obtained via
 // Publish).
 func Open(task *kern.Task, svc ipc.Name) *Client {
-	return &Client{task: task, svc: svc}
+	return &Client{task: task, rpc: rpc.NewClient(task.Space, svc, rpcTimeout)}
 }
 
 // CreateSegment creates a recoverable segment of the given size.
 func (c *Client) CreateSegment(name string, size uint64) error {
-	payload := make([]byte, 8+len(name))
-	binary.LittleEndian.PutUint64(payload, size)
-	copy(payload[8:], name)
-	reply, err := c.task.RPC(&ipc.Message{
-		ID:         MsgCreateSegment,
-		RemotePort: c.svc,
-		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
-	}, rpcTimeout, rpcTimeout)
+	resp, err := c.rpc.Call(MsgCreateSegment, rpc.NewEnc().U64(size).String(name))
 	if err != nil {
 		return err
 	}
-	b := reply.InlineData()
-	if len(b) < 1 || b[0] != 0 {
+	if resp.Status != rpc.StatusOK {
 		return ErrServer
 	}
 	return nil
@@ -63,27 +55,26 @@ func (c *Client) CreateSegment(name string, size uint64) error {
 
 // Attach maps the named segment into the client's address space.
 func (c *Client) Attach(name string) (*Segment, error) {
-	reply, err := c.task.RPC(&ipc.Message{
-		ID:         MsgAttachSegment,
-		RemotePort: c.svc,
-		Sections:   []ipc.Section{ipc.InlineBytes([]byte(name))},
-	}, rpcTimeout, rpcTimeout)
+	resp, err := c.rpc.Call(MsgAttachSegment, rpc.NewEnc().String(name))
 	if err != nil {
 		return nil, err
 	}
-	b := reply.InlineData()
-	if len(b) < 13 {
+	switch resp.Status {
+	case rpc.StatusOK:
+	case rpc.StatusNotFound:
+		return nil, ErrNoSegment
+	default:
 		return nil, ErrServer
 	}
-	if b[0] != 1 {
-		return nil, ErrNoSegment
+	size := resp.Dec.U64()
+	segID := resp.Dec.U32()
+	if resp.Dec.Err() != nil {
+		return nil, ErrServer
 	}
-	size := binary.LittleEndian.Uint64(b[1:])
-	segID := binary.LittleEndian.Uint32(b[9:])
 	var moName ipc.Name
-	for i := range reply.Sections {
-		if reply.Sections[i].Kind == ipc.PortRightSection {
-			moName = reply.Sections[i].PortName
+	for i := range resp.Msg.Sections {
+		if resp.Msg.Sections[i].Kind == ipc.PortRightSection {
+			moName = resp.Msg.Sections[i].PortName
 		}
 	}
 	if moName == 0 {
@@ -135,19 +126,17 @@ func (tx *Tx) Write(s *Segment, offset uint64, data []byte) error {
 	}
 	// Log before update: the reply means the record is in the
 	// manager's buffer, ordered before any future page write-back.
-	payload := make([]byte, 22+len(old)+len(data))
-	binary.LittleEndian.PutUint64(payload, tx.ID)
-	binary.LittleEndian.PutUint32(payload[8:], s.ID)
-	binary.LittleEndian.PutUint64(payload[12:], offset)
-	binary.LittleEndian.PutUint16(payload[20:], uint16(len(old)))
-	copy(payload[22:], old)
-	copy(payload[22+len(old):], data)
-	if _, err := tx.client.task.RPC(&ipc.Message{
-		ID:         MsgLogAppend,
-		RemotePort: tx.client.svc,
-		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
-	}, rpcTimeout, rpcTimeout); err != nil {
+	resp, err := tx.client.rpc.Call(MsgLogAppend,
+		rpc.NewEnc().U64(tx.ID).U32(s.ID).U64(offset).Bytes(old).Bytes(data))
+	if err != nil {
 		return err
+	}
+	switch resp.Status {
+	case rpc.StatusOK:
+	case rpc.StatusTooLarge:
+		return ErrUpdateTooLarge
+	default:
+		return ErrServer
 	}
 	if err := s.client.task.VMWrite(s.Addr+offset, data); err != nil {
 		return err
@@ -159,7 +148,7 @@ func (tx *Tx) Write(s *Segment, offset uint64, data []byte) error {
 // Commit makes the transaction's updates permanent: the disk manager
 // forces the log through the commit record before replying.
 func (tx *Tx) Commit() error {
-	return tx.finish(MsgTxCommit, false)
+	return tx.finish(MsgTxCommit)
 }
 
 // Abort rolls the transaction back: mapped memory is restored from the
@@ -171,26 +160,19 @@ func (tx *Tx) Abort() error {
 			return err
 		}
 	}
-	return tx.finish(MsgTxAbort, true)
+	return tx.finish(MsgTxAbort)
 }
 
-func (tx *Tx) finish(id ipc.MsgID, aborted bool) error {
+func (tx *Tx) finish(id ipc.MsgID) error {
 	if tx.done {
 		return nil
 	}
 	tx.done = true
-	payload := make([]byte, 8)
-	binary.LittleEndian.PutUint64(payload, tx.ID)
-	reply, err := tx.client.task.RPC(&ipc.Message{
-		ID:         id,
-		RemotePort: tx.client.svc,
-		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
-	}, rpcTimeout, rpcTimeout)
+	resp, err := tx.client.rpc.Call(id, rpc.NewEnc().U64(tx.ID))
 	if err != nil {
 		return err
 	}
-	b := reply.InlineData()
-	if len(b) < 1 || b[0] != 0 {
+	if resp.Status != rpc.StatusOK {
 		return ErrServer
 	}
 	return nil

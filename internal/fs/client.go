@@ -1,15 +1,32 @@
 package fs
 
 import (
-	"strings"
 	"time"
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
+	"repro/internal/rpc"
 )
 
 // rpcTimeout bounds client waits on the filesystem server.
 const rpcTimeout = 10 * time.Second
+
+// client wraps a task's connection to a published service port.
+func client(t *kern.Task, svc ipc.Name) *rpc.Client {
+	return rpc.NewClient(t.Space, svc, rpcTimeout)
+}
+
+// mapStatus converts a reply status to the package's error vocabulary.
+func mapStatus(s rpc.Status) error {
+	switch s {
+	case rpc.StatusOK:
+		return nil
+	case rpc.StatusNotFound:
+		return ErrNotFound
+	default:
+		return ErrServer
+	}
+}
 
 // ReadFile is the client side of fs_read_file (§4.1): it returns the
 // address of new virtual memory holding the file contents, mapped
@@ -18,26 +35,18 @@ const rpcTimeout = 10 * time.Second
 // its copy. The caller owns the memory and should vm_deallocate it when
 // done (which is what lets the server clean up).
 func ReadFile(t *kern.Task, svc ipc.Name, name string) (addr uint64, size uint64, err error) {
-	reply, err := t.RPC(&ipc.Message{
-		ID:         MsgReadFile,
-		RemotePort: svc,
-		Sections:   []ipc.Section{ipc.InlineBytes([]byte(name))},
-	}, rpcTimeout, rpcTimeout)
+	resp, err := client(t, svc).Call(MsgReadFile, rpc.NewEnc().String(name))
 	if err != nil {
 		return 0, 0, err
 	}
-	status, size, ok := decodeStatus(reply.InlineData())
-	if !ok {
+	if err := mapStatus(resp.Status); err != nil {
+		return 0, 0, err
+	}
+	size = resp.Dec.U64()
+	if resp.Dec.Err() != nil {
 		return 0, 0, ErrServer
 	}
-	switch status {
-	case 0:
-	case 1:
-		return 0, 0, ErrNotFound
-	default:
-		return 0, 0, ErrServer
-	}
-	region := reply.FirstRegion()
+	region := resp.Msg.FirstRegion()
 	if region == nil {
 		return 0, 0, ErrServer
 	}
@@ -68,47 +77,25 @@ func WriteFile(t *kern.Task, svc ipc.Name, name string, addr, size uint64) error
 	if err != nil {
 		return err
 	}
-	payload := make([]byte, 8+len(name))
-	for i := 0; i < 8; i++ {
-		payload[i] = byte(size >> (8 * i))
-	}
-	copy(payload[8:], name)
-	reply, err := t.RPC(&ipc.Message{
-		ID:         MsgWriteFile,
-		RemotePort: svc,
-		Sections: []ipc.Section{
-			ipc.InlineBytes(payload),
-			ipc.CarryRegion(region),
-		},
-	}, rpcTimeout, rpcTimeout)
+	resp, err := client(t, svc).Call(MsgWriteFile,
+		rpc.NewEnc().U64(size).String(name), ipc.CarryRegion(region))
 	if err != nil {
 		return err
 	}
-	status, _, ok := decodeStatus(reply.InlineData())
-	if !ok || status != 0 {
-		return ErrServer
-	}
-	return nil
+	return mapStatus(resp.Status)
 }
 
 // Stat returns the size of the named file.
 func Stat(t *kern.Task, svc ipc.Name, name string) (uint64, error) {
-	reply, err := t.RPC(&ipc.Message{
-		ID:         MsgStat,
-		RemotePort: svc,
-		Sections:   []ipc.Section{ipc.InlineBytes([]byte(name))},
-	}, rpcTimeout, rpcTimeout)
+	resp, err := client(t, svc).Call(MsgStat, rpc.NewEnc().String(name))
 	if err != nil {
 		return 0, err
 	}
-	status, size, ok := decodeStatus(reply.InlineData())
-	if !ok {
-		return 0, ErrServer
+	if err := mapStatus(resp.Status); err != nil {
+		return 0, err
 	}
-	if status == 1 {
-		return 0, ErrNotFound
-	}
-	if status != 0 {
+	size := resp.Dec.U64()
+	if resp.Dec.Err() != nil {
 		return 0, ErrServer
 	}
 	return size, nil
@@ -116,13 +103,26 @@ func Stat(t *kern.Task, svc ipc.Name, name string) (uint64, error) {
 
 // List returns the names of every file on the server, sorted.
 func List(t *kern.Task, svc ipc.Name) ([]string, error) {
-	reply, err := t.RPC(&ipc.Message{ID: MsgList, RemotePort: svc}, rpcTimeout, rpcTimeout)
+	resp, err := client(t, svc).Call(MsgList, nil)
 	if err != nil {
 		return nil, err
 	}
-	data := reply.InlineData()
-	if len(data) == 0 {
+	if err := mapStatus(resp.Status); err != nil {
+		return nil, err
+	}
+	n := resp.Dec.U32()
+	names := make([]string, 0, rpc.ListCap(n))
+	for i := uint32(0); i < n; i++ {
+		names = append(names, resp.Dec.String())
+		if resp.Dec.Err() != nil {
+			break
+		}
+	}
+	if resp.Dec.Err() != nil {
+		return nil, ErrServer
+	}
+	if len(names) == 0 {
 		return nil, nil
 	}
-	return strings.Split(string(data), "\n"), nil
+	return names, nil
 }

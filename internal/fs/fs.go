@@ -10,36 +10,33 @@
 package fs
 
 import (
-	"encoding/binary"
 	"errors"
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/pager"
+	"repro/internal/rpc"
 	"repro/internal/vm"
 )
 
-// Message IDs of the filesystem service protocol.
+// Message IDs of the filesystem service protocol. Replies echo the
+// request ID; their payloads follow the rpc reply convention (one
+// rpc.Status byte, then the typed result fields).
 const (
-	// MsgReadFile requests a whole file; the reply carries the file
-	// size and an out-of-line region of its contents.
+	// MsgReadFile requests a whole file (name: string); the reply
+	// carries the file size (u64) and an out-of-line region of its
+	// contents.
 	MsgReadFile ipc.MsgID = 3000 + iota
-	// MsgWriteFile stores a whole file from an out-of-line region.
+	// MsgWriteFile stores a whole file from an out-of-line region
+	// (size: u64, name: string, region section).
 	MsgWriteFile
-	// MsgStat asks for a file's size.
+	// MsgStat asks for a file's size (name: string; reply size: u64).
 	MsgStat
-	// MsgList asks for all file names.
+	// MsgList asks for all file names (reply count: u32, then strings).
 	MsgList
-	// MsgReadReply, MsgWriteReply, MsgStatReply and MsgListReply answer
-	// the above.
-	MsgReadReply
-	MsgWriteReply
-	MsgStatReply
-	MsgListReply
 )
 
 // Errors returned by the client library.
@@ -70,6 +67,7 @@ type Server struct {
 	task   *kern.Task
 	mgr    *pager.Manager
 	disk   *machine.Disk
+	rpc    *rpc.Server
 
 	mu       sync.Mutex
 	files    map[string]*file
@@ -94,15 +92,17 @@ func NewServer(k *kern.Kernel, disk *machine.Disk) (*Server, error) {
 		files:  make(map[string]*file),
 	}
 	s.mgr = pager.NewManager(s.task.Space, (*serverHandler)(s))
-	s.mgr.Default = s.handleRequest
-	svc, err := s.task.Space.AllocatePort()
+	srv, err := rpc.NewServer(s.task.Space)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.task.Space.Enable(svc); err != nil {
-		return nil, err
-	}
-	s.ServicePort = svc
+	srv.Handle(MsgReadFile, s.handleRead)
+	srv.Handle(MsgWriteFile, s.handleWrite)
+	srv.Handle(MsgStat, s.handleStat)
+	srv.Handle(MsgList, s.handleList)
+	s.rpc = srv
+	s.mgr.Default = srv.Dispatch
+	s.ServicePort = srv.Port
 	return s, nil
 }
 
@@ -264,40 +264,19 @@ func (h *serverHandler) PortDeath(mo *pager.MemoryObject) {
 
 // --- service protocol (application-to-server messages) --------------------
 
-// handleRequest dispatches client RPCs.
-func (s *Server) handleRequest(m *ipc.Message) {
-	switch m.ID {
-	case MsgReadFile:
-		s.handleRead(m)
-	case MsgWriteFile:
-		s.handleWrite(m)
-	case MsgStat:
-		s.handleStat(m)
-	case MsgList:
-		s.handleList(m)
-	}
-}
-
-func (s *Server) reply(m *ipc.Message, r *ipc.Message) {
-	if m.RemotePort == 0 {
-		return
-	}
-	r.RemotePort = m.RemotePort
-	_ = s.task.Send(r, ipc.SendOptions{Force: true})
-	_ = s.task.Space.DeallocatePort(m.RemotePort)
-}
-
 // handleRead implements fs_read_file: create a memory object, map it into
 // the server's own address space, and return that region out-of-line so
 // the client receives it copy-on-write.
-func (s *Server) handleRead(m *ipc.Message) {
-	name := string(m.InlineData())
+func (s *Server) handleRead(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	f := s.files[name]
 	s.mu.Unlock()
 	if f == nil {
-		s.reply(m, &ipc.Message{ID: MsgReadReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(1, 0))}})
-		return
+		return nil, rpc.Errf(rpc.StatusNotFound, "fs: no file %q", name)
 	}
 	ps := s.kernel.VM.PageSize()
 	mapSize := (f.size + ps - 1) / ps * ps
@@ -315,8 +294,7 @@ func (s *Server) handleRead(m *ipc.Message) {
 		var err error
 		mo, err = s.mgr.NewObject(f)
 		if err != nil {
-			s.reply(m, &ipc.Message{ID: MsgReadReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(2, 0))}})
-			return
+			return nil, err
 		}
 		s.mu.Lock()
 		f.mo = mo
@@ -327,73 +305,73 @@ func (s *Server) handleRead(m *ipc.Message) {
 	// self-paging deadlock of §6.1.
 	addr, err := s.task.VMAllocateWithPager(mo.Port, 0, 0, mapSize, true)
 	if err != nil {
-		s.reply(m, &ipc.Message{ID: MsgReadReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(2, 0))}})
-		return
+		return nil, err
 	}
 	// Return the region through IPC so it is mapped copy-on-write in
 	// the client's address space.
 	region, err := s.kernel.NewOOLRegion(s.task, addr, mapSize)
 	if err != nil {
-		s.reply(m, &ipc.Message{ID: MsgReadReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(2, 0))}})
-		return
+		_ = s.task.VMDeallocate(addr, mapSize)
+		return nil, err
 	}
 	// The region now travels in the message; drop the server's own
 	// mapping (Mach's deallocate-on-send). The object's pages stay in
 	// the kernel cache thanks to pager_cache.
 	_ = s.task.VMDeallocate(addr, mapSize)
-	s.reply(m, &ipc.Message{
-		ID: MsgReadReply,
-		Sections: []ipc.Section{
-			ipc.InlineBytes(encodeStatus(0, f.size)),
-			ipc.CarryRegion(region),
-		},
-	})
+	r := rpc.NewReply()
+	r.U64(f.size)
+	r.Carry(ipc.CarryRegion(region))
+	return r, nil
 }
 
 // handleWrite implements fs_write_file: map the client's region and store
 // it.
-func (s *Server) handleWrite(m *ipc.Message) {
-	payload := m.InlineData()
-	if len(payload) < 8 {
-		return
+func (s *Server) handleWrite(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	size := d.U64()
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
-	size := binary.LittleEndian.Uint64(payload)
-	name := string(payload[8:])
-	status := byte(0)
 	region := m.FirstRegion()
-	if region == nil {
-		status = 2
-	} else {
-		addr, err := s.kernel.MapOOLRegion(s.task, region)
-		if err != nil {
-			status = 2
-		} else {
-			data := make([]byte, size)
-			if err := s.task.Map.ReadBytes(addr, data); err != nil {
-				status = 2
-			} else if err := s.storeFile(name, data); err != nil {
-				status = 2
-			}
-			_ = s.task.VMDeallocate(addr, uint64(region.Size()))
-		}
+	if region == nil || size > uint64(region.Size()) {
+		return nil, rpc.Errf(rpc.StatusBadArgs, "fs: write without a matching region")
 	}
-	s.reply(m, &ipc.Message{ID: MsgWriteReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(status, size))}})
+	addr, err := s.kernel.MapOOLRegion(s.task, region)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, size)
+	err = s.task.Map.ReadBytes(addr, data)
+	if err == nil {
+		err = s.storeFile(name, data)
+	}
+	_ = s.task.VMDeallocate(addr, uint64(region.Size()))
+	if err != nil {
+		return nil, err
+	}
+	r := rpc.NewReply()
+	r.U64(size)
+	return r, nil
 }
 
-func (s *Server) handleStat(m *ipc.Message) {
-	name := string(m.InlineData())
+func (s *Server) handleStat(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	f := s.files[name]
 	s.mu.Unlock()
 	if f == nil {
-		s.reply(m, &ipc.Message{ID: MsgStatReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(1, 0))}})
-		return
+		return nil, rpc.Errf(rpc.StatusNotFound, "fs: no file %q", name)
 	}
-	s.reply(m, &ipc.Message{ID: MsgStatReply, Sections: []ipc.Section{ipc.InlineBytes(encodeStatus(0, f.size))}})
+	r := rpc.NewReply()
+	r.U64(f.size)
+	return r, nil
 }
 
-// handleList returns newline-separated file names.
-func (s *Server) handleList(m *ipc.Message) {
+// handleList returns the file names, sorted.
+func (s *Server) handleList(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.files))
 	for n := range s.files {
@@ -401,21 +379,10 @@ func (s *Server) handleList(m *ipc.Message) {
 	}
 	s.mu.Unlock()
 	sort.Strings(names)
-	s.reply(m, &ipc.Message{ID: MsgListReply, Sections: []ipc.Section{ipc.InlineBytes([]byte(strings.Join(names, "\n")))}})
-}
-
-// encodeStatus packs a status byte and a size into a reply payload.
-func encodeStatus(status byte, size uint64) []byte {
-	b := make([]byte, 9)
-	b[0] = status
-	binary.LittleEndian.PutUint64(b[1:], size)
-	return b
-}
-
-// decodeStatus unpacks a reply payload.
-func decodeStatus(b []byte) (status byte, size uint64, ok bool) {
-	if len(b) < 9 {
-		return 0, 0, false
+	r := rpc.NewReply()
+	r.U32(uint32(len(names)))
+	for _, n := range names {
+		r.String(n)
 	}
-	return b[0], binary.LittleEndian.Uint64(b[1:]), true
+	return r, nil
 }

@@ -214,3 +214,80 @@ func TestNotificationsSurviveChurn(t *testing.T) {
 		t.Fatalf("notification after churn: %v %+v", err, m)
 	}
 }
+
+// TestRPCReplyPortReuse: consecutive RPCs through one space reuse the
+// cached reply port instead of allocating a fresh one per call.
+func TestRPCReplyPortReuse(t *testing.T) {
+	server := NewSpace(0, nil)
+	client := NewSpace(0, nil)
+	defer server.Destroy()
+	defer client.Destroy()
+	svc, _ := server.AllocatePort()
+	name, _ := server.CopySendRight(client, svc)
+	seen := make(chan Name, 8)
+	go func() {
+		for {
+			m, err := server.Receive(svc, ReceiveOptions{})
+			if err != nil {
+				return
+			}
+			seen <- m.RemotePort // the name the reply right landed under
+			_ = server.Send(&Message{ID: m.ID + 1, RemotePort: m.RemotePort}, SendOptions{Force: true})
+			_ = server.DeallocatePort(m.RemotePort)
+		}
+	}()
+	var replies [4]Name
+	for i := range replies {
+		r, err := client.RPC(&Message{ID: 1, RemotePort: name}, time.Second, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replies[i] = r.LocalPort // the port the reply arrived on
+		<-seen
+	}
+	for i := 1; i < len(replies); i++ {
+		if replies[i] != replies[0] {
+			t.Fatalf("reply port not reused: %v", replies)
+		}
+	}
+}
+
+// TestRPCTimeoutRetiresReplyPort: a timed-out RPC must not recycle its
+// reply port — a late reply would otherwise be handed to the next call.
+func TestRPCTimeoutRetiresReplyPort(t *testing.T) {
+	server := NewSpace(0, nil)
+	client := NewSpace(0, nil)
+	defer server.Destroy()
+	defer client.Destroy()
+	svc, _ := server.AllocatePort()
+	name, _ := server.CopySendRight(client, svc)
+	release := make(chan struct{})
+	go func() {
+		for {
+			m, err := server.Receive(svc, ReceiveOptions{})
+			if err != nil {
+				return
+			}
+			go func(m *Message) {
+				if m.ID == 1 {
+					<-release // delay the first reply past the timeout
+				}
+				_ = server.Send(&Message{ID: m.ID + 100, RemotePort: m.RemotePort}, SendOptions{Force: true})
+				_ = server.DeallocatePort(m.RemotePort)
+			}(m)
+		}
+	}()
+	if _, err := client.RPC(&Message{ID: 1, RemotePort: name}, time.Second, 30*time.Millisecond); err != ErrRcvTimedOut {
+		t.Fatalf("first call: %v", err)
+	}
+	close(release) // late reply fires at a retired port
+	for i := 0; i < 8; i++ {
+		r, err := client.RPC(&Message{ID: 2, RemotePort: name}, time.Second, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ID != 102 {
+			t.Fatalf("stale reply leaked into a later call: got ID %d", r.ID)
+		}
+	}
+}

@@ -240,27 +240,39 @@ func (s *Space) deliver(m *Message) {
 }
 
 // RPC sends m and blocks for the reply (msg_rpc). If m.LocalPort is zero
-// a temporary reply port is allocated for the call and deallocated after
-// the reply arrives. sendTimeout and rcvTimeout of zero block forever.
+// a temporary reply port is borrowed from the space's reply-port cache
+// (allocating one only when the cache is empty) and recycled after the
+// reply arrives. sendTimeout and rcvTimeout of zero block forever.
 func (s *Space) RPC(m *Message, sendTimeout, rcvTimeout time.Duration) (*Message, error) {
 	reply := m.LocalPort
 	temp := false
 	if reply == 0 {
 		var err error
-		reply, err = s.AllocatePort()
+		reply, err = s.getReplyPort()
 		if err != nil {
 			return nil, err
 		}
 		m.LocalPort = reply
 		temp = true
 	}
-	if temp {
-		defer func() { _ = s.DeallocatePort(reply) }()
-	}
 	if err := s.Send(m, SendOptions{Timeout: sendTimeout}); err != nil {
+		if temp {
+			// Nothing was enqueued; the port is clean and reusable.
+			s.putReplyPort(reply)
+		}
 		return nil, err
 	}
-	return s.Receive(reply, ReceiveOptions{Timeout: rcvTimeout})
+	r, err := s.Receive(reply, ReceiveOptions{Timeout: rcvTimeout})
+	if temp {
+		if err != nil {
+			// The reply may still arrive later; retire the port so a
+			// stale reply can never be handed to a future call.
+			_ = s.DeallocatePort(reply)
+		} else {
+			s.putReplyPort(reply)
+		}
+	}
+	return r, err
 }
 
 // --- Kernel-side (raw) operations ---------------------------------------

@@ -112,7 +112,19 @@ type Space struct {
 
 	wakeMu sync.Mutex
 	wakeCh chan struct{}
+
+	// replyMu guards replyPool, the cache of temporary reply ports RPC
+	// reuses across calls. Allocating and destroying a port per msg_rpc
+	// costs two shard insertions, a sender registration and a port-death
+	// sweep; pooling turns the RPC fast path into pure send/receive.
+	replyMu     sync.Mutex
+	replyPool   []Name
+	replyNoPool atomic.Bool
 }
+
+// maxReplyPool bounds the cached reply ports per space; beyond it,
+// finished RPC ports are deallocated as before.
+const maxReplyPool = 64
 
 // NewSpace creates an empty port name space on the given host. Every
 // space is born with an enabled notify port on which the kernel delivers
@@ -150,6 +162,72 @@ func (s *Space) NotifyPort() Name { return s.notify }
 func (s *Space) shardFor(n Name) *nameShard { return &s.shards[uint32(n)&shardMask] }
 
 func (s *Space) portShardFor(p *Port) *portShard { return &s.ports[p.id&shardMask] }
+
+// SetReplyPortCache enables or disables the RPC reply-port cache
+// (enabled by default). Disabling exists for benchmarks comparing the
+// pooled fast path against per-call port allocation.
+func (s *Space) SetReplyPortCache(on bool) {
+	s.replyNoPool.Store(!on)
+	if !on {
+		s.replyMu.Lock()
+		pool := s.replyPool
+		s.replyPool = nil
+		s.replyMu.Unlock()
+		for _, n := range pool {
+			_ = s.DeallocatePort(n)
+		}
+	}
+}
+
+// replyPortClean reports whether a reply port is safe to hand to a new
+// RPC: alive and with an empty queue.
+func (s *Space) replyPortClean(n Name) bool {
+	st, err := s.Status(n)
+	return err == nil && !st.Dead && st.NumMsgs == 0
+}
+
+// getReplyPort returns a cached reply port or allocates a fresh one.
+// Pooled ports are re-checked for queued stragglers on the way out and
+// retired if any are found.
+func (s *Space) getReplyPort() (Name, error) {
+	if !s.replyNoPool.Load() {
+		for {
+			s.replyMu.Lock()
+			n := len(s.replyPool)
+			if n == 0 {
+				s.replyMu.Unlock()
+				break
+			}
+			p := s.replyPool[n-1]
+			s.replyPool = s.replyPool[:n-1]
+			s.replyMu.Unlock()
+			if s.replyPortClean(p) {
+				return p, nil
+			}
+			_ = s.DeallocatePort(p)
+		}
+	}
+	return s.AllocatePort()
+}
+
+// putReplyPort returns a reply port to the cache, or deallocates it when
+// the cache is full or disabled. Only ports whose RPC completed cleanly
+// may be recycled: after a receive timeout the port must be retired
+// (deallocated) instead, or a late reply could be delivered to the next
+// RPC that borrows the port. A port with messages still queued (a
+// double-replying server) is likewise retired, never pooled.
+func (s *Space) putReplyPort(n Name) {
+	if !s.replyNoPool.Load() && !s.dead.Load() && s.replyPortClean(n) {
+		s.replyMu.Lock()
+		if len(s.replyPool) < maxReplyPool {
+			s.replyPool = append(s.replyPool, n)
+			s.replyMu.Unlock()
+			return
+		}
+		s.replyMu.Unlock()
+	}
+	_ = s.DeallocatePort(n)
+}
 
 // wakeAll wakes every thread blocked in a receive-any on this space.
 func (s *Space) wakeAll() {
@@ -527,6 +605,11 @@ func (s *Space) Destroy() {
 		ps.m = make(map[*Port]Name)
 		ps.mu.Unlock()
 	}
+	// The cached reply ports' entries were just swept with every other
+	// name; drop the stale names so nothing hands them out again.
+	s.replyMu.Lock()
+	s.replyPool = nil
+	s.replyMu.Unlock()
 
 	for _, e := range entries {
 		if e.rights&SendRight != 0 {

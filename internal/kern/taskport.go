@@ -1,10 +1,10 @@
 package kern
 
 import (
-	"encoding/binary"
 	"time"
 
 	"repro/internal/ipc"
+	"repro/internal/rpc"
 )
 
 // This file implements task ports (§3.2): "The act of creating a task or
@@ -17,7 +17,8 @@ import (
 //
 // The kernel task acts as the server behind these ports.
 
-// Task port message IDs.
+// Task port message IDs. Replies echo the request ID and follow the rpc
+// reply convention (rpc.Status byte, then result data).
 const (
 	// MsgTaskSuspend suspends every thread of the task.
 	MsgTaskSuspend ipc.MsgID = 3400 + iota
@@ -25,12 +26,10 @@ const (
 	MsgTaskResume
 	// MsgTaskTerminate destroys the task.
 	MsgTaskTerminate
-	// MsgTaskVMRead reads the task's memory (payload: addr, size).
+	// MsgTaskVMRead reads the task's memory (addr: u64, size: u64).
 	MsgTaskVMRead
-	// MsgTaskVMWrite writes the task's memory (payload: addr, data).
+	// MsgTaskVMWrite writes the task's memory (addr: u64, then data).
 	MsgTaskVMWrite
-	// MsgTaskReply answers any of the above (status byte + data).
-	MsgTaskReply
 )
 
 // TaskPort returns the port representing the task, creating it (and its
@@ -58,8 +57,9 @@ func (k *Kernel) serviceTaskPort(t *Task, port *ipc.Port) {
 		if err != nil {
 			return
 		}
-		status := byte(0)
+		status := rpc.StatusOK
 		var data []byte
+		d := rpc.NewDec(m.InlineData())
 		switch m.ID {
 		case MsgTaskSuspend:
 			t.Suspend()
@@ -68,40 +68,35 @@ func (k *Kernel) serviceTaskPort(t *Task, port *ipc.Port) {
 		case MsgTaskTerminate:
 			t.Terminate()
 		case MsgTaskVMRead:
-			p := m.InlineData()
-			if len(p) < 16 {
-				status = 2
-				break
-			}
-			addr := binary.LittleEndian.Uint64(p)
-			size := binary.LittleEndian.Uint64(p[8:])
-			if size > 1<<20 {
-				status = 2
+			addr := d.U64()
+			size := d.U64()
+			if d.Err() != nil || size > 1<<20 {
+				status = rpc.StatusBadArgs
 				break
 			}
 			b, err := t.VMRead(addr, size)
 			if err != nil {
-				status = 1
+				status = rpc.StatusDead
 			} else {
 				data = b
 			}
 		case MsgTaskVMWrite:
-			p := m.InlineData()
-			if len(p) < 8 {
-				status = 2
+			addr := d.U64()
+			body := d.Tail()
+			if d.Err() != nil {
+				status = rpc.StatusBadArgs
 				break
 			}
-			addr := binary.LittleEndian.Uint64(p)
-			if err := t.VMWrite(addr, p[8:]); err != nil {
-				status = 1
+			if err := t.VMWrite(addr, body); err != nil {
+				status = rpc.StatusDead
 			}
 		default:
-			status = 3
+			status = rpc.StatusBadID
 		}
 		if reply := m.ReplyPort(); reply != nil {
-			payload := append([]byte{status}, data...)
+			payload := rpc.NewEnc().Status(status).Tail(data).Payload()
 			_ = ipc.RawSend(k.topo, k.host, reply, &ipc.Message{
-				ID:       MsgTaskReply,
+				ID:       m.ID,
 				Sections: []ipc.Section{ipc.InlineBytes(payload)},
 			}, ipc.SendOptions{Force: true})
 		}
@@ -138,26 +133,18 @@ func (t *Task) Resume() {
 const taskRPCTimeout = 10 * time.Second
 
 // taskRPC sends one task-port operation and waits for the reply.
-func taskRPC(requester *Task, taskPort ipc.Name, id ipc.MsgID, payload []byte) ([]byte, error) {
-	reply, err := requester.RPC(&ipc.Message{
-		ID:         id,
-		RemotePort: taskPort,
-		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
-	}, taskRPCTimeout, taskRPCTimeout)
+func taskRPC(requester *Task, taskPort ipc.Name, id ipc.MsgID, req *rpc.Enc) ([]byte, error) {
+	resp, err := rpc.NewClient(requester.Space, taskPort, taskRPCTimeout).Call(id, req)
 	if err != nil {
 		return nil, err
 	}
-	b := reply.InlineData()
-	if len(b) < 1 {
-		return nil, ipc.ErrInvalidPort
-	}
-	switch b[0] {
-	case 0:
-		return b[1:], nil
-	case 1:
+	switch resp.Status {
+	case rpc.StatusOK:
+		return resp.Dec.Tail(), nil
+	case rpc.StatusDead:
 		return nil, ErrTaskDead
 	default:
-		return nil, ipc.ErrInvalidPort
+		return nil, resp.Err()
 	}
 }
 
@@ -182,17 +169,11 @@ func TaskTerminateRPC(requester *Task, taskPort ipc.Name) error {
 // TaskVMReadRPC reads another task's memory through its task port (the
 // debugger's view of §8: "easy access to user process state").
 func TaskVMReadRPC(requester *Task, taskPort ipc.Name, addr, size uint64) ([]byte, error) {
-	payload := make([]byte, 16)
-	binary.LittleEndian.PutUint64(payload, addr)
-	binary.LittleEndian.PutUint64(payload[8:], size)
-	return taskRPC(requester, taskPort, MsgTaskVMRead, payload)
+	return taskRPC(requester, taskPort, MsgTaskVMRead, rpc.NewEnc().U64(addr).U64(size))
 }
 
 // TaskVMWriteRPC writes another task's memory through its task port.
 func TaskVMWriteRPC(requester *Task, taskPort ipc.Name, addr uint64, data []byte) error {
-	payload := make([]byte, 8+len(data))
-	binary.LittleEndian.PutUint64(payload, addr)
-	copy(payload[8:], data)
-	_, err := taskRPC(requester, taskPort, MsgTaskVMWrite, payload)
+	_, err := taskRPC(requester, taskPort, MsgTaskVMWrite, rpc.NewEnc().U64(addr).Tail(data))
 	return err
 }

@@ -1,11 +1,11 @@
 package netmem
 
 import (
-	"encoding/binary"
 	"time"
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
+	"repro/internal/rpc"
 )
 
 // rpcTimeout bounds client waits on the shared memory server.
@@ -14,25 +14,15 @@ const rpcTimeout = 10 * time.Second
 // Create asks the server to create a named shared region of the given
 // size.
 func Create(t *kern.Task, svc ipc.Name, name string, size uint64) error {
-	payload := make([]byte, 8+len(name))
-	binary.LittleEndian.PutUint64(payload, size)
-	copy(payload[8:], name)
-	reply, err := t.RPC(&ipc.Message{
-		ID:         MsgCreateRegion,
-		RemotePort: svc,
-		Sections:   []ipc.Section{ipc.InlineBytes(payload)},
-	}, rpcTimeout, rpcTimeout)
+	resp, err := rpc.NewClient(t.Space, svc, rpcTimeout).
+		Call(MsgCreateRegion, rpc.NewEnc().U64(size).String(name))
 	if err != nil {
 		return err
 	}
-	b := reply.InlineData()
-	if len(b) < 1 {
-		return ErrServer
-	}
-	switch b[0] {
-	case 0:
+	switch resp.Status {
+	case rpc.StatusOK:
 		return nil
-	case 1:
+	case rpc.StatusExists:
 		return ErrExists
 	default:
 		return ErrServer
@@ -44,26 +34,26 @@ func Create(t *kern.Task, svc ipc.Name, name string, size uint64) error {
 // kernel of the complex that attach the same name share the memory
 // consistently.
 func Attach(t *kern.Task, svc ipc.Name, name string) (addr, size uint64, err error) {
-	reply, err := t.RPC(&ipc.Message{
-		ID:         MsgAttachRegion,
-		RemotePort: svc,
-		Sections:   []ipc.Section{ipc.InlineBytes([]byte(name))},
-	}, rpcTimeout, rpcTimeout)
+	resp, err := rpc.NewClient(t.Space, svc, rpcTimeout).
+		Call(MsgAttachRegion, rpc.NewEnc().String(name))
 	if err != nil {
 		return 0, 0, err
 	}
-	b := reply.InlineData()
-	if len(b) < 9 {
+	switch resp.Status {
+	case rpc.StatusOK:
+	case rpc.StatusNotFound:
+		return 0, 0, ErrNoRegion
+	default:
 		return 0, 0, ErrServer
 	}
-	if b[0] != 1 {
-		return 0, 0, ErrNoRegion
+	size = resp.Dec.U64()
+	if resp.Dec.Err() != nil {
+		return 0, 0, ErrServer
 	}
-	size = binary.LittleEndian.Uint64(b[1:])
 	var moName ipc.Name
-	for i := range reply.Sections {
-		if reply.Sections[i].Kind == ipc.PortRightSection {
-			moName = reply.Sections[i].PortName
+	for i := range resp.Msg.Sections {
+		if resp.Msg.Sections[i].Kind == ipc.PortRightSection {
+			moName = resp.Msg.Sections[i].PortName
 		}
 	}
 	if moName == 0 {

@@ -19,27 +19,26 @@
 package netmem
 
 import (
-	"encoding/binary"
 	"errors"
 	"sync"
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/pager"
+	"repro/internal/rpc"
 	"repro/internal/vm"
 )
 
-// Service protocol message IDs.
+// Service protocol message IDs. Replies echo the request ID and follow
+// the rpc reply convention (rpc.Status byte, then result fields).
 const (
-	// MsgCreateRegion creates a named shared region (payload: size +
-	// name).
+	// MsgCreateRegion creates a named shared region (size: u64, name:
+	// string).
 	MsgCreateRegion ipc.MsgID = 3100 + iota
-	// MsgAttachRegion asks for a region's memory object (payload:
-	// name); the reply carries the object send right and region size.
+	// MsgAttachRegion asks for a region's memory object (name: string);
+	// the reply carries the region size (u64) and the object send
+	// right.
 	MsgAttachRegion
-	// MsgCreateReply / MsgAttachReply answer the above.
-	MsgCreateReply
-	MsgAttachReply
 )
 
 // Errors returned by the client library.
@@ -109,6 +108,7 @@ type Server struct {
 	kernel *kern.Kernel
 	task   *kern.Task
 	mgr    *pager.Manager
+	rpc    *rpc.Server
 
 	mu        sync.Mutex
 	regions   map[string]*region
@@ -130,15 +130,18 @@ func NewServer(k *kern.Kernel) (*Server, error) {
 		byAckPort: make(map[ipc.Name]*region),
 	}
 	s.mgr = pager.NewManager(s.task.Space, (*handler)(s))
-	s.mgr.Default = s.handleDefault
-	svc, err := s.task.Space.AllocatePort()
+	srv, err := rpc.NewServer(s.task.Space)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.task.Space.Enable(svc); err != nil {
-		return nil, err
-	}
-	s.ServicePort = svc
+	srv.Handle(MsgCreateRegion, s.handleCreate)
+	srv.Handle(MsgAttachRegion, s.handleAttach)
+	// Flush acknowledgements are one-way kernel notifications arriving
+	// on the regions' ack ports; they share the manager loop's demux.
+	srv.Handle(pager.MsgLockCompleted, s.handleFlushAck)
+	s.rpc = srv
+	s.mgr.Default = srv.Dispatch
+	s.ServicePort = srv.Port
 	return s, nil
 }
 
@@ -164,43 +167,22 @@ func (s *Server) pageSize() uint64 { return s.kernel.VM.PageSize() }
 
 // --- service protocol ------------------------------------------------------
 
-func (s *Server) reply(m *ipc.Message, r *ipc.Message) {
-	if m.RemotePort == 0 {
-		return
+func (s *Server) handleCreate(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	size := d.U64()
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
-	r.RemotePort = m.RemotePort
-	_ = s.task.Send(r, ipc.SendOptions{Force: true})
-	_ = s.task.Space.DeallocatePort(m.RemotePort)
-}
-
-func (s *Server) handleDefault(m *ipc.Message) {
-	switch m.ID {
-	case MsgCreateRegion:
-		s.handleCreate(m)
-	case MsgAttachRegion:
-		s.handleAttach(m)
-	case pager.MsgLockCompleted:
-		s.handleFlushAck(m)
-	}
-}
-
-func (s *Server) handleCreate(m *ipc.Message) {
-	payload := m.InlineData()
-	if len(payload) < 8 {
-		return
-	}
-	size := binary.LittleEndian.Uint64(payload)
-	name := string(payload[8:])
-	status := byte(0)
 	s.mu.Lock()
 	_, exists := s.regions[name]
 	s.mu.Unlock()
 	if exists {
-		status = 1
-	} else if err := s.createRegion(name, size); err != nil {
-		status = 2
+		return nil, rpc.Errf(rpc.StatusExists, "netmem: region %q exists", name)
 	}
-	s.reply(m, &ipc.Message{ID: MsgCreateReply, Sections: []ipc.Section{ipc.InlineBytes([]byte{status})}})
+	if err := s.createRegion(name, size); err != nil {
+		return nil, err
+	}
+	return rpc.NewReply(), nil
 }
 
 func (s *Server) createRegion(name string, size uint64) error {
@@ -239,25 +221,21 @@ func (s *Server) CreateRegion(name string, size uint64) error {
 	return s.createRegion(name, size)
 }
 
-func (s *Server) handleAttach(m *ipc.Message) {
-	name := string(m.InlineData())
+func (s *Server) handleAttach(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	r := s.regions[name]
 	s.mu.Unlock()
 	if r == nil {
-		s.reply(m, &ipc.Message{ID: MsgAttachReply, Sections: []ipc.Section{ipc.InlineBytes(make([]byte, 9))}})
-		return
+		return nil, rpc.Errf(rpc.StatusNotFound, "netmem: no region %q", name)
 	}
-	payload := make([]byte, 9)
-	payload[0] = 1
-	binary.LittleEndian.PutUint64(payload[1:], r.size)
-	s.reply(m, &ipc.Message{
-		ID: MsgAttachReply,
-		Sections: []ipc.Section{
-			ipc.InlineBytes(payload),
-			ipc.CarryRight(r.object.Port, ipc.SendRight),
-		},
-	})
+	reply := rpc.NewReply()
+	reply.U64(r.size)
+	reply.Carry(ipc.CarryRight(r.object.Port, ipc.SendRight))
+	return reply, nil
 }
 
 // --- pager event handling ---------------------------------------------------
@@ -354,25 +332,27 @@ func (h *handler) PortDeath(mo *pager.MemoryObject) {
 	}
 }
 
-// handleFlushAck: the kernel finished processing an invalidation.
-func (s *Server) handleFlushAck(m *ipc.Message) {
+// handleFlushAck: the kernel finished processing an invalidation. It is
+// a one-way notification (no reply is ever sent).
+func (s *Server) handleFlushAck(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	s.mu.Lock()
 	r := s.byAckPort[m.LocalPort]
 	s.mu.Unlock()
 	if r == nil {
-		return
+		return nil, nil
 	}
 	offset, _, _, wrote, _, ok := pager.DecodePayload(m.InlineData())
 	if !ok {
-		return
+		return nil, nil
 	}
 	p := r.pages[offset]
 	if p == nil {
-		return
+		return nil, nil
 	}
 	p.acksOut--
 	p.writesExp += int(wrote)
 	(*handler)(s).completeIfDone(r, p)
+	return nil, nil
 }
 
 // dispatch runs one event against the page state machine, deferring it if

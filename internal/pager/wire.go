@@ -14,9 +14,8 @@
 package pager
 
 import (
-	"encoding/binary"
-
 	"repro/internal/ipc"
+	"repro/internal/rpc"
 	"repro/internal/vm"
 )
 
@@ -78,26 +77,24 @@ func DecodePayload(b []byte) (offset, length uint64, prot vm.Prot, flag byte, da
 	return decodePayload(b)
 }
 
-// encodePayload builds the inline payload of a pager message.
+// encodePayload builds the inline payload of a pager message through the
+// shared rpc codec: offset u64, length u64, prot u8, flag u8, then the
+// raw page data as the tail.
 func encodePayload(offset, length uint64, prot vm.Prot, flag byte, data []byte) []byte {
-	b := make([]byte, wireHeaderLen+len(data))
-	binary.LittleEndian.PutUint64(b[0:], offset)
-	binary.LittleEndian.PutUint64(b[8:], length)
-	b[16] = byte(prot)
-	b[17] = flag
-	copy(b[wireHeaderLen:], data)
-	return b
+	return rpc.NewEnc().U64(offset).U64(length).U8(byte(prot)).U8(flag).Tail(data).Payload()
 }
 
-// decodePayload splits a pager message payload.
+// decodePayload splits a pager message payload with length-checked
+// decoding; ok is false if the payload is shorter than the fixed header.
 func decodePayload(b []byte) (offset, length uint64, prot vm.Prot, flag byte, data []byte, ok bool) {
-	if len(b) < wireHeaderLen {
+	d := rpc.NewDec(b)
+	offset = d.U64()
+	length = d.U64()
+	prot = vm.Prot(d.U8())
+	flag = d.U8()
+	data = d.Tail()
+	if d.Err() != nil {
 		return 0, 0, 0, 0, nil, false
 	}
-	offset = binary.LittleEndian.Uint64(b[0:])
-	length = binary.LittleEndian.Uint64(b[8:])
-	prot = vm.Prot(b[16])
-	flag = b[17]
-	data = b[wireHeaderLen:]
 	return offset, length, prot, flag, data, true
 }

@@ -1,0 +1,57 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ipc"
+)
+
+// benchPair is testPair without the testing.T plumbing.
+func benchPair(b *testing.B) (*Server, *Client) {
+	b.Helper()
+	serverSpace := ipc.NewSpace(0, nil)
+	clientSpace := ipc.NewSpace(0, nil)
+	srv, err := NewServer(serverSpace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := serverSpace.CopySendRight(clientSpace, srv.Port)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		serverSpace.Destroy()
+		clientSpace.Destroy()
+	})
+	return srv, NewClient(clientSpace, svc, 10*time.Second)
+}
+
+// BenchmarkRPCRoundTrip measures one typed call through the full stack —
+// encode, msg_rpc, demux, handler, status reply, decode — with the
+// space's cached reply port (the default) versus a fresh reply port
+// allocated and destroyed per call (the seed behavior). The pooled
+// variant skips two name-table insertions, a sender registration and a
+// port-death sweep per call.
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	run := func(b *testing.B, pooled bool) {
+		srv, client := benchPair(b)
+		srv.Handle(msgEcho, echoHandler)
+		go srv.Run()
+		defer srv.Stop()
+		client.Space.SetReplyPortCache(pooled)
+		payload := NewEnc().U64(42).Payload()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Call(msgEcho, NewEnc().Tail(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Status != StatusOK {
+				b.Fatal(resp.Status)
+			}
+		}
+	}
+	b.Run("pooled-reply-port", func(b *testing.B) { run(b, true) })
+	b.Run("fresh-reply-port", func(b *testing.B) { run(b, false) })
+}

@@ -1,0 +1,92 @@
+package rpc
+
+import (
+	"time"
+
+	"repro/internal/ipc"
+)
+
+// DefaultTimeout bounds client waits when a Client is built with zero
+// timeout.
+const DefaultTimeout = 10 * time.Second
+
+// Client issues typed calls against one service port. The underlying
+// msg_rpc uses the space's cached reply port, so a client performs no
+// port allocation on the fast path.
+type Client struct {
+	// Space is the calling task's port name space.
+	Space *ipc.Space
+	// Svc is the service port name (a send right) in Space.
+	Svc ipc.Name
+	// Timeout bounds each call's send and receive legs.
+	Timeout time.Duration
+}
+
+// NewClient builds a client for a published service port. A zero
+// timeout means DefaultTimeout.
+func NewClient(space *ipc.Space, svc ipc.Name, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Client{Space: space, Svc: svc, Timeout: timeout}
+}
+
+// Resp is a decoded reply: the wire status, a decoder positioned at the
+// first result field, and the raw message for port-right and out-of-line
+// sections.
+type Resp struct {
+	// Status is the server's canonical status for the call.
+	Status Status
+	// Dec reads the result fields (valid only when Status is StatusOK;
+	// error replies carry no result fields).
+	Dec *Dec
+	// Msg is the raw reply message.
+	Msg *ipc.Message
+}
+
+// Err maps the reply status to its sentinel error (nil for StatusOK).
+func (r *Resp) Err() error { return r.Status.Err() }
+
+// Call sends one typed request and waits for the reply. req may be nil
+// for calls without arguments; extra sections (port rights, regions)
+// ride along after the payload. The returned error covers transport
+// failures and undecodable replies (ErrTruncated for a reply too short
+// to carry a status); an error *status* is returned in Resp for the
+// caller to map, with Resp.Err as the generic mapping.
+func (c *Client) Call(id ipc.MsgID, req *Enc, extra ...ipc.Section) (*Resp, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	sections := make([]ipc.Section, 0, 1+len(extra))
+	sections = append(sections, ipc.InlineBytes(req.Payload()))
+	sections = append(sections, extra...)
+	reply, err := c.Space.RPC(&ipc.Message{
+		ID:         id,
+		RemotePort: c.Svc,
+		Sections:   sections,
+	}, timeout, timeout)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDec(reply.InlineData())
+	st := d.Status()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return &Resp{Status: st, Dec: d, Msg: reply}, nil
+}
+
+// Invoke is Call for the common case where any non-OK status is an
+// error: it returns the reply only on StatusOK, mapping error statuses
+// through Status.Err.
+func (c *Client) Invoke(id ipc.MsgID, req *Enc, extra ...ipc.Section) (*Resp, error) {
+	resp, err := c.Call(id, req, extra...)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, resp.Status.Err()
+	}
+	return resp, nil
+}

@@ -1,0 +1,207 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ipc"
+)
+
+// TestCodecRoundTrip: every field type survives an encode/decode cycle.
+func TestCodecRoundTrip(t *testing.T) {
+	p := NewEnc().
+		U8(0xAB).U16(0xCDEF).U32(0xDEADBEEF).U64(0x0123456789ABCDEF).
+		Status(StatusExists).Name(ipc.Name(42)).
+		String("hello").Bytes([]byte{1, 2, 3}).
+		Tail([]byte("tail")).
+		Payload()
+	d := NewDec(p)
+	if v := d.U8(); v != 0xAB {
+		t.Fatalf("u8: %x", v)
+	}
+	if v := d.U16(); v != 0xCDEF {
+		t.Fatalf("u16: %x", v)
+	}
+	if v := d.U32(); v != 0xDEADBEEF {
+		t.Fatalf("u32: %x", v)
+	}
+	if v := d.U64(); v != 0x0123456789ABCDEF {
+		t.Fatalf("u64: %x", v)
+	}
+	if v := d.Status(); v != StatusExists {
+		t.Fatalf("status: %v", v)
+	}
+	if v := d.Name(); v != 42 {
+		t.Fatalf("name: %v", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Fatalf("string: %q", v)
+	}
+	if v := d.Bytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("bytes: %v", v)
+	}
+	if v := d.Tail(); !bytes.Equal(v, []byte("tail")) {
+		t.Fatalf("tail: %q", v)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("err: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining: %d", d.Remaining())
+	}
+}
+
+// TestCodecRoundTripProperty: random field sequences round-trip for
+// arbitrary values.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(8)
+		kinds := make([]int, n)
+		e := NewEnc()
+		type want struct {
+			kind int
+			u    uint64
+			s    string
+			b    []byte
+		}
+		wants := make([]want, n)
+		for i := range kinds {
+			k := rng.Intn(6)
+			kinds[i] = k
+			switch k {
+			case 0:
+				v := uint8(rng.Uint32())
+				e.U8(v)
+				wants[i] = want{kind: k, u: uint64(v)}
+			case 1:
+				v := uint16(rng.Uint32())
+				e.U16(v)
+				wants[i] = want{kind: k, u: uint64(v)}
+			case 2:
+				v := rng.Uint32()
+				e.U32(v)
+				wants[i] = want{kind: k, u: uint64(v)}
+			case 3:
+				v := rng.Uint64()
+				e.U64(v)
+				wants[i] = want{kind: k, u: v}
+			case 4:
+				b := make([]byte, rng.Intn(40))
+				rng.Read(b)
+				s := string(b)
+				e.String(s)
+				wants[i] = want{kind: k, s: s}
+			case 5:
+				b := make([]byte, rng.Intn(40))
+				rng.Read(b)
+				e.Bytes(b)
+				wants[i] = want{kind: k, b: b}
+			}
+		}
+		d := NewDec(e.Payload())
+		for i, w := range wants {
+			switch w.kind {
+			case 0:
+				if got := uint64(d.U8()); got != w.u {
+					t.Fatalf("iter %d field %d u8: %d != %d", iter, i, got, w.u)
+				}
+			case 1:
+				if got := uint64(d.U16()); got != w.u {
+					t.Fatalf("iter %d field %d u16: %d != %d", iter, i, got, w.u)
+				}
+			case 2:
+				if got := uint64(d.U32()); got != w.u {
+					t.Fatalf("iter %d field %d u32: %d != %d", iter, i, got, w.u)
+				}
+			case 3:
+				if got := d.U64(); got != w.u {
+					t.Fatalf("iter %d field %d u64: %d != %d", iter, i, got, w.u)
+				}
+			case 4:
+				if got := d.String(); got != w.s {
+					t.Fatalf("iter %d field %d string: %q != %q", iter, i, got, w.s)
+				}
+			case 5:
+				if got := d.Bytes(); !bytes.Equal(got, w.b) {
+					t.Fatalf("iter %d field %d bytes: %v != %v", iter, i, got, w.b)
+				}
+			}
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("iter %d: decode error %v", iter, err)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("iter %d: %d bytes left over", iter, d.Remaining())
+		}
+	}
+}
+
+// TestDecTruncation: reads past the payload stick ErrTruncated and
+// return zero values, never misreads.
+func TestDecTruncation(t *testing.T) {
+	d := NewDec([]byte{1, 2, 3})
+	if v := d.U32(); v != 0 {
+		t.Fatalf("truncated u32 misread: %d", v)
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err: %v", d.Err())
+	}
+	// The error is sticky: every later read is zero too.
+	if d.U8() != 0 || d.U64() != 0 || d.String() != "" || d.Bytes() != nil || d.Tail() != nil {
+		t.Fatal("reads after error returned data")
+	}
+
+	// A length prefix pointing past the end is truncation, not a read.
+	d = NewDec(NewEnc().U32(1000).Tail([]byte("short")).Payload())
+	if v := d.Bytes(); v != nil {
+		t.Fatalf("overlong bytes field decoded: %v", v)
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err: %v", d.Err())
+	}
+}
+
+// TestStatusMapping: Status <-> error is a bijection over the canonical
+// codes, and Errf picks the wire status.
+func TestStatusMapping(t *testing.T) {
+	for _, s := range []Status{StatusBadID, StatusBadArgs, StatusNotFound,
+		StatusExists, StatusFull, StatusTooLarge, StatusDead, StatusServerErr} {
+		if got := StatusOf(s.Err()); got != s {
+			t.Fatalf("status %v round-trips to %v", s, got)
+		}
+	}
+	if StatusOK.Err() != nil {
+		t.Fatal("StatusOK maps to an error")
+	}
+	if StatusOf(nil) != StatusOK {
+		t.Fatal("nil maps off StatusOK")
+	}
+	if StatusOf(ErrTruncated) != StatusBadArgs {
+		t.Fatal("truncation is not bad-args")
+	}
+	err := Errf(StatusFull, "disk %s full", "d0")
+	if StatusOf(err) != StatusFull {
+		t.Fatalf("Errf status lost: %v", StatusOf(err))
+	}
+	if !errors.Is(err, ErrFull) {
+		t.Fatal("Errf error does not unwrap to its sentinel")
+	}
+	if StatusOf(errors.New("anything else")) != StatusServerErr {
+		t.Fatal("unknown error is not server-err")
+	}
+}
+
+// TestWordHelpers: the raw u64 word accessors.
+func TestWordHelpers(t *testing.T) {
+	var b [8]byte
+	PutU64(b[:], 0x1122334455667788)
+	if v := U64(b[:]); v != 0x1122334455667788 {
+		t.Fatalf("word round trip: %x", v)
+	}
+	if U64(b[:7]) != 0 {
+		t.Fatal("short word read did not zero")
+	}
+}

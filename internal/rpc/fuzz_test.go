@@ -1,0 +1,80 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives Dec over arbitrary bytes with a schema walk chosen
+// by the input itself, asserting the decoder never panics, never reads
+// outside the payload, and returns only zero values once truncated.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(NewEnc().U8(7).U32(9).String("seed").Bytes([]byte{1, 2}).Payload())
+	f.Add(NewEnc().U64(1 << 40).U16(3).Tail([]byte("tail")).Payload())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		d := NewDec(in)
+		// The first byte (if any) seeds the schema walk; the walk reads
+		// far more fields than any payload can hold, so truncation is
+		// exercised on every input.
+		var steps byte
+		if len(in) > 0 {
+			steps = in[0]
+		}
+		sawErr := false
+		check := func(zero bool, b []byte) {
+			if d.Err() != nil {
+				sawErr = true
+			}
+			if sawErr && !zero {
+				t.Fatalf("non-zero value after decode error")
+			}
+			if b != nil {
+				// Any returned slice must lie within the input.
+				if len(b) > len(in) {
+					t.Fatalf("over-read: %d bytes from %d-byte input", len(b), len(in))
+				}
+			}
+		}
+		for i := 0; i < int(steps%29)+8; i++ {
+			switch i % 7 {
+			case 0:
+				v := d.U8()
+				check(v == 0, nil)
+			case 1:
+				v := d.U16()
+				check(v == 0, nil)
+			case 2:
+				v := d.U32()
+				check(v == 0, nil)
+			case 3:
+				v := d.U64()
+				check(v == 0, nil)
+			case 4:
+				v := d.String()
+				check(v == "", []byte(v))
+			case 5:
+				v := d.Bytes()
+				check(v == nil, v)
+			case 6:
+				v := d.Status()
+				check(v == 0, nil)
+			}
+			if d.Remaining() < 0 || d.Remaining() > len(in) {
+				t.Fatalf("remaining out of range: %d", d.Remaining())
+			}
+		}
+		tail := d.Tail()
+		if d.Err() != nil && tail != nil {
+			t.Fatal("tail after error")
+		}
+		if len(tail) > len(in) {
+			t.Fatalf("tail over-read: %d > %d", len(tail), len(in))
+		}
+		if len(tail) > 0 && !bytes.Contains(in, tail) {
+			t.Fatal("tail bytes not from input")
+		}
+	})
+}

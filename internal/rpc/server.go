@@ -1,0 +1,212 @@
+package rpc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ipc"
+)
+
+// HandlerFunc serves one request. m is the raw message (for port-right
+// and out-of-line sections, and for LocalPort-based demux state); d is a
+// decoder positioned at the start of the request payload. Returning a
+// non-nil error sends an error reply carrying StatusOf(err); returning
+// (nil, nil) sends no reply (for one-way notifications).
+type HandlerFunc func(m *ipc.Message, d *Dec) (*Reply, error)
+
+// Reply is a successful reply under construction: the typed result
+// fields (via the embedded Enc) plus any port-right or out-of-line
+// sections to carry. The Status byte is prepended by the server; a
+// handler never writes it.
+type Reply struct {
+	Enc
+	sections []ipc.Section
+}
+
+// NewReply returns an empty reply builder.
+func NewReply() *Reply { return &Reply{} }
+
+// Carry appends a message section (a port right or an out-of-line
+// region) to the reply body.
+func (r *Reply) Carry(sec ipc.Section) *Reply {
+	r.sections = append(r.sections, sec)
+	return r
+}
+
+// Server is the demux loop of a service port: it owns the port, looks up
+// the registered handler for each request's MsgID, and replies — with
+// the handler's result, with the handler's error status, or with
+// StatusBadID when no handler is registered (in the seed repo an unknown
+// ID was silently dropped and the client blocked until its timeout).
+//
+// A server runs in one of two modes:
+//
+//   - Own loop: call Run (usually `go srv.Run()`); it receives on the
+//     service port until Stop, optionally fanning requests out to a
+//     worker pool.
+//   - Embedded: servers built on pager.Manager keep the manager's
+//     receive loop and install Dispatch as the manager's Default, so
+//     pager calls and service calls share one thread.
+type Server struct {
+	// Space is the server task's port name space.
+	Space *ipc.Space
+	// Port is the service port name in Space (allocated and enabled by
+	// NewServer); publish a send right to clients with CopySendRight.
+	Port ipc.Name
+
+	handlers map[ipc.MsgID]HandlerFunc
+	workers  int
+	stopped  atomic.Bool
+
+	poolOnce sync.Once
+	ch       chan *ipc.Message
+	wg       sync.WaitGroup
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithWorkers makes Run dispatch requests on n concurrent worker
+// goroutines instead of inline. Handlers must then be safe for
+// concurrent use. Embedded (Dispatch) servers ignore it.
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// NewServer allocates and enables a fresh service port on space and
+// returns a server demuxing it. Register handlers with Handle before
+// serving requests.
+func NewServer(space *ipc.Space, opts ...Option) (*Server, error) {
+	port, err := space.AllocatePort()
+	if err != nil {
+		return nil, err
+	}
+	if err := space.Enable(port); err != nil {
+		return nil, err
+	}
+	s := &Server{Space: space, Port: port, handlers: make(map[ipc.MsgID]HandlerFunc)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Handle registers fn for the given request ID. Registration is not
+// synchronized with serving: register every handler before Run or the
+// first Dispatch.
+func (s *Server) Handle(id ipc.MsgID, fn HandlerFunc) {
+	s.handlers[id] = fn
+}
+
+// Run receives on the service port and dispatches until the port or
+// space dies (see Stop). With WithWorkers(n) it fans requests out to n
+// goroutines and returns only after they drain.
+func (s *Server) Run() {
+	if s.workers > 0 {
+		s.poolOnce.Do(s.startPool)
+		defer func() {
+			close(s.ch)
+			s.wg.Wait()
+		}()
+	}
+	for {
+		m, err := s.Space.Receive(s.Port, ipc.ReceiveOptions{})
+		if err != nil {
+			// Stop deallocated the service port (or the space died);
+			// nothing more can arrive. Requests already received are
+			// always served — a dequeued message must never be dropped,
+			// or its client would block for its full timeout.
+			return
+		}
+		if s.workers > 0 {
+			s.ch <- m
+		} else {
+			s.serve(m)
+		}
+	}
+}
+
+func (s *Server) startPool() {
+	s.ch = make(chan *ipc.Message, s.workers)
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for m := range s.ch {
+				s.serve(m)
+			}
+		}()
+	}
+}
+
+// Stop ends a Run loop gracefully: no further requests are accepted (the
+// service port is deallocated, so client sends fail fast instead of
+// queueing), in-flight handlers finish, and their replies still go out
+// on the clients' reply ports.
+func (s *Server) Stop() {
+	if s.stopped.Swap(true) {
+		return
+	}
+	_ = s.Space.DeallocatePort(s.Port)
+}
+
+// Dispatch serves one already-received message — the embedded mode for
+// tasks whose receive loop lives elsewhere (pager.Manager's Default).
+func (s *Server) Dispatch(m *ipc.Message) { s.serve(m) }
+
+// serve looks up the handler and sends the reply.
+func (s *Server) serve(m *ipc.Message) {
+	fn, ok := s.handlers[m.ID]
+	if !ok {
+		s.replyStatus(m, StatusBadID, nil)
+		return
+	}
+	r, err := fn(m, NewDec(m.InlineData()))
+	if err != nil {
+		s.replyStatus(m, StatusOf(err), nil)
+		return
+	}
+	if r == nil {
+		// One-way message: nothing to send, but still release the reply
+		// right if the sender attached one.
+		if m.RemotePort != 0 {
+			_ = s.Space.DeallocatePort(m.RemotePort)
+		}
+		return
+	}
+	s.replyStatus(m, StatusOK, r)
+}
+
+// replyStatus sends [status][result fields][sections] to the request's
+// reply port, then drops the server's send right to it. Requests without
+// a reply port get no reply (and error statuses are simply dropped, as
+// Mach drops replies to one-way messages).
+func (s *Server) replyStatus(m *ipc.Message, st Status, r *Reply) {
+	if m.RemotePort == 0 {
+		return
+	}
+	var body []byte
+	var extra []ipc.Section
+	if r != nil {
+		body = r.Payload()
+		extra = r.sections
+	}
+	payload := make([]byte, 0, 1+len(body))
+	payload = append(payload, byte(st))
+	payload = append(payload, body...)
+	sections := make([]ipc.Section, 0, 1+len(extra))
+	sections = append(sections, ipc.InlineBytes(payload))
+	sections = append(sections, extra...)
+	// Replies are forced past the backlog: a server must never block on
+	// a slow client.
+	_ = s.Space.Send(&ipc.Message{
+		ID:         m.ID,
+		RemotePort: m.RemotePort,
+		Sections:   sections,
+	}, ipc.SendOptions{Force: true})
+	_ = s.Space.DeallocatePort(m.RemotePort)
+}

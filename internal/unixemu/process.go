@@ -1,11 +1,11 @@
 package unixemu
 
 import (
-	"encoding/binary"
 	"errors"
 	"sync"
 
 	"repro/internal/kern"
+	"repro/internal/rpc"
 	"repro/internal/vm"
 )
 
@@ -91,12 +91,12 @@ func (p *Process) readOffset(slot int) int64 {
 	if err != nil {
 		return 0
 	}
-	return int64(binary.LittleEndian.Uint64(b))
+	return int64(rpc.U64(b))
 }
 
 func (p *Process) writeOffset(slot int, v int64) {
 	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	rpc.PutU64(b[:], uint64(v))
 	_ = p.Task.VMWrite(p.uarea+uint64(slot*8), b[:])
 }
 

@@ -49,6 +49,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/netmem"
 	"repro/internal/pager"
+	"repro/internal/rpc"
 	"repro/internal/unixemu"
 	"repro/internal/vm"
 )
@@ -172,6 +173,52 @@ var (
 	CarryRight = ipc.CarryRight
 	// CarryRegion builds an out-of-line section (moved copy-on-write).
 	CarryRegion = ipc.CarryRegion
+)
+
+// --- typed RPC layer ---------------------------------------------------------
+
+// The MIG analogue: one typed interface layer every server and client
+// speak over ports. Define message IDs, register RPCHandler funcs on an
+// RPCServer, and call through an RPCClient with Enc-built payloads; the
+// codec, status space and demux replace per-server wire formats.
+type (
+	// RPCServer demuxes a service port to registered handlers.
+	RPCServer = rpc.Server
+	// RPCClient issues typed calls against a service port.
+	RPCClient = rpc.Client
+	// RPCHandler serves one request.
+	RPCHandler = rpc.HandlerFunc
+	// RPCReply is a reply under construction.
+	RPCReply = rpc.Reply
+	// RPCStatus is the canonical status/errno space.
+	RPCStatus = rpc.Status
+	// Enc / Dec are the typed payload cursor codecs.
+	Enc = rpc.Enc
+	Dec = rpc.Dec
+)
+
+// NewRPCServer allocates a service port on space and returns its demux.
+func NewRPCServer(space *Space, opts ...rpc.Option) (*RPCServer, error) {
+	return rpc.NewServer(space, opts...)
+}
+
+// NewRPCClient builds a typed client for a published service port.
+func NewRPCClient(space *Space, svc Name, timeout time.Duration) *RPCClient {
+	return rpc.NewClient(space, svc, timeout)
+}
+
+// Typed payload helpers.
+var (
+	// NewEnc starts an empty payload encoder.
+	NewEnc = rpc.NewEnc
+	// NewDec starts a length-checked decoder over a payload.
+	NewDec = rpc.NewDec
+	// NewRPCReply starts an empty reply.
+	NewRPCReply = rpc.NewReply
+	// PutU64 / U64 are the raw little-endian word accessors for code
+	// treating task memory as an array of u64 words.
+	PutU64 = rpc.PutU64
+	U64    = rpc.U64
 )
 
 // --- virtual memory ------------------------------------------------------------
