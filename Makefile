@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke fuzz
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke fuzz crosshost
 
 all: build vet fmt-check test
 
@@ -25,7 +25,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ipc ./internal/kern ./internal/vm ./internal/rpc ./internal/fs ./internal/netmem
+	$(GO) test -race ./internal/ipc ./internal/kern ./internal/vm ./internal/rpc ./internal/fs ./internal/netmem ./internal/netmsg
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rpc
@@ -37,3 +37,6 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run XXX .
 	$(GO) test -bench=. -benchtime=1x -run XXX ./internal/ipc
+
+crosshost:
+	$(GO) run ./examples/crosshost

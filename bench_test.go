@@ -70,6 +70,12 @@ func BenchmarkE9Ablations(b *testing.B) {
 	benchTable(b, experiments.E9Ablations)
 }
 
+// BenchmarkE10NetmsgCrossHost regenerates E10 (cross-host RPC through
+// netmsg proxies vs direct rights).
+func BenchmarkE10NetmsgCrossHost(b *testing.B) {
+	benchTable(b, experiments.E10NetmsgCrossHost)
+}
+
 // --- primitive micro-benchmarks (real time, not simulated) -----------------
 
 // BenchmarkIPCRoundTrip measures msg_send + msg_receive through a port
@@ -213,6 +219,65 @@ func BenchmarkIPCReceiveFanIn(b *testing.B) {
 			elapsed := b.Elapsed()
 			if elapsed > 0 {
 				b.ReportMetric(float64(total)/elapsed.Seconds(), "msgs/s")
+			}
+		})
+	}
+}
+
+// BenchmarkCrossHostRPCRoundTrip measures a full typed RPC round trip
+// against the same echo server reached two ways: published directly to
+// a client on the server's own host, and looked up by name from a
+// second host so every request and reply is relayed through netmsg
+// proxy ports. The delta is the real-time cost of location
+// transparency (the simulated-time cost is E10's story).
+func BenchmarkCrossHostRPCRoundTrip(b *testing.B) {
+	const msgEcho mach.MsgID = 9900
+	for _, remote := range []bool{false, true} {
+		name := "same-host"
+		if remote {
+			name = "cross-host-netmsg"
+		}
+		b.Run(name, func(b *testing.B) {
+			kernels, _, _ := mach.Complex(2, mach.NORMA, 256, 4096)
+			defer kernels[0].Shutdown()
+			defer kernels[1].Shutdown()
+			server := kernels[0].NewTask()
+			srv, err := mach.NewRPCServer(server.Space)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.Handle(msgEcho, func(m *mach.Message, d *mach.Dec) (*mach.RPCReply, error) {
+				v := d.U64()
+				if err := d.Err(); err != nil {
+					return nil, err
+				}
+				r := mach.NewRPCReply()
+				r.U64(v)
+				return r, nil
+			})
+			go srv.Run()
+			defer srv.Stop()
+			if err := mach.NetMsgCheckIn(server, "echo", srv.Port); err != nil {
+				b.Fatal(err)
+			}
+			client := kernels[0].NewTask()
+			if remote {
+				client = kernels[1].NewTask()
+			}
+			svc, err := mach.NetMsgLookUp(client, "echo")
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := mach.NewRPCClient(client.Space, svc, 30*time.Second)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := c.Invoke(msgEcho, mach.NewEnc().U64(uint64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.Dec.U64() != uint64(i) {
+					b.Fatal("wrong echo")
+				}
 			}
 		})
 	}

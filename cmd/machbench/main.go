@@ -34,6 +34,7 @@ var all = []struct {
 	{"E7", experiments.E7CamelotWAL, "Camelot recoverable VM / write-ahead log"},
 	{"E8", experiments.E8FaultPath, "fault path costs and memory-failure policies"},
 	{"E9", experiments.E9Ablations, "ablations: COW fork, copy-on-reference OOL, pageout target"},
+	{"E10", experiments.E10NetmsgCrossHost, "cross-host RPC: direct vs netmsg proxy relay"},
 }
 
 func main() {

@@ -1,6 +1,7 @@
 package ipc
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/machine"
@@ -14,6 +15,23 @@ func (s *Space) lookupRight(n Name, need Right) (*Port, error) {
 	sh.mu.RLock()
 	e, ok := sh.names[n]
 	if !ok || (need != 0 && e.rights&need != need) {
+		sh.mu.RUnlock()
+		return nil, ErrInvalidPort
+	}
+	p := e.port
+	sh.mu.RUnlock()
+	return p, nil
+}
+
+// lookupReplyRight resolves the reply-port name of an outgoing message.
+// The sender must hold a send or a receive right: naming an arbitrary
+// port a task holds no right to would smuggle a send right to the
+// receiver that the sender was never granted.
+func (s *Space) lookupReplyRight(n Name) (*Port, error) {
+	sh := s.shardFor(n)
+	sh.mu.RLock()
+	e, ok := sh.names[n]
+	if !ok || e.rights&(SendRight|ReceiveRight) == 0 {
 		sh.mu.RUnlock()
 		return nil, ErrInvalidPort
 	}
@@ -68,7 +86,7 @@ func (s *Space) Send(m *Message, opts SendOptions) error {
 	}
 
 	if m.LocalPort != 0 {
-		rp, err := s.lookupRight(m.LocalPort, 0)
+		rp, err := s.lookupReplyRight(m.LocalPort)
 		if err != nil {
 			return err
 		}
@@ -90,13 +108,25 @@ func (s *Space) Send(m *Message, opts SendOptions) error {
 			p, err = s.lookupRight(sec.PortName, sec.Right)
 		}
 		if err != nil {
+			// Receive rights extracted for earlier sections have
+			// already left the space and can never be delivered now;
+			// destroy them (dead-name semantics) rather than orphan
+			// their ports.
+			for j := 0; j < i; j++ {
+				prev := &m.Sections[j]
+				if prev.Kind == PortRightSection && prev.port != nil && prev.Right&ReceiveRight != 0 {
+					prev.port.destroy()
+				}
+			}
 			return err
 		}
 		sec.port = p
 	}
 
 	if s.topo != nil {
-		s.topo.ChargeMessage(s.host, dest.home, m.wireSize())
+		// Home() is read under the port lock: a migrating receive
+		// right (setReceiver) may rehome the queue concurrently.
+		s.topo.ChargeMessage(s.host, dest.Home(), m.wireSize())
 	}
 	err = s.sendResolved(dest, m, opts)
 	if err != nil {
@@ -153,23 +183,30 @@ func (s *Space) Receive(from Name, opts ReceiveOptions) (*Message, error) {
 }
 
 // receiveAny scans the enabled ports round-robin, blocking on the space
-// wake channel between scans.
+// wake channel between scans. The rotation cursor persists across calls
+// (and across threads of one space): each scan resumes just past the
+// port served last, so a flooded low-numbered port cannot starve the
+// other enabled ports.
 func (s *Space) receiveAny(opts ReceiveOptions) (*Message, error) {
 	var deadline time.Time
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
+	type cand struct {
+		n Name
+		p *Port
+	}
 	for {
 		if s.dead.Load() {
 			return nil, ErrSpaceDead
 		}
-		var cands []*Port
+		var cands []cand
 		for i := range s.shards {
 			sh := &s.shards[i]
 			sh.mu.RLock()
 			for n := range sh.enabled {
 				if e, ok := sh.names[n]; ok && e.rights&ReceiveRight != 0 {
-					cands = append(cands, e.port)
+					cands = append(cands, cand{n, e.port})
 				}
 			}
 			sh.mu.RUnlock()
@@ -177,9 +214,22 @@ func (s *Space) receiveAny(opts ReceiveOptions) (*Message, error) {
 		if len(cands) == 0 {
 			return nil, ErrNoEnabledPorts
 		}
+		// Shard and map iteration order are arbitrary; sort by name so
+		// the cursor defines one stable cycle over the enabled set.
+		sort.Slice(cands, func(i, j int) bool { return cands[i].n < cands[j].n })
+		start := 0
+		last := Name(s.rrCursor.Load())
+		for i := range cands {
+			if cands[i].n > last {
+				start = i
+				break
+			}
+		}
 		ch := s.wakeChan()
-		for _, p := range cands {
-			if m, ok := p.tryDequeue(); ok {
+		for i := range cands {
+			c := cands[(start+i)%len(cands)]
+			if m, ok := c.p.tryDequeue(); ok {
+				s.rrCursor.Store(uint32(c.n))
 				return m, nil
 			}
 		}
@@ -215,6 +265,16 @@ func (s *Space) deliver(m *Message) {
 		if n, err := s.InsertRight(sec.port, sec.Right); err == nil {
 			sec.PortName = n
 		} else {
+			// The right cannot land (the space is dying, or the port
+			// died in transit). A send right is simply released, but an
+			// undeliverable receive right would orphan the port — no
+			// space could ever drain or destroy it — so the port dies
+			// here and spaces holding send rights get dead-name
+			// notifications, Mach's semantics for rights destroyed in
+			// an undeliverable message.
+			if sec.Right&ReceiveRight != 0 {
+				sec.port.destroy()
+			}
 			sec.PortName = 0
 		}
 		sec.port = nil
@@ -307,6 +367,11 @@ func (m *Message) ReplyPort() *Port { return m.replyPort }
 // ArrivedOn exposes the port a raw-received message was queued on.
 func (m *Message) ArrivedOn() *Port { return m.arrivedOn }
 
+// SetReplyPort installs a raw reply port on a message built by kernel
+// code — the netmsg forwarder uses it to swap a reply port for its
+// proxy while re-sending a message toward the destination's host.
+func (m *Message) SetReplyPort(p *Port) { m.replyPort = p }
+
 // RawSend transmits m directly to port p on behalf of kernel code running
 // on host from. Topology charges apply exactly as for task sends. Body
 // sections must use CarryRawRight (names cannot be resolved).
@@ -321,7 +386,7 @@ func RawSend(topo *machine.Topology, from machine.HostID, p *Port, m *Message, o
 		}
 	}
 	if topo != nil {
-		topo.ChargeMessage(from, p.home, m.wireSize())
+		topo.ChargeMessage(from, p.Home(), m.wireSize())
 	}
 	return p.enqueue(m, opts.Force, opts.NonBlocking, opts.Timeout)
 }

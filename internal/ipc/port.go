@@ -63,6 +63,11 @@ type Port struct {
 	// senders holds a refcount per space with send rights, used to
 	// deliver port-death notifications.
 	senders map[*Space]int
+	// deathWatch holds kernel-side destruction callbacks by watch id
+	// (WatchDeath). The netmsg layer uses them to tear down proxies
+	// when the home port dies.
+	deathWatch map[uint64]func()
+	watchSeq   uint64
 }
 
 func newPort(receiver *Space) *Port {
@@ -82,6 +87,43 @@ func newPort(receiver *Space) *Port {
 // ID returns the port's kernel-wide identity, stable across right
 // transfers. Data managers can use it to correlate request ports.
 func (p *Port) ID() uint64 { return p.id }
+
+// Home returns the host whose kernel currently owns the port's queue
+// (the receiver's host). Kernel-side use only: the netmsg layer routes
+// forwarded messages by it, and it moves when a receive right is
+// inserted into a space on another host.
+func (p *Port) Home() machine.HostID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.home
+}
+
+// WatchDeath registers fn to run once when the port is destroyed and
+// returns a cancel function that removes the registration (so a watcher
+// outliving its interest does not pin fn on a long-lived port forever).
+// Kernel-side use only (tasks learn of port death through their notify
+// ports). If the port is already dead fn runs immediately on the
+// caller's goroutine.
+func (p *Port) WatchDeath(fn func()) (cancel func()) {
+	p.mu.Lock()
+	if !p.dead {
+		if p.deathWatch == nil {
+			p.deathWatch = make(map[uint64]func())
+		}
+		p.watchSeq++
+		id := p.watchSeq
+		p.deathWatch[id] = fn
+		p.mu.Unlock()
+		return func() {
+			p.mu.Lock()
+			delete(p.deathWatch, id)
+			p.mu.Unlock()
+		}
+	}
+	p.mu.Unlock()
+	fn()
+	return func() {}
+}
 
 // condWait blocks on c until broadcast or until deadline passes (zero
 // deadline blocks indefinitely). Returns false if the deadline has
@@ -317,6 +359,8 @@ func (p *Port) destroy() {
 		notify = append(notify, s)
 	}
 	p.senders = nil
+	watch := p.deathWatch
+	p.deathWatch = nil
 	for _, w := range p.waiters {
 		w.err = ErrPortDied
 		w.ready <- struct{}{}
@@ -333,6 +377,9 @@ func (p *Port) destroy() {
 				sec.port.destroy()
 			}
 		}
+	}
+	for _, fn := range watch {
+		fn()
 	}
 	for _, s := range notify {
 		s.notifyPortDeath(p)

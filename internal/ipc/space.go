@@ -107,6 +107,10 @@ type Space struct {
 	// allocCtr round-robins fresh allocations over shards so that the
 	// ports of one busy space spread across every lock.
 	allocCtr atomic.Uint32
+	// rrCursor is the name of the enabled port receiveAny served last,
+	// the rotation point the next scan resumes after (fairness across
+	// flooded ports).
+	rrCursor atomic.Uint32
 	dead     atomic.Bool
 	notify   Name
 

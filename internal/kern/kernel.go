@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ipc"
 	"repro/internal/machine"
+	"repro/internal/netmsg"
 	"repro/internal/pager"
 	"repro/internal/vm"
 )
@@ -44,6 +45,11 @@ type Config struct {
 	// memory then cannot be paged out). Used by failure-injection
 	// tests.
 	NoDefaultPager bool
+	// NetMsg is the cross-host message-server network this kernel's
+	// netmsg instance joins. Kernels sharing a Topology should share a
+	// network for location-transparent IPC between their hosts
+	// (mach.Complex wires this); a private network is created if nil.
+	NetMsg *netmsg.Network
 }
 
 // Kernel is one simulated Mach kernel: "the kernel task acts as a server
@@ -66,6 +72,10 @@ type Kernel struct {
 	dpMgr   *pager.Manager
 	dp      *pager.DefaultPager
 	dpSpace *ipc.Space
+
+	// nm is the host's network message server (cross-host IPC proxies
+	// and the name registry).
+	nm *netmsg.Server
 
 	// transit is the kernel map out-of-line data travels through.
 	transit *vm.Map
@@ -107,6 +117,18 @@ func NewKernel(cfg Config) *Kernel {
 	})
 	k.Cache = pager.NewObjectCache(k.VM, cfg.Host, cfg.Topo)
 	k.transit = k.VM.NewMap(taskMapLo, taskMapHi)
+
+	nmNet := cfg.NetMsg
+	if nmNet == nil {
+		nmNet = netmsg.NewNetwork()
+	}
+	nm, err := netmsg.NewServer(cfg.Host, cfg.Topo, nmNet)
+	if err != nil {
+		// Kernels sharing a NetMsg network must have distinct
+		// Config.Host values (as Complex arranges).
+		panic("kern: netmsg bootstrap (give each kernel on a shared NetMsg network a distinct Config.Host): " + err.Error())
+	}
+	k.nm = nm
 
 	if !cfg.NoDefaultPager {
 		disk := cfg.PagingDisk
@@ -152,6 +174,9 @@ func (k *Kernel) Topology() *machine.Topology { return k.topo }
 // DefaultPager returns the kernel's default pager (nil if disabled).
 func (k *Kernel) DefaultPager() *pager.DefaultPager { return k.dp }
 
+// NetMsg returns the host's network message server.
+func (k *Kernel) NetMsg() *netmsg.Server { return k.nm }
+
 // Shutdown stops the pageout daemon and the default pager. Tasks are
 // terminated.
 func (k *Kernel) Shutdown() {
@@ -163,6 +188,9 @@ func (k *Kernel) Shutdown() {
 	k.mu.Unlock()
 	for _, t := range tasks {
 		t.Terminate()
+	}
+	if k.nm != nil {
+		k.nm.Stop()
 	}
 	if k.dpMgr != nil {
 		k.dpMgr.Stop()

@@ -1,0 +1,353 @@
+// Package netmsg is the network message server of the reproduction: the
+// user-level service that makes Mach IPC location-transparent across
+// hosts, in the style of the netmsgserver the paper leans on ("port
+// ... can be used by processes on different machines through
+// user-state network message servers", §3.2).
+//
+// One Server runs per kernel. When a send right to a port homed on
+// another host is needed locally, the server materializes a local
+// *proxy port*: a kernel-held port whose queue is drained by a
+// store-and-forward thread that re-sends every message toward the home
+// port over the complex's interconnect, charged to the
+// machine.Topology exactly like any other cross-host traffic. The
+// translation is recursive:
+//
+//   - a reply port embedded in a forwarded message becomes a reverse
+//     proxy on the destination host, so msg_rpc round trips work
+//     unmodified;
+//   - send rights carried in message bodies are re-proxied on the
+//     destination host (or unwrapped, when the right is a proxy whose
+//     home port lives there);
+//   - receive rights travel as the real port — moving a receive right
+//     moves the queue itself, rehoming the port when it is inserted;
+//   - out-of-line regions ride along untouched and move through the
+//     kern layer's existing cross-host copy / copy-on-reference
+//     machinery when the receiver maps them.
+//
+// Each server also runs the bootstrap name registry (CheckIn / LookUp
+// over internal/rpc): a service checked in on any host can be looked
+// up from every host, the result being a local proxy right. This is
+// what closes the paper's duality across the network: an unmodified
+// client of any port-based service works against a server on another
+// host, memory objects included.
+package netmsg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ipc"
+	"repro/internal/machine"
+	"repro/internal/rpc"
+)
+
+// controlBytes approximates one netmsg-to-netmsg control message (proxy
+// negotiation, registry broadcast), charged to the interconnect.
+const controlBytes = 32
+
+// Network is the set of message servers of one machine complex — the
+// rendezvous the per-kernel servers use to reach each other, standing
+// in for the datagram transport under real netmsgservers. Kernels that
+// share a Topology should share a Network (mach.Complex wires this).
+type Network struct {
+	mu      sync.RWMutex
+	servers map[machine.HostID]*Server
+	// realOf maps every live proxy port (on any host) to its home
+	// port, so rights that travel back toward home are unwrapped
+	// instead of proxied in circles.
+	realOf map[*ipc.Port]*ipc.Port
+}
+
+// NewNetwork creates an empty message-server network.
+func NewNetwork() *Network {
+	return &Network{
+		servers: make(map[machine.HostID]*Server),
+		realOf:  make(map[*ipc.Port]*ipc.Port),
+	}
+}
+
+func (n *Network) attach(s *Server) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.servers[s.host]; ok {
+		return fmt.Errorf("netmsg: host %d already has a message server", s.host)
+	}
+	n.servers[s.host] = s
+	return nil
+}
+
+func (n *Network) detach(s *Server) {
+	n.mu.Lock()
+	if n.servers[s.host] == s {
+		delete(n.servers, s.host)
+	}
+	n.mu.Unlock()
+}
+
+// serverFor returns the message server of a host, or nil.
+func (n *Network) serverFor(h machine.HostID) *Server {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.servers[h]
+}
+
+// peers returns every server except s, in host order (the broadcast
+// order of a registry lookup).
+func (n *Network) peers(s *Server) []*Server {
+	n.mu.RLock()
+	out := make([]*Server, 0, len(n.servers))
+	for _, p := range n.servers {
+		if p != s {
+			out = append(out, p)
+		}
+	}
+	n.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].host < out[j].host })
+	return out
+}
+
+// unproxy resolves a port reference to its home port: proxies (from any
+// host) map to the port they forward to, everything else maps to
+// itself.
+func (n *Network) unproxy(p *ipc.Port) *ipc.Port {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if r, ok := n.realOf[p]; ok {
+		return r
+	}
+	return p
+}
+
+func (n *Network) registerProxy(proxy, home *ipc.Port) {
+	n.mu.Lock()
+	n.realOf[proxy] = home
+	n.mu.Unlock()
+}
+
+func (n *Network) forgetProxy(proxy *ipc.Port) {
+	n.mu.Lock()
+	delete(n.realOf, proxy)
+	n.mu.Unlock()
+}
+
+// Server is one host's network message server: the proxy-port factory
+// and forwarding threads, plus the host's slice of the name registry.
+type Server struct {
+	host  machine.HostID
+	topo  *machine.Topology
+	net   *Network
+	space *ipc.Space
+	srv   *rpc.Server
+
+	mu sync.Mutex
+	// proxies dedups proxy ports per home port, which both bounds the
+	// forwarding threads and keeps a remote port's identity stable on
+	// this host (every local holder names the same proxy).
+	proxies map[*ipc.Port]*ipc.Port
+	// names is this host's slice of the registry: locally checked-in
+	// services by name, as home (unproxied) ports.
+	names   map[string]*ipc.Port
+	stopped bool
+}
+
+// NewServer boots the message server for one host and attaches it to
+// the network. It fails if the network already has a server for the
+// host.
+func NewServer(host machine.HostID, topo *machine.Topology, net *Network) (*Server, error) {
+	s := &Server{
+		host:    host,
+		topo:    topo,
+		net:     net,
+		space:   ipc.NewSpace(host, topo),
+		proxies: make(map[*ipc.Port]*ipc.Port),
+		names:   make(map[string]*ipc.Port),
+	}
+	srv, err := rpc.NewServer(s.space)
+	if err != nil {
+		s.space.Destroy()
+		return nil, err
+	}
+	srv.Handle(MsgCheckIn, s.handleCheckIn)
+	srv.Handle(MsgLookUp, s.handleLookUp)
+	s.srv = srv
+	if err := net.attach(s); err != nil {
+		s.space.Destroy()
+		return nil, err
+	}
+	go srv.Run()
+	return s, nil
+}
+
+// Host returns the host this server serves.
+func (s *Server) Host() machine.HostID { return s.host }
+
+// Publish installs a send right to this server's registry service port
+// into a local task's space — the bootstrap right every task needs to
+// reach the name service.
+func (s *Server) Publish(dst *ipc.Space) (ipc.Name, error) {
+	return s.space.CopySendRight(dst, s.srv.Port)
+}
+
+// Stop tears the server down: proxies die (destroying queued rights,
+// notifying local holders), the registry stops answering, and the
+// server detaches from the network.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	proxies := make([]*ipc.Port, 0, len(s.proxies))
+	for _, pp := range s.proxies {
+		proxies = append(proxies, pp)
+	}
+	s.mu.Unlock()
+	s.net.detach(s)
+	for _, pp := range proxies {
+		pp.Destroy()
+	}
+	s.srv.Stop()
+	s.space.Destroy()
+}
+
+// ProxyFor returns the port through which senders on this host reach p:
+// p itself when it is (or forwards to a port) homed here, otherwise a
+// local proxy, materialized with its forwarding thread on first use.
+// Kernel-side API; tasks get proxies through the registry.
+func (s *Server) ProxyFor(p *ipc.Port) *ipc.Port {
+	pp, _ := s.proxyFor(p)
+	return pp
+}
+
+// proxyFor is ProxyFor reporting whether this call materialized the
+// proxy (the event a peer-initiated translation charges a control
+// message for).
+func (s *Server) proxyFor(p *ipc.Port) (*ipc.Port, bool) {
+	home := s.net.unproxy(p)
+	if home.Home() == s.host || home.Dead() {
+		return home, false
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		// No forwarding available; hand back the raw port (sends still
+		// work and are charged — only the proxy indirection is gone).
+		return home, false
+	}
+	if pp, ok := s.proxies[home]; ok && !pp.Dead() {
+		s.mu.Unlock()
+		return pp, false
+	}
+	pp := ipc.NewRawPort(s.host)
+	// The unproxy mapping must exist before any holder can see the
+	// proxy (lock order Server.mu -> Network.mu), or a concurrently
+	// translated right could chain a proxy onto this proxy.
+	s.net.registerProxy(pp, home)
+	s.proxies[home] = pp
+	s.mu.Unlock()
+	// The proxy follows its home port down, so local holders see the
+	// death as a dead name exactly as holders on the home host do; the
+	// watch is cancelled if the proxy dies first (server stop).
+	cancel := home.WatchDeath(pp.Destroy)
+	go s.forward(pp, home, cancel)
+	return pp, true
+}
+
+// forward is a proxy's store-and-forward thread: it drains the proxy
+// queue and re-sends each message toward the home port. It exits when
+// the proxy dies (home port death, or server stop), dropping the death
+// watch on the home port on the way out.
+func (s *Server) forward(proxy, home *ipc.Port, cancelWatch func()) {
+	for {
+		m, err := ipc.RawReceive(proxy, ipc.ReceiveOptions{})
+		if err != nil {
+			break
+		}
+		if err := s.deliver(home, m); err != nil {
+			// The home port died with traffic in flight; the proxy
+			// follows, destroying any rights still queued on it.
+			proxy.Destroy()
+			break
+		}
+	}
+	cancelWatch()
+	s.mu.Lock()
+	if s.proxies[home] == proxy {
+		delete(s.proxies, home)
+	}
+	s.mu.Unlock()
+	s.net.forgetProxy(proxy)
+}
+
+// deliver translates one proxied message for the home port's host and
+// re-sends it there. The charge is the second hop of the netmsgserver
+// relay: the sender already paid the local hop onto the proxy queue.
+func (s *Server) deliver(home *ipc.Port, m *ipc.Message) error {
+	// Home is read per message: if the receive right migrated since the
+	// proxy was built, traffic follows it.
+	dst := home.Home()
+	fwd := &ipc.Message{ID: m.ID, Sections: make([]ipc.Section, len(m.Sections))}
+	for i := range m.Sections {
+		sec := m.Sections[i]
+		if sec.Kind == ipc.PortRightSection {
+			fwd.Sections[i] = ipc.CarryRawRight(s.translate(dst, sec.RawPort(), sec.Right), sec.Right)
+		} else {
+			fwd.Sections[i] = sec
+		}
+	}
+	if rp := m.ReplyPort(); rp != nil {
+		fwd.SetReplyPort(s.translate(dst, rp, ipc.SendRight))
+	}
+	// Not forced: when the home queue is full the forwarder blocks,
+	// the proxy queue behind it fills, and local senders block at the
+	// proxy's backlog — the same end-to-end backpressure a local
+	// sender sees, relayed per proxy so one slow destination stalls
+	// only its own traffic. A destroyed home port wakes the blocked
+	// send with ErrPortDied.
+	err := ipc.RawSend(s.topo, s.host, home, fwd, ipc.SendOptions{})
+	if err != nil {
+		// Undeliverable message: as ipc.Send's failure path does,
+		// destroy the receive rights it carried — an orphaned receive
+		// right could never be drained or destroyed by anyone.
+		for i := range fwd.Sections {
+			sec := &fwd.Sections[i]
+			if sec.Kind == ipc.PortRightSection && sec.Right&ipc.ReceiveRight != 0 {
+				if p := sec.RawPort(); p != nil {
+					p.Destroy()
+				}
+			}
+		}
+	}
+	return err
+}
+
+// translate rewrites one in-flight port reference for delivery on host
+// dst: proxies unwrap to their home ports, ports homed on dst pass
+// through, anything else is re-proxied by dst's message server so the
+// receiver gets a sendable local stand-in. Receive rights always travel
+// as the real port — the queue itself moves, rehoming the port at
+// insertion — and creating a proxy on a peer costs one control message.
+func (s *Server) translate(dst machine.HostID, p *ipc.Port, r ipc.Right) *ipc.Port {
+	if p == nil {
+		return nil
+	}
+	home := s.net.unproxy(p)
+	if r&ipc.ReceiveRight != 0 || home.Home() == dst {
+		return home
+	}
+	peer := s.net.serverFor(dst)
+	if peer == nil {
+		// No message server on dst: deliver the raw right (direct
+		// charged sends, no forwarding indirection).
+		return home
+	}
+	pp, created := peer.proxyFor(home)
+	if created && peer != s {
+		// Materializing a proxy on the peer's behalf costs one control
+		// message; reusing it is free.
+		s.topo.ChargeMessage(s.host, dst, controlBytes)
+	}
+	return pp
+}

@@ -1,0 +1,165 @@
+package netmsg
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/rpc"
+)
+
+// Message IDs of the bootstrap name registry, the netname analogue.
+// Replies follow the rpc convention (one rpc.Status byte, then typed
+// result fields).
+const (
+	// MsgCheckIn registers a service under a name (name: string; the
+	// body carries a send right to the service port). A later check-in
+	// under the same name replaces the earlier one.
+	MsgCheckIn ipc.MsgID = 7000 + iota
+	// MsgLookUp resolves a name (name: string); the reply body carries
+	// a send right to the service — a local proxy when the service is
+	// checked in on another host.
+	MsgLookUp
+)
+
+// Errors returned by the registry client calls.
+var (
+	// ErrNotFound: no service checked in under that name on any host.
+	ErrNotFound = errors.New("netmsg: service not found")
+	// ErrBadReply: the registry reply carried no usable right.
+	ErrBadReply = errors.New("netmsg: malformed registry reply")
+)
+
+// rpcTimeout bounds registry client waits.
+const rpcTimeout = 10 * time.Second
+
+// handleCheckIn records a service under a name. The carried right has
+// already been installed in the server's space by delivery; the
+// registry keeps it (the registry holds a send right for every
+// checked-in service) and records the home port, so lookups from other
+// hosts re-proxy from the real port rather than chaining proxies.
+func (s *Server) handleCheckIn(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	var pn ipc.Name
+	for i := range m.Sections {
+		if m.Sections[i].Kind == ipc.PortRightSection && m.Sections[i].PortName != 0 {
+			pn = m.Sections[i].PortName
+			break
+		}
+	}
+	if pn == 0 {
+		return nil, rpc.Errf(rpc.StatusBadArgs, "netmsg: check-in of %q carries no port right", name)
+	}
+	p, err := s.space.Resolve(pn)
+	if err != nil {
+		return nil, err
+	}
+	home := s.net.unproxy(p)
+	s.mu.Lock()
+	old := s.names[name]
+	s.names[name] = home
+	replaced := old != nil && old != home
+	if replaced {
+		// The superseded port may still be checked in under another
+		// name; only release the registry's right when it is not.
+		for _, q := range s.names {
+			if q == old {
+				replaced = false
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if replaced {
+		if n, ok := s.space.NameOf(old); ok {
+			_ = s.space.DeallocatePort(n)
+		}
+	}
+	return rpc.NewReply(), nil
+}
+
+// lookupLocal consults this host's slice of the registry, dropping
+// entries whose service port has died.
+func (s *Server) lookupLocal(name string) *ipc.Port {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.names[name]
+	if p != nil && p.Dead() {
+		delete(s.names, name)
+		return nil
+	}
+	return p
+}
+
+// handleLookUp resolves a name, broadcasting to peer servers when it is
+// not checked in locally (one control round trip per peer asked), and
+// replies with a send right the caller can use directly — the home port
+// when the service is local, a proxy otherwise.
+func (s *Server) handleLookUp(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	p := s.lookupLocal(name)
+	if p == nil {
+		for _, peer := range s.net.peers(s) {
+			s.topo.ChargeMessage(s.host, peer.host, controlBytes)
+			found := peer.lookupLocal(name)
+			s.topo.ChargeMessage(peer.host, s.host, controlBytes)
+			if found != nil {
+				p = found
+				break
+			}
+		}
+	}
+	if p == nil {
+		return nil, rpc.Errf(rpc.StatusNotFound, "netmsg: no service %q", name)
+	}
+	local := s.ProxyFor(p)
+	n, err := s.space.InsertRight(local, ipc.SendRight)
+	if err != nil {
+		return nil, err
+	}
+	r := rpc.NewReply()
+	r.Carry(ipc.CarryRight(n, ipc.SendRight))
+	return r, nil
+}
+
+// CheckIn registers the right named port as service name with the local
+// message server reached through svc (a send right to the server's
+// registry port, from Server.Publish). Any task holding a send right
+// may check it in; a later check-in under the same name replaces the
+// earlier one.
+func CheckIn(space *ipc.Space, svc ipc.Name, name string, port ipc.Name) error {
+	_, err := rpc.NewClient(space, svc, rpcTimeout).
+		Invoke(MsgCheckIn, rpc.NewEnc().String(name), ipc.CarryRight(port, ipc.SendRight))
+	if errors.Is(err, rpc.ErrBadArgs) {
+		return ErrBadReply
+	}
+	return err
+}
+
+// LookUp resolves a service name through the local message server and
+// returns the send right installed in space — the location-transparent
+// handle: local services resolve to their real port, remote ones to a
+// proxy whose traffic is forwarded home.
+func LookUp(space *ipc.Space, svc ipc.Name, name string) (ipc.Name, error) {
+	resp, err := rpc.NewClient(space, svc, rpcTimeout).
+		Invoke(MsgLookUp, rpc.NewEnc().String(name))
+	if err != nil {
+		if errors.Is(err, rpc.ErrNotFound) {
+			return 0, ErrNotFound
+		}
+		return 0, err
+	}
+	for i := range resp.Msg.Sections {
+		sec := &resp.Msg.Sections[i]
+		if sec.Kind == ipc.PortRightSection && sec.PortName != 0 {
+			return sec.PortName, nil
+		}
+	}
+	return 0, ErrBadReply
+}

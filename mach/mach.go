@@ -48,6 +48,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/migrate"
 	"repro/internal/netmem"
+	"repro/internal/netmsg"
 	"repro/internal/pager"
 	"repro/internal/rpc"
 	"repro/internal/unixemu"
@@ -121,11 +122,14 @@ type DiskLatency = time.Duration
 // DefaultDiskLatency approximates a late-1980s disk access.
 const DefaultDiskLatency = machine.DefaultDiskLatency
 
-// Complex boots n kernels sharing one clock and one interconnect of the
-// given architecture — the shape every multi-host experiment uses.
+// Complex boots n kernels sharing one clock, one interconnect of the
+// given architecture, and one netmsg network — the shape every
+// multi-host experiment uses. Services checked in on any host resolve
+// from every host (see NetMsgCheckIn / NetMsgLookUp).
 func Complex(n int, arch Arch, framesPerHost, pageSize int) ([]*Kernel, *Topology, *Clock) {
 	clock := machine.NewClock()
 	topo := machine.NewTopology(machine.ModelFor(arch), clock)
+	nmNet := netmsg.NewNetwork()
 	kernels := make([]*Kernel, n)
 	for i := range kernels {
 		kernels[i] = kern.NewKernel(kern.Config{
@@ -134,6 +138,7 @@ func Complex(n int, arch Arch, framesPerHost, pageSize int) ([]*Kernel, *Topolog
 			PageSize: pageSize,
 			Clock:    clock,
 			Topo:     topo,
+			NetMsg:   nmNet,
 		})
 	}
 	return kernels, topo, clock
@@ -220,6 +225,53 @@ var (
 	PutU64 = rpc.PutU64
 	U64    = rpc.U64
 )
+
+// --- cross-host IPC (network message server) ---------------------------------
+
+// The netmsg layer makes IPC location-transparent across the hosts of a
+// complex, in the style of Mach's netmsgserver: a send right looked up
+// on another host arrives as a local proxy port whose traffic is
+// forwarded home over the interconnect (with reply ports and embedded
+// rights re-proxied recursively, and out-of-line regions riding the
+// kernel's cross-host copy machinery). Every Kernel runs one
+// NetMsgServer; kernels built by Complex share one NetMsgNetwork.
+type (
+	// NetMsgServer is one host's network message server.
+	NetMsgServer = netmsg.Server
+	// NetMsgNetwork connects the message servers of one complex.
+	NetMsgNetwork = netmsg.Network
+)
+
+// NewNetMsgNetwork creates a message-server network for kernels built
+// by hand (Complex does this automatically); pass it in Config.NetMsg.
+func NewNetMsgNetwork() *NetMsgNetwork { return netmsg.NewNetwork() }
+
+// ErrNetMsgNotFound: no service checked in under that name on any host.
+var ErrNetMsgNotFound = netmsg.ErrNotFound
+
+// NetMsgCheckIn registers the named right of task t (a send right to a
+// service port) with t's host message server under name, making the
+// service reachable by name from every host of the complex.
+func NetMsgCheckIn(t *Task, name string, port Name) error {
+	svc, err := t.Kernel().NetMsg().Publish(t.Space)
+	if err != nil {
+		return err
+	}
+	return netmsg.CheckIn(t.Space, svc, name, port)
+}
+
+// NetMsgLookUp resolves a service name through t's host message server
+// and returns a send right installed in t's space: the real port for a
+// local service, a forwarding proxy for a remote one. The right is
+// usable with every port-based API, RPCClient and
+// VMAllocateWithPager included.
+func NetMsgLookUp(t *Task, name string) (Name, error) {
+	svc, err := t.Kernel().NetMsg().Publish(t.Space)
+	if err != nil {
+		return 0, err
+	}
+	return netmsg.LookUp(t.Space, svc, name)
+}
 
 // --- virtual memory ------------------------------------------------------------
 
