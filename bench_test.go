@@ -109,6 +109,65 @@ func BenchmarkIPCRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkSendWithRefCounting measures the plain send/receive fast
+// path under the port-lifecycle subsystem's sender-reference
+// accounting. The reference counts live inside locks the path already
+// takes, so the path must show the pre-lifecycle profile: ~4 allocs/op
+// (message + section header + queue slot), no additions.
+func BenchmarkSendWithRefCounting(b *testing.B) {
+	k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+	defer k.Shutdown()
+	recvT := k.NewTask()
+	sendT := k.NewTask()
+	n, _ := recvT.Space.AllocatePort()
+	_ = recvT.Space.SetBacklog(n, 1<<30)
+	sn, _ := recvT.Space.CopySendRight(sendT.Space, n)
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &mach.Message{ID: 1, RemotePort: sn, Sections: []mach.Section{mach.InlineBytes(payload)}}
+		if err := sendT.Send(m, mach.SendOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := recvT.Receive(n, mach.ReceiveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoSendersRoundTrip measures the full no-senders cycle: arm,
+// mint a send right into a client space, drop it, receive the
+// notification on the notify port, and confirm it against the make-send
+// count.
+func BenchmarkNoSendersRoundTrip(b *testing.B) {
+	k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+	defer k.Shutdown()
+	server := k.NewTask()
+	client := k.NewTask()
+	n, _ := server.Space.AllocatePort()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := server.Space.RequestNoSenders(n); err != nil {
+			b.Fatal(err)
+		}
+		cn, err := server.Space.CopySendRight(client.Space, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := client.Space.DeallocatePort(cn); err != nil {
+			b.Fatal(err)
+		}
+		m, err := server.Receive(server.Space.NotifyPort(), mach.ReceiveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.ID != mach.MsgIDNoSenders {
+			b.Fatalf("notification ID %d", m.ID)
+		}
+	}
+}
+
 // BenchmarkIPCSendParallel measures one-way msg_send throughput through
 // one task's port space with 1, 4 and 16 concurrent sender threads, each
 // targeting its own port of a receiver task. The sharded port namespace

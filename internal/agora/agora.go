@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
+	"repro/internal/lifecycle"
 	"repro/internal/netmem"
 	"repro/internal/rpc"
 )
@@ -72,6 +73,7 @@ type Board struct {
 	srv    *netmem.Server
 	local  *Agent // the board's own mapping, used by the broker
 	broker *rpc.Server
+	lcw    *lifecycle.Watcher
 
 	// BrokerPort receives message-passing agents' requests.
 	BrokerPort ipc.Name
@@ -116,9 +118,29 @@ func NewBoard(k *kern.Kernel, srv *netmem.Server, slots int) (*Board, error) {
 
 // Stop shuts the broker down.
 func (b *Board) Stop() {
+	if b.lcw != nil {
+		b.lcw.Stop()
+	}
 	b.broker.Stop()
 	b.task.Terminate()
 }
+
+// RetireBrokerWhenUnreferenced makes the broker stop once every loosely
+// coupled agent's send right to it is gone — a board whose message
+// agents have all disconnected (or died) no longer runs a broker loop.
+// Tightly coupled (shared memory) agents are unaffected. Call after the
+// board is set up; broker rights published afterwards count.
+func (b *Board) RetireBrokerWhenUnreferenced() error {
+	if b.lcw == nil {
+		b.lcw = lifecycle.New(b.task.Space)
+		go b.lcw.Run()
+	}
+	return b.broker.StopWhenUnreferenced(b.lcw)
+}
+
+// BrokerRetired reports whether the broker has stopped (by Stop or by
+// the no-senders retirement).
+func (b *Board) BrokerRetired() bool { return b.broker.Stopped() }
 
 // PublishBroker hands a message-passing agent a send right to the broker.
 func (b *Board) PublishBroker(client *kern.Task) (ipc.Name, error) {

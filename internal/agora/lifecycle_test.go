@@ -1,0 +1,65 @@
+package agora
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+)
+
+// TestBrokerRetiredOnAgentDeath is the agora kill-the-client test: with
+// RetireBrokerWhenUnreferenced armed, the broker stops once the last
+// loosely coupled agent dies; the shared memory side of the board keeps
+// working.
+func TestBrokerRetiredOnAgentDeath(t *testing.T) {
+	kernels, board := newBoard(t, 1, 8)
+	if err := board.RetireBrokerWhenUnreferenced(); err != nil {
+		t.Fatal(err)
+	}
+
+	agentTask := kernels[0].NewTask()
+	bp, err := board.PublishBroker(agentTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := JoinRemote(agentTask, bp)
+	if err := remote.Post(Hypothesis{Score: 7, Text: "messages and memory are duals"}); err != nil {
+		t.Fatal(err)
+	}
+	if board.BrokerRetired() {
+		t.Fatal("broker retired while an agent still holds the right")
+	}
+
+	agentTask.Terminate()
+	deadline := time.Now().Add(5 * time.Second)
+	for !board.BrokerRetired() {
+		if time.Now().After(deadline) {
+			t.Fatal("broker not retired after last agent died")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Shared memory agents are unaffected by broker retirement.
+	sharedTask := kernels[0].NewTask()
+	ag, err := Join(sharedTask, mustPublishShared(t, board, sharedTask), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := ag.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 1 || hs[0].Text != "messages and memory are duals" {
+		t.Fatalf("snapshot after retirement: %+v", hs)
+	}
+}
+
+func mustPublishShared(t *testing.T, b *Board, task *kern.Task) ipc.Name {
+	t.Helper()
+	n, err := b.PublishSharedMemory(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

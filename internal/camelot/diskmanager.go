@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
+	"repro/internal/lifecycle"
 	"repro/internal/machine"
 	"repro/internal/pager"
 	"repro/internal/rpc"
@@ -55,6 +56,11 @@ type Stats struct {
 	// Commits and Aborts count transaction outcomes.
 	Commits int64
 	Aborts  int64
+	// SegmentReaps counts segments whose last attachment right died
+	// (client detach or death): the log is forced and the volatile
+	// per-page LSN tracking for the segment is dropped. The durable
+	// segment itself survives for re-attachment.
+	SegmentReaps int64
 }
 
 // segment is one recoverable segment: a contiguous range of data-disk
@@ -74,6 +80,7 @@ type DiskManager struct {
 	task   *kern.Task
 	mgr    *pager.Manager
 	rpc    *rpc.Server
+	lc     *lifecycle.Watcher
 
 	dataDisk *machine.Disk
 	logDisk  *machine.Disk
@@ -81,6 +88,7 @@ type DiskManager struct {
 	mu       sync.Mutex
 	segments map[string]*segment
 	bySegID  map[uint32]*segment
+	byObject map[ipc.Name]*segment
 	nextSeg  uint32
 	nextBlk  int
 
@@ -112,6 +120,7 @@ func NewDiskManager(k *kern.Kernel, dataDisk, logDisk *machine.Disk) (*DiskManag
 		logDisk:  logDisk,
 		segments: make(map[string]*segment),
 		bySegID:  make(map[uint32]*segment),
+		byObject: make(map[ipc.Name]*segment),
 		pageLSN:  make(map[uint64]uint64),
 		outcomes: make(map[uint64]recordKind),
 	}
@@ -130,7 +139,10 @@ func NewDiskManager(k *kern.Kernel, dataDisk, logDisk *machine.Disk) (*DiskManag
 		return dm.handleOutcome(d, recAbort)
 	})
 	dm.rpc = srv
-	dm.mgr.Default = srv.Dispatch
+	// Lifecycle notifications (segment no-senders) are consumed ahead
+	// of the service demux; both run on the manager loop.
+	dm.lc = lifecycle.New(dm.task.Space)
+	dm.mgr.Default = dm.lc.Chain(srv.Dispatch)
 	dm.ServicePort = srv.Port
 	return dm, nil
 }
@@ -289,6 +301,7 @@ func (dm *DiskManager) createSegment(name string, size uint64) (*segment, error)
 	}
 	dm.mu.Lock()
 	seg.mo = mo
+	dm.byObject[mo.Port] = seg
 	dm.mu.Unlock()
 	return seg, nil
 }
@@ -303,6 +316,15 @@ func (dm *DiskManager) handleAttach(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, err
 	dm.mu.Unlock()
 	if seg == nil || seg.mo == nil {
 		return nil, rpc.Errf(rpc.StatusNotFound, "camelot: no segment %q", name)
+	}
+	// Reap the per-client session state when the last attachment right
+	// dies: a client that vanished mid-transaction leaves its logged
+	// updates durable (the reap forces the log) while the volatile
+	// page-LSN tracking for the segment is dropped. Recovery rolls the
+	// loser back — the kill-the-client path is just crash recovery in
+	// miniature.
+	if err := dm.lc.OnNoSenders(seg.mo.Port, dm.reapSegment); err != nil {
+		return nil, err
 	}
 	r := rpc.NewReply()
 	r.U64(seg.size)
@@ -359,6 +381,24 @@ func (dm *DiskManager) handleOutcome(d *rpc.Dec, kind recordKind) (*rpc.Reply, e
 	}
 	dm.mu.Unlock()
 	return rpc.NewReply(), nil
+}
+
+// reapSegment runs on the manager loop when a segment's last
+// attachment right dies. The durable segment survives (it can be
+// re-attached); only the volatile per-attachment state goes.
+func (dm *DiskManager) reapSegment(n ipc.Name) {
+	dm.mu.Lock()
+	seg := dm.byObject[n]
+	if seg == nil {
+		dm.mu.Unlock()
+		return
+	}
+	dm.forceLog(dm.nextLSN)
+	for pg := range seg.blocks {
+		delete(dm.pageLSN, pageKey(seg.id, uint64(pg)))
+	}
+	dm.stats.SegmentReaps++
+	dm.mu.Unlock()
 }
 
 // --- crash and recovery -------------------------------------------------------

@@ -1,0 +1,79 @@
+package camelot
+
+import (
+	"testing"
+	"time"
+)
+
+func waitForSegReaps(t *testing.T, dm *DiskManager, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if dm.Stats().SegmentReaps == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("segment reaps stuck at %d, want %d", dm.Stats().SegmentReaps, want)
+}
+
+// TestSegmentReapedOnClientDeath is the camelot kill-the-client test: a
+// client dying mid-transaction has its attachment reaped by no-senders
+// — committed data survives on disk, the loser transaction is rolled
+// back by recovery, and a fresh client can re-attach.
+func TestSegmentReapedOnClientDeath(t *testing.T) {
+	k, dm, c := newCamelot(t, 256)
+	if err := c.CreateSegment("s", 4*pgsz); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := c.Attach("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A committed transaction, then an in-flight one the client dies
+	// holding.
+	tx := c.Begin()
+	if err := tx.Write(seg, 0, []byte("COMMITTED")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	loser := c.Begin()
+	if err := loser.Write(seg, 16, []byte("LOST")); err != nil {
+		t.Fatal(err)
+	}
+
+	c.task.Terminate()
+	waitForSegReaps(t, dm, 1)
+
+	// The reap forced the log; crash-and-recover rolls the loser back.
+	dm.Crash()
+	dm.Recover()
+	data, err := dm.SegmentBytes("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:9]) != "COMMITTED" {
+		t.Fatalf("committed data lost: %q", data[:16])
+	}
+	if string(data[16:20]) == "LOST" {
+		t.Fatal("loser transaction survived recovery")
+	}
+
+	// The durable segment is re-attachable by a fresh client.
+	app2 := k.NewTask()
+	svc2, err := dm.Publish(app2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := Open(app2, svc2)
+	seg2, err := c2.Attach("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := seg2.Read(0, 9)
+	if err != nil || string(got) != "COMMITTED" {
+		t.Fatalf("re-attached read %q %v", got, err)
+	}
+}

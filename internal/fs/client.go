@@ -85,6 +85,68 @@ func WriteFile(t *kern.Task, svc ipc.Name, name string, addr, size uint64) error
 	return mapStatus(resp.Status)
 }
 
+// Handle is a client-held open file: the send right to the server's
+// per-open session port. Dropping the right — Close, or the task dying
+// with it — is what lets the server reap the session (no-senders).
+type Handle struct {
+	// Port is the handle right's name in the client task's space.
+	Port ipc.Name
+	// Size is the file size at open time.
+	Size uint64
+
+	task *kern.Task
+	svc  ipc.Name
+}
+
+// Open opens a per-client handle on the named file.
+func Open(t *kern.Task, svc ipc.Name, name string) (*Handle, error) {
+	resp, err := client(t, svc).Call(MsgOpen, rpc.NewEnc().String(name))
+	if err != nil {
+		return nil, err
+	}
+	if err := mapStatus(resp.Status); err != nil {
+		return nil, err
+	}
+	size := resp.Dec.U64()
+	if resp.Dec.Err() != nil {
+		return nil, ErrServer
+	}
+	h := resp.Msg.FirstPortRight()
+	if h == 0 {
+		return nil, ErrServer
+	}
+	return &Handle{Port: h, Size: size, task: t, svc: svc}, nil
+}
+
+// ReadAt reads up to n bytes at offset through the handle; the handle
+// right travels in the request as the presented capability.
+func (h *Handle) ReadAt(offset uint64, n int) ([]byte, error) {
+	resp, err := client(h.task, h.svc).Call(MsgReadAt,
+		rpc.NewEnc().U64(offset).U64(uint64(n)),
+		ipc.CarryRight(h.Port, ipc.SendRight))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case rpc.StatusOK:
+	case rpc.StatusNotFound:
+		return nil, ErrStaleHandle
+	default:
+		return nil, ErrServer
+	}
+	b := resp.Dec.Bytes()
+	if resp.Dec.Err() != nil {
+		return nil, ErrServer
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Close releases the client's handle right; when it was the last one,
+// the server reaps the session.
+func (h *Handle) Close() error {
+	return h.task.Space.DeallocatePort(h.Port)
+}
+
 // Stat returns the size of the named file.
 func Stat(t *kern.Task, svc ipc.Name, name string) (uint64, error) {
 	resp, err := client(t, svc).Call(MsgStat, rpc.NewEnc().String(name))

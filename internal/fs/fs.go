@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
+	"repro/internal/lifecycle"
 	"repro/internal/machine"
 	"repro/internal/pager"
 	"repro/internal/rpc"
@@ -37,7 +38,25 @@ const (
 	MsgStat
 	// MsgList asks for all file names (reply count: u32, then strings).
 	MsgList
+	// MsgOpen opens a per-client handle on a file (name: string); the
+	// reply carries the file size (u64) and a send right to the handle
+	// port. The handle port IS the open: when its last send right dies
+	// — an explicit Close, or the client task's death — the server
+	// reaps the session via a no-senders notification.
+	MsgOpen
+	// MsgReadAt reads through an open handle (offset: u64, length: u64;
+	// the body carries the handle right as the capability presented per
+	// call). The reply carries the bytes inline.
+	MsgReadAt
 )
+
+// ErrStaleHandle: the presented handle names no open session (already
+// reaped, or never opened here).
+var ErrStaleHandle = errors.New("fs: stale handle")
+
+// maxReadAt bounds one MsgReadAt transfer; larger reads use ReadFile's
+// out-of-line path.
+const maxReadAt = 1 << 16
 
 // Errors returned by the client library.
 var (
@@ -61,6 +80,13 @@ type file struct {
 	mo     *pager.MemoryObject
 }
 
+// session is one open handle's server-side state, reaped when the last
+// send right to the handle port dies.
+type session struct {
+	f    *file
+	port ipc.Name
+}
+
 // Server is the filesystem data manager task.
 type Server struct {
 	kernel *kern.Kernel
@@ -68,11 +94,16 @@ type Server struct {
 	mgr    *pager.Manager
 	disk   *machine.Disk
 	rpc    *rpc.Server
+	lc     *lifecycle.Watcher
 
 	mu       sync.Mutex
 	files    map[string]*file
 	freeBlks []int
 	nextBlk  int
+	// sessions maps handle-port names (in the server's space) to open
+	// state; sessionsReaped counts no-senders reaps.
+	sessions       map[ipc.Name]*session
+	sessionsReaped int64
 
 	// ServicePort is the name clients send filesystem requests to (in
 	// the server's space; hand clients a send right via Publish).
@@ -86,10 +117,11 @@ func NewServer(k *kern.Kernel, disk *machine.Disk) (*Server, error) {
 		return nil, errors.New("fs: disk block size must equal page size")
 	}
 	s := &Server{
-		kernel: k,
-		task:   k.NewTask(),
-		disk:   disk,
-		files:  make(map[string]*file),
+		kernel:   k,
+		task:     k.NewTask(),
+		disk:     disk,
+		files:    make(map[string]*file),
+		sessions: make(map[ipc.Name]*session),
 	}
 	s.mgr = pager.NewManager(s.task.Space, (*serverHandler)(s))
 	srv, err := rpc.NewServer(s.task.Space)
@@ -100,8 +132,13 @@ func NewServer(k *kern.Kernel, disk *machine.Disk) (*Server, error) {
 	srv.Handle(MsgWriteFile, s.handleWrite)
 	srv.Handle(MsgStat, s.handleStat)
 	srv.Handle(MsgList, s.handleList)
+	srv.Handle(MsgOpen, s.handleOpen)
+	srv.Handle(MsgReadAt, s.handleReadAt)
 	s.rpc = srv
-	s.mgr.Default = srv.Dispatch
+	// Lifecycle notifications (open-handle no-senders) are consumed
+	// ahead of the service demux; both run on the manager loop.
+	s.lc = lifecycle.New(s.task.Space)
+	s.mgr.Default = s.lc.Chain(srv.Dispatch)
 	s.ServicePort = srv.Port
 	return s, nil
 }
@@ -367,6 +404,130 @@ func (s *Server) handleStat(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	}
 	r := rpc.NewReply()
 	r.U64(f.size)
+	return r, nil
+}
+
+// --- open handles (per-client sessions) ------------------------------------
+
+// OpenSessions returns the number of live open handles.
+func (s *Server) OpenSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// SessionsReaped returns how many open handles the no-senders
+// machinery has reclaimed.
+func (s *Server) SessionsReaped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessionsReaped
+}
+
+// handleOpen creates a per-client handle: a fresh port whose send right
+// is the open-file capability. The server arms a no-senders request on
+// it, so the session state is reaped the moment the last client right
+// disappears — an explicit Close, or the client task dying with the
+// right in its space (the paper's port_death cleanup, driven by
+// refcount instead of death).
+func (s *Server) handleOpen(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	f := s.files[name]
+	s.mu.Unlock()
+	if f == nil {
+		return nil, rpc.Errf(rpc.StatusNotFound, "fs: no file %q", name)
+	}
+	sp, err := s.task.Space.AllocatePort()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sessions[sp] = &session{f: f, port: sp}
+	s.mu.Unlock()
+	if err := s.lc.OnNoSenders(sp, s.reapSession); err != nil {
+		s.mu.Lock()
+		delete(s.sessions, sp)
+		s.mu.Unlock()
+		_ = s.task.Space.DeallocatePort(sp)
+		return nil, err
+	}
+	r := rpc.NewReply()
+	r.U64(f.size)
+	r.Carry(ipc.CarryRight(sp, ipc.SendRight))
+	return r, nil
+}
+
+// reapSession runs on the manager loop when an open handle's last send
+// right dies: the session state goes away and the handle port with it.
+func (s *Server) reapSession(n ipc.Name) {
+	s.mu.Lock()
+	sess := s.sessions[n]
+	if sess != nil {
+		delete(s.sessions, n)
+		s.sessionsReaped++
+	}
+	s.mu.Unlock()
+	if sess != nil {
+		_ = s.task.Space.DeallocatePort(n)
+	}
+}
+
+// handleReadAt serves a read through an open handle. The handle right
+// rides in the message body as the per-call capability; it resolves to
+// the very name the server allocated (rights to one port merge onto
+// one name per space), which indexes the session table.
+func (s *Server) handleReadAt(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+	offset := d.U64()
+	length := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	hn := m.FirstPortRight()
+	s.mu.Lock()
+	sess := s.sessions[hn]
+	s.mu.Unlock()
+	if sess == nil {
+		return nil, rpc.Errf(rpc.StatusNotFound, "fs: stale or missing handle")
+	}
+	if length > maxReadAt {
+		return nil, rpc.Errf(rpc.StatusTooLarge, "fs: read of %d exceeds %d", length, maxReadAt)
+	}
+	ps := s.kernel.VM.PageSize()
+	s.mu.Lock()
+	f := sess.f
+	size := f.size
+	blocks := append([]int(nil), f.blocks...)
+	s.mu.Unlock()
+	if offset >= size {
+		r := rpc.NewReply()
+		r.Bytes(nil)
+		return r, nil
+	}
+	if offset+length > size {
+		length = size - offset
+	}
+	out := make([]byte, 0, length)
+	buf := make([]byte, ps)
+	for len(out) < int(length) {
+		pos := offset + uint64(len(out))
+		idx := int(pos / ps)
+		if idx >= len(blocks) {
+			break
+		}
+		s.disk.Read(blocks[idx], buf)
+		in := int(pos % ps)
+		n := int(ps) - in
+		if rem := int(length) - len(out); n > rem {
+			n = rem
+		}
+		out = append(out, buf[in:in+n]...)
+	}
+	r := rpc.NewReply()
+	r.Bytes(out)
 	return r, nil
 }
 

@@ -35,6 +35,10 @@ var (
 	// ErrPortDied: the port's receive right was destroyed while the
 	// caller was blocked on it, or the message named a dead port.
 	ErrPortDied = errors.New("ipc: port died")
+	// ErrDeadName: the name refers to a port whose receive right was
+	// destroyed. The name stays reserved in the space (it can never be
+	// reallocated to alias a new port) until the task deallocates it.
+	ErrDeadName = errors.New("ipc: dead name")
 	// ErrWouldBlock: a non-blocking send found the backlog full or a
 	// non-blocking receive found no message.
 	ErrWouldBlock = errors.New("ipc: operation would block")

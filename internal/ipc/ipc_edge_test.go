@@ -34,7 +34,7 @@ func TestRPCTimeoutOnSilentServer(t *testing.T) {
 		// If a name was installed despite the death race, replying
 		// must fail cleanly rather than hang.
 		err = server.Send(&Message{ID: 2, RemotePort: m.RemotePort}, SendOptions{Timeout: 100 * time.Millisecond})
-		if err != ErrPortDied && err != ErrInvalidPort {
+		if err != ErrPortDied && err != ErrInvalidPort && err != ErrDeadName {
 			t.Fatalf("late reply: %v", err)
 		}
 	}

@@ -283,9 +283,21 @@ func TestPortDeathNotification(t *testing.T) {
 	if m.LocalPort != holder.NotifyPort() {
 		t.Fatalf("arrived on %d, want notify %d", m.LocalPort, holder.NotifyPort())
 	}
-	// The dead right is gone from the space.
+	// The right survives as a dead name: the name stays reserved (it
+	// can never alias a fresh port), resolves to ErrDeadName, and is
+	// only freed by an explicit deallocate.
+	st, err := holder.Status(hn)
+	if err != nil || !st.Dead {
+		t.Fatalf("dead name status: %+v, %v", st, err)
+	}
+	if _, err := holder.Resolve(hn); err != ErrDeadName {
+		t.Fatalf("resolve dead name: %v, want ErrDeadName", err)
+	}
+	if err := holder.DeallocatePort(hn); err != nil {
+		t.Fatalf("deallocate dead name: %v", err)
+	}
 	if _, err := holder.Status(hn); err != ErrInvalidPort {
-		t.Fatalf("dead right still present: %v", err)
+		t.Fatalf("dead name still present after deallocate: %v", err)
 	}
 	// Sending to a dead port (raw) fails.
 	if err := RawSend(nil, 0, p, &Message{}, SendOptions{}); err != ErrPortDied {

@@ -10,6 +10,12 @@ const (
 	// port it holds send rights to is destroyed. The message carries
 	// one inline section: the 4-byte little-endian dead port name.
 	MsgIDPortDeleted MsgID = -100
+	// MsgIDNoSenders is delivered to a space's notify port when a port
+	// it requested notification for (Space.RequestNoSenders) has no
+	// extant send rights left. The message carries one inline section:
+	// the 4-byte port name followed by the port's 4-byte make-send
+	// count at firing time (see Space.ConfirmNoSenders).
+	MsgIDNoSenders MsgID = -101
 )
 
 // Right describes a port right carried in a name space or a message.
@@ -139,6 +145,19 @@ func (m *Message) InlineData() []byte {
 	return nil
 }
 
+// FirstPortRight returns the name of the first port-right section in
+// the body (0 if none) — the common shape of requests and replies that
+// carry exactly one capability. Only meaningful after delivery, when
+// PortName holds the receiver-space name.
+func (m *Message) FirstPortRight() Name {
+	for i := range m.Sections {
+		if m.Sections[i].Kind == PortRightSection && m.Sections[i].PortName != 0 {
+			return m.Sections[i].PortName
+		}
+	}
+	return 0
+}
+
 // FirstRegion returns the first out-of-line region in the body, or nil.
 func (m *Message) FirstRegion() OutOfLineRegion {
 	for i := range m.Sections {
@@ -162,4 +181,88 @@ func DecodeName(b []byte) Name {
 		return 0
 	}
 	return Name(b[0]) | Name(b[1])<<8 | Name(b[2])<<16 | Name(b[3])<<24
+}
+
+// EncodeNoSenders encodes the payload of a MsgIDNoSenders notification:
+// the port name followed by the make-send count, both 4-byte
+// little-endian.
+func EncodeNoSenders(n Name, msCount uint32) []byte {
+	return []byte{
+		byte(n), byte(n >> 8), byte(n >> 16), byte(n >> 24),
+		byte(msCount), byte(msCount >> 8), byte(msCount >> 16), byte(msCount >> 24),
+	}
+}
+
+// DecodeNoSenders decodes a MsgIDNoSenders payload. It returns (0, 0)
+// for malformed payloads.
+func DecodeNoSenders(b []byte) (Name, uint32) {
+	if len(b) < 8 {
+		return 0, 0
+	}
+	ms := uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24
+	return DecodeName(b), ms
+}
+
+// addSendRefs takes an in-transit reference on every send right the
+// message carries (body sections and the reply port). Called on the
+// send path once all rights are resolved, just before the message is
+// enqueued.
+func (m *Message) addSendRefs() {
+	for i := range m.Sections {
+		sec := &m.Sections[i]
+		if sec.Kind == PortRightSection && sec.port != nil && sec.Right&SendRight != 0 {
+			sec.port.addTransit()
+		}
+	}
+	if m.replyPort != nil {
+		m.replyPort.addTransit()
+	}
+}
+
+// destroyRights disposes of the rights an undeliverable message
+// carries: send-right transit references are dropped and receive rights
+// destroy their ports (an orphaned receive right could never be drained
+// or destroyed by anyone — Mach's semantics for rights destroyed in an
+// undeliverable message, which turn every other holder's name into a
+// dead name).
+func (m *Message) destroyRights() {
+	for i := range m.Sections {
+		sec := &m.Sections[i]
+		if sec.Kind != PortRightSection || sec.port == nil {
+			continue
+		}
+		if sec.Right&SendRight != 0 {
+			sec.port.dropTransit()
+		}
+		if sec.Right&ReceiveRight != 0 {
+			sec.port.destroy()
+		}
+		sec.port = nil
+	}
+	if m.replyPort != nil {
+		m.replyPort.dropTransit()
+		m.replyPort = nil
+	}
+}
+
+// ReleaseRights drops the in-transit send references of a raw-received
+// message. Kernel-side receivers (RawReceive) must call it once they
+// are done with the message's ports — space delivery does the
+// equivalent automatically when rights are installed. A receiver that
+// keeps a port beyond the call must take its own AddSendRef first.
+// Receive rights are left untouched: the consumer owns them.
+func (m *Message) ReleaseRights() {
+	for i := range m.Sections {
+		sec := &m.Sections[i]
+		if sec.Kind == PortRightSection && sec.port != nil && sec.Right&SendRight != 0 {
+			sec.port.dropTransit()
+			if sec.Right&ReceiveRight == 0 {
+				sec.port = nil
+			}
+		}
+	}
+	if m.replyPort != nil {
+		m.replyPort.dropTransit()
+		m.replyPort = nil
+	}
 }

@@ -10,6 +10,7 @@ import (
 // lookupRight resolves a name under its shard's read lock, requiring the
 // given rights (0 requires mere existence). This is the send-path lookup:
 // concurrent senders resolving names in different shards do not contend.
+// A name whose port has died is a dead name, never a valid right.
 func (s *Space) lookupRight(n Name, need Right) (*Port, error) {
 	sh := s.shardFor(n)
 	sh.mu.RLock()
@@ -20,6 +21,9 @@ func (s *Space) lookupRight(n Name, need Right) (*Port, error) {
 	}
 	p := e.port
 	sh.mu.RUnlock()
+	if p.isDead() {
+		return nil, ErrDeadName
+	}
 	return p, nil
 }
 
@@ -37,6 +41,9 @@ func (s *Space) lookupReplyRight(n Name) (*Port, error) {
 	}
 	p := e.port
 	sh.mu.RUnlock()
+	if p.isDead() {
+		return nil, ErrDeadName
+	}
 	return p, nil
 }
 
@@ -50,6 +57,10 @@ func (s *Space) extractRights(n Name, r Right) (*Port, error) {
 	if !ok || e.rights&r != r {
 		sh.mu.Unlock()
 		return nil, ErrInvalidPort
+	}
+	if e.port.isDead() {
+		sh.mu.Unlock()
+		return nil, ErrDeadName
 	}
 	p := e.port
 	e.rights &^= ReceiveRight
@@ -123,6 +134,11 @@ func (s *Space) Send(m *Message, opts SendOptions) error {
 		sec.port = p
 	}
 
+	// Every send right the message carries takes an in-transit
+	// reference: a right inside a queued message counts as a sender
+	// until it is installed in the receiving space or destroyed.
+	m.addSendRefs()
+
 	if s.topo != nil {
 		// Home() is read under the port lock: a migrating receive
 		// right (setReceiver) may rehome the queue concurrently.
@@ -131,13 +147,9 @@ func (s *Space) Send(m *Message, opts SendOptions) error {
 	err = s.sendResolved(dest, m, opts)
 	if err != nil {
 		// Rights moved out of the space are destroyed with the failed
-		// message, as Mach destroys undeliverable rights.
-		for i := range m.Sections {
-			sec := &m.Sections[i]
-			if sec.Kind == PortRightSection && sec.port != nil && sec.Right&ReceiveRight != 0 {
-				sec.port.destroy()
-			}
-		}
+		// message, as Mach destroys undeliverable rights; the transit
+		// references just taken are dropped with them.
+		m.destroyRights()
 	}
 	return err
 }
@@ -277,6 +289,12 @@ func (s *Space) deliver(m *Message) {
 			}
 			sec.PortName = 0
 		}
+		// Installed (or disposed of): the in-transit reference taken on
+		// the send path is dropped after the insert, so the extant
+		// count never dips through zero during a transfer.
+		if sec.Right&SendRight != 0 {
+			sec.port.dropTransit()
+		}
 		sec.port = nil
 	}
 	if m.replyPort != nil {
@@ -285,6 +303,7 @@ func (s *Space) deliver(m *Message) {
 		} else {
 			m.RemotePort = 0
 		}
+		m.replyPort.dropTransit()
 	} else {
 		m.RemotePort = 0
 	}
@@ -374,7 +393,10 @@ func (m *Message) SetReplyPort(p *Port) { m.replyPort = p }
 
 // RawSend transmits m directly to port p on behalf of kernel code running
 // on host from. Topology charges apply exactly as for task sends. Body
-// sections must use CarryRawRight (names cannot be resolved).
+// sections must use CarryRawRight (names cannot be resolved). Carried
+// send rights take in-transit references exactly as Space.Send; on an
+// undeliverable message the rights are destroyed (receive rights) or
+// released (send references) before the error returns.
 func RawSend(topo *machine.Topology, from machine.HostID, p *Port, m *Message, opts SendOptions) error {
 	if p == nil {
 		return ErrInvalidPort
@@ -385,15 +407,22 @@ func RawSend(topo *machine.Topology, from machine.HostID, p *Port, m *Message, o
 			return ErrInvalidPort
 		}
 	}
+	m.addSendRefs()
 	if topo != nil {
 		topo.ChargeMessage(from, p.Home(), m.wireSize())
 	}
-	return p.enqueue(m, opts.Force, opts.NonBlocking, opts.Timeout)
+	err := p.enqueue(m, opts.Force, opts.NonBlocking, opts.Timeout)
+	if err != nil {
+		m.destroyRights()
+	}
+	return err
 }
 
 // RawReceive dequeues the next message from a kernel-held port without
 // name-space delivery: right sections keep their raw ports (use
 // Section.RawPort) and the reply port is available via Message.ReplyPort.
+// The consumer must call Message.ReleaseRights once it is done with the
+// carried ports, or their in-transit send references leak.
 func RawReceive(p *Port, opts ReceiveOptions) (*Message, error) {
 	if p == nil {
 		return nil, ErrInvalidPort

@@ -1,0 +1,385 @@
+package ipc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recvNotify receives the next message from a space's notify port and
+// checks its ID.
+func recvNotify(t *testing.T, s *Space, want MsgID) *Message {
+	t.Helper()
+	m, err := s.Receive(s.NotifyPort(), ReceiveOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("receiving notification: %v", err)
+	}
+	if m.ID != want {
+		t.Fatalf("notification ID %d, want %d", m.ID, want)
+	}
+	return m
+}
+
+// noNotify asserts the notify port is empty.
+func noNotify(t *testing.T, s *Space) {
+	t.Helper()
+	if m, err := s.Receive(s.NotifyPort(), ReceiveOptions{NonBlocking: true}); err != ErrWouldBlock {
+		t.Fatalf("unexpected notification %v (err %v)", m, err)
+	}
+}
+
+// TestNoSendersBasic: arming, minting one client right, and dropping it
+// delivers MsgIDNoSenders with the port name and a confirmable
+// make-send count.
+func TestNoSendersBasic(t *testing.T) {
+	recv := newTestSpace()
+	sender := newTestSpace()
+	n, err := recv.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.RequestNoSenders(n); err != nil {
+		t.Fatal(err)
+	}
+	// Armed at zero extant senders: nothing fires (transition
+	// semantics), even though the receiver holds its own send right.
+	noNotify(t, recv)
+
+	sn, err := recv.CopySendRight(sender, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noNotify(t, recv)
+	if err := sender.DeallocatePort(sn); err != nil {
+		t.Fatal(err)
+	}
+	m := recvNotify(t, recv, MsgIDNoSenders)
+	name, ms := DecodeNoSenders(m.InlineData())
+	if name != n {
+		t.Fatalf("no-senders for name %d, want %d", name, n)
+	}
+	ok, err := recv.ConfirmNoSenders(n, ms)
+	if err != nil || !ok {
+		t.Fatalf("confirm: %v, %v", ok, err)
+	}
+}
+
+// TestNoSendersRequiresReceiveRight: only the receiver may arm.
+func TestNoSendersRequiresReceiveRight(t *testing.T) {
+	recv := newTestSpace()
+	other := newTestSpace()
+	n, _ := recv.AllocatePort()
+	on, err := recv.CopySendRight(other, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RequestNoSenders(on); err != ErrNotReceiver {
+		t.Fatalf("send-only arm: %v, want ErrNotReceiver", err)
+	}
+	if err := recv.RequestNoSenders(Name(999999)); err != ErrInvalidPort {
+		t.Fatalf("unknown name arm: %v, want ErrInvalidPort", err)
+	}
+}
+
+// TestNoSendersSuppressedByNewRight: a notification that raced a newly
+// minted send right fails confirmation; after re-arming, the next drop
+// to zero fires a confirmable one.
+func TestNoSendersSuppressedByNewRight(t *testing.T) {
+	recv := newTestSpace()
+	s1 := newTestSpace()
+	s2 := newTestSpace()
+	n, _ := recv.AllocatePort()
+	if err := recv.RequestNoSenders(n); err != nil {
+		t.Fatal(err)
+	}
+	sn1, _ := recv.CopySendRight(s1, n)
+	if err := s1.DeallocatePort(sn1); err != nil {
+		t.Fatal(err)
+	}
+	// The notification is now queued. Mint a new right before the
+	// receiver processes it — the exact race the make-send count
+	// detects.
+	sn2, err := recv.CopySendRight(s2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := recvNotify(t, recv, MsgIDNoSenders)
+	_, ms := DecodeNoSenders(m.InlineData())
+	ok, err := recv.ConfirmNoSenders(n, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale notification confirmed despite newly minted right")
+	}
+	// Suppress and re-arm, as a consumer would.
+	if err := recv.RequestNoSenders(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.DeallocatePort(sn2); err != nil {
+		t.Fatal(err)
+	}
+	m = recvNotify(t, recv, MsgIDNoSenders)
+	_, ms = DecodeNoSenders(m.InlineData())
+	if ok, err := recv.ConfirmNoSenders(n, ms); err != nil || !ok {
+		t.Fatalf("second notification: %v, %v", ok, err)
+	}
+}
+
+// TestNoSendersCountsRightsInTransit: a send right inside a queued
+// message keeps the port referenced; the notification fires only after
+// the right is delivered and the receiving space drops it too.
+func TestNoSendersCountsRightsInTransit(t *testing.T) {
+	recv := newTestSpace()
+	s := newTestSpace()
+	tsp := newTestSpace()
+	n, _ := recv.AllocatePort()
+	if err := recv.RequestNoSenders(n); err != nil {
+		t.Fatal(err)
+	}
+	sn, _ := recv.CopySendRight(s, n)
+
+	// A port in tsp that s can send to; the message carries s's right.
+	qn, _ := tsp.AllocatePort()
+	q, _ := tsp.Resolve(qn)
+	sq, _ := s.InsertRight(q, SendRight)
+	err := s.Send(&Message{
+		ID:         1,
+		RemotePort: sq,
+		Sections:   []Section{CarryRight(sn, SendRight)},
+	}, SendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s drops its own right: the in-transit copy must keep the count up.
+	if err := s.DeallocatePort(sn); err != nil {
+		t.Fatal(err)
+	}
+	noNotify(t, recv)
+
+	// Delivery moves the reference from transit into tsp.
+	m, err := tsp.Receive(qn, ReceiveOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noNotify(t, recv)
+	tn := m.Sections[0].PortName
+	if tn == 0 {
+		t.Fatal("carried right not installed")
+	}
+	if err := tsp.DeallocatePort(tn); err != nil {
+		t.Fatal(err)
+	}
+	recvNotify(t, recv, MsgIDNoSenders)
+}
+
+// TestNoSendersFiresWhenQueueDestroyed: destroying a queue with a
+// carried send right still in it releases the in-transit reference.
+func TestNoSendersFiresWhenQueueDestroyed(t *testing.T) {
+	recv := newTestSpace()
+	s := newTestSpace()
+	tsp := newTestSpace()
+	n, _ := recv.AllocatePort()
+	if err := recv.RequestNoSenders(n); err != nil {
+		t.Fatal(err)
+	}
+	sn, _ := recv.CopySendRight(s, n)
+	qn, _ := tsp.AllocatePort()
+	q, _ := tsp.Resolve(qn)
+	sq, _ := s.InsertRight(q, SendRight)
+	if err := s.Send(&Message{ID: 1, RemotePort: sq, Sections: []Section{CarryRight(sn, SendRight)}}, SendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeallocatePort(sn); err != nil {
+		t.Fatal(err)
+	}
+	noNotify(t, recv)
+	// Destroy the carrying queue: the right dies undelivered.
+	if err := tsp.DeallocatePort(qn); err != nil {
+		t.Fatal(err)
+	}
+	recvNotify(t, recv, MsgIDNoSenders)
+}
+
+// TestDeadNameNeverAliases is the dead-name regression test: after a
+// port dies, the stale name keeps answering ErrDeadName — it is never
+// reallocated to a fresh port — until the task deallocates it.
+func TestDeadNameNeverAliases(t *testing.T) {
+	owner := newTestSpace()
+	holder := newTestSpace()
+	n, _ := owner.AllocatePort()
+	hn, err := owner.CopySendRight(holder, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.DeallocatePort(n); err != nil { // destroys the port
+		t.Fatal(err)
+	}
+	recvNotify(t, holder, MsgIDPortDeleted)
+
+	if err := holder.Send(&Message{ID: 1, RemotePort: hn}, SendOptions{}); err != ErrDeadName {
+		t.Fatalf("send on dead name: %v, want ErrDeadName", err)
+	}
+	if _, err := holder.Resolve(hn); err != ErrDeadName {
+		t.Fatalf("resolve dead name: %v, want ErrDeadName", err)
+	}
+	// Allocation churn in the holder must never hand the stale name
+	// out again while the dead name is still reserved.
+	for i := 0; i < 200; i++ {
+		fresh, err := holder.AllocatePort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh == hn {
+			t.Fatalf("dead name %d reallocated to a new port", hn)
+		}
+	}
+	if err := holder.DeallocatePort(hn); err != nil {
+		t.Fatalf("deallocating dead name: %v", err)
+	}
+	if _, err := holder.Resolve(hn); err != ErrInvalidPort {
+		t.Fatalf("after deallocate: %v, want ErrInvalidPort", err)
+	}
+}
+
+// TestNotifyFloodDeadLetters is the satellite flood test: a space that
+// never drains its notify port has the queue capped at NotifyQueueCap
+// and the overflow counted as dead letters.
+func TestNotifyFloodDeadLetters(t *testing.T) {
+	owner := newTestSpace()
+	holder := newTestSpace()
+	const churn = NotifyQueueCap + 50
+	names := make([]Name, churn)
+	for i := range names {
+		n, err := owner.AllocatePort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := owner.CopySendRight(holder, n); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = n
+	}
+	for _, n := range names {
+		if err := owner.DeallocatePort(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := holder.Status(holder.NotifyPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumMsgs != NotifyQueueCap {
+		t.Fatalf("notify queue depth %d, want cap %d", st.NumMsgs, NotifyQueueCap)
+	}
+	if got, want := holder.DeadLetters(), uint64(churn-NotifyQueueCap); got != want {
+		t.Fatalf("dead letters %d, want %d", got, want)
+	}
+}
+
+// TestWatchDeathCancelRace: WatchDeath's cancel racing Destroy under
+// -race must run the callback exactly once or not at all and never
+// deadlock.
+func TestWatchDeathCancelRace(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		p := NewRawPort(0)
+		var calls atomic.Int32
+		cancel := p.WatchDeath(func() { calls.Add(1) })
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); cancel() }()
+		go func() { defer wg.Done(); p.Destroy() }()
+		wg.Wait()
+		if c := calls.Load(); c > 1 {
+			t.Fatalf("death callback ran %d times", c)
+		}
+	}
+}
+
+// TestNoSendersChurn: 16 goroutines inserting and removing send rights
+// while the receiver keeps re-arming. The exercise is for -race; the
+// invariant is that after the churn the final drop fires a confirmable
+// notification and the extant count is zero.
+func TestNoSendersChurn(t *testing.T) {
+	recv := newTestSpace()
+	n, _ := recv.AllocatePort()
+	p, _ := recv.Resolve(n)
+	if err := recv.RequestNoSenders(n); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	const iters = 200
+	stop := make(chan struct{})
+	// A re-arming consumer: drain notifications, confirm or re-arm.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			m, err := recv.Receive(recv.NotifyPort(), ReceiveOptions{Timeout: 50 * time.Millisecond})
+			if err != nil {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+			if m.ID != MsgIDNoSenders {
+				continue
+			}
+			_ = recv.RequestNoSenders(n)
+		}
+	}()
+
+	var cwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			sp := newTestSpace()
+			for i := 0; i < iters; i++ {
+				sn, err := sp.InsertRight(p, SendRight)
+				if err != nil {
+					return
+				}
+				if err := sp.DeallocatePort(sn); err != nil {
+					return
+				}
+			}
+			sp.Destroy()
+		}()
+	}
+	cwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if refs := p.SendRefs(); refs != 0 {
+		t.Fatalf("extant refs after churn: %d, want 0", refs)
+	}
+	// A final mint-and-drop must still fire a confirmable notification.
+	if err := recv.RequestNoSenders(n); err != nil {
+		t.Fatal(err)
+	}
+	// Drain any straggler notification from the churn first.
+	for {
+		if _, err := recv.Receive(recv.NotifyPort(), ReceiveOptions{NonBlocking: true}); err != nil {
+			break
+		}
+	}
+	sp := newTestSpace()
+	sn, _ := sp.InsertRight(p, SendRight)
+	if err := sp.DeallocatePort(sn); err != nil {
+		t.Fatal(err)
+	}
+	m := recvNotify(t, recv, MsgIDNoSenders)
+	name, ms := DecodeNoSenders(m.InlineData())
+	if name != n {
+		t.Fatalf("no-senders for %d, want %d", name, n)
+	}
+	if ok, err := recv.ConfirmNoSenders(n, ms); err != nil || !ok {
+		t.Fatalf("final confirm: %v, %v", ok, err)
+	}
+}

@@ -47,12 +47,16 @@ func putWaiter(w *recvWaiter) {
 type Port struct {
 	id uint64
 
+	// dead is also readable without the lock (the name-table fast paths
+	// check it to report dead names without taking the port lock); it
+	// is only ever stored under mu.
+	dead atomic.Bool
+
 	mu       sync.Mutex
 	sendCond *sync.Cond
 	queue    []*Message
 	waiters  []*recvWaiter
 	backlog  int
-	dead     bool
 
 	// receiver is the space holding the receive right (nil while the
 	// right is in flight inside a message).
@@ -61,8 +65,32 @@ type Port struct {
 	// charged as travelling from the sender's host to here.
 	home machine.HostID
 	// senders holds a refcount per space with send rights, used to
-	// deliver port-death notifications.
+	// deliver port-death notifications and maintain the extant count.
 	senders map[*Space]int
+	// transit counts send-right references travelling inside queued
+	// messages (body sections and reply ports): a right in flight keeps
+	// its port referenced even though no space names it yet.
+	transit int
+	// kernRefs counts kernel-held send references (AddSendRef) — for
+	// example the one logical send right a netmsg proxy holds at its
+	// home port.
+	kernRefs int
+	// extant is the no-senders count: transit + kernRefs + one per
+	// space in senders other than the current receiver. The receiver's
+	// own send right is excluded so a server holding S|R on its service
+	// port still learns when its last client is gone.
+	extant int
+	// makeSend is bumped on every extant increment — the make-send
+	// count carried in no-senders notifications, letting a receiver
+	// detect (and suppress) a notification that raced a newly minted
+	// send right.
+	makeSend uint32
+	// nsArmed with nsSpace (task receivers) or nsFunc (kernel watchers)
+	// is the armed one-shot no-senders request.
+	nsArmed bool
+	nsSpace *Space
+	nsFunc  func(msCount uint32)
+
 	// deathWatch holds kernel-side destruction callbacks by watch id
 	// (WatchDeath). The netmsg layer uses them to tear down proxies
 	// when the home port dies.
@@ -106,7 +134,7 @@ func (p *Port) Home() machine.HostID {
 // caller's goroutine.
 func (p *Port) WatchDeath(fn func()) (cancel func()) {
 	p.mu.Lock()
-	if !p.dead {
+	if !p.dead.Load() {
 		if p.deathWatch == nil {
 			p.deathWatch = make(map[uint64]func())
 		}
@@ -162,7 +190,7 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 	}
 	p.mu.Lock()
 	for {
-		if p.dead {
+		if p.dead.Load() {
 			p.mu.Unlock()
 			return ErrPortDied
 		}
@@ -180,6 +208,18 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 	}
 	m.arrivedOn = p
 	p.queue = append(p.queue, m)
+	queued, recv := p.dispatchLocked()
+	p.mu.Unlock()
+	if queued && recv != nil {
+		recv.wakeAll()
+	}
+	return nil
+}
+
+// dispatchLocked hands queued messages to parked receivers (FIFO via
+// the queue head). Caller holds p.mu. It reports whether messages
+// remain queued and which space to wake for a receive-any.
+func (p *Port) dispatchLocked() (queued bool, recv *Space) {
 	handedOff := false
 	for len(p.waiters) > 0 && len(p.queue) > 0 {
 		w := p.waiters[0]
@@ -189,16 +229,33 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 		w.ready <- struct{}{}
 		handedOff = true
 	}
-	queued := len(p.queue) > 0
-	recv := p.receiver
 	if handedOff {
 		p.sendCond.Broadcast()
 	}
+	return len(p.queue) > 0, p.receiver
+}
+
+// enqueueNotify is the kernel's notification enqueue: it bypasses the
+// sender backlog (the kernel must never block delivering a port-death
+// or no-senders message) but refuses once the queue holds cap messages,
+// so a space that never drains its notify port cannot grow the queue
+// without bound under port churn. It reports whether the message was
+// queued; undeliverable notifications are counted by the space as dead
+// letters.
+func (p *Port) enqueueNotify(m *Message, cap int) bool {
+	p.mu.Lock()
+	if p.dead.Load() || len(p.queue) >= cap {
+		p.mu.Unlock()
+		return false
+	}
+	m.arrivedOn = p
+	p.queue = append(p.queue, m)
+	queued, recv := p.dispatchLocked()
 	p.mu.Unlock()
 	if queued && recv != nil {
 		recv.wakeAll()
 	}
-	return nil
+	return true
 }
 
 // dequeue removes the oldest message, blocking per the options. nonblock
@@ -216,7 +273,7 @@ func (p *Port) dequeue(nonblock bool, timeout time.Duration) (*Message, error) {
 		p.mu.Unlock()
 		return m, nil
 	}
-	if p.dead {
+	if p.dead.Load() {
 		p.mu.Unlock()
 		return nil, ErrPortDied
 	}
@@ -291,11 +348,16 @@ func (p *Port) queued() int {
 	return len(p.queue)
 }
 
+// QueueLen returns the current queue depth. Kernel-side use only; the
+// netmsg layer refuses to commit a proxy retirement while messages are
+// still queued behind the retire sentinel.
+func (p *Port) QueueLen() int { return p.queued() }
+
 // status returns queue depth, backlog and liveness in one lock round.
 func (p *Port) status() (depth, backlog int, dead bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.queue), p.backlog, p.dead
+	return len(p.queue), p.backlog, p.dead.Load()
 }
 
 // setBacklog adjusts the queue limit and releases senders waiting on it.
@@ -306,38 +368,187 @@ func (p *Port) setBacklog(backlog int) {
 	p.mu.Unlock()
 }
 
+// incExtantLocked records a new extant send reference. Caller holds
+// p.mu. Every increment bumps the make-send count, so a no-senders
+// notification in flight is detectably stale the moment any reference
+// comes into existence.
+func (p *Port) incExtantLocked() {
+	p.extant++
+	p.makeSend++
+}
+
+// decExtantLocked drops one extant send reference and, on the
+// transition to zero, consumes an armed no-senders request. Caller
+// holds p.mu; the returned thunk (if any) must run after the lock is
+// released — it enqueues on another port.
+func (p *Port) decExtantLocked() func() {
+	if p.extant--; p.extant > 0 || !p.nsArmed {
+		return nil
+	}
+	p.nsArmed = false
+	ms := p.makeSend
+	if fn := p.nsFunc; fn != nil {
+		p.nsFunc = nil
+		return func() { fn(ms) }
+	}
+	if sp := p.nsSpace; sp != nil {
+		p.nsSpace = nil
+		return func() { sp.notifyNoSenders(p, ms) }
+	}
+	return nil
+}
+
 // addSender registers a space as holding send rights. A right to a dead
 // port is a "dead name": sends fail, no notification will come.
 func (p *Port) addSender(s *Space) {
 	p.mu.Lock()
-	if !p.dead {
+	if !p.dead.Load() {
 		p.senders[s]++
+		if p.senders[s] == 1 && s != p.receiver {
+			p.incExtantLocked()
+		}
 	}
 	p.mu.Unlock()
 }
 
 // dropSender removes one send-right reference for a space.
 func (p *Port) dropSender(s *Space) {
+	var fire func()
 	p.mu.Lock()
-	if !p.dead {
-		if p.senders[s]--; p.senders[s] <= 0 {
-			delete(p.senders, s)
+	if !p.dead.Load() {
+		if c, ok := p.senders[s]; ok {
+			if c--; c <= 0 {
+				delete(p.senders, s)
+				if s != p.receiver {
+					fire = p.decExtantLocked()
+				}
+			} else {
+				p.senders[s] = c
+			}
 		}
+	}
+	p.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// addTransit records one send-right reference entering a queued message
+// (a body section or a reply port). No-op on a dead port: the message
+// cannot be enqueued there anyway.
+func (p *Port) addTransit() {
+	p.mu.Lock()
+	if !p.dead.Load() {
+		p.transit++
+		p.incExtantLocked()
+	}
+	p.mu.Unlock()
+}
+
+// dropTransit releases a reference taken by addTransit, after the right
+// was installed in the receiving space or destroyed with its message.
+func (p *Port) dropTransit() {
+	var fire func()
+	p.mu.Lock()
+	if !p.dead.Load() {
+		p.transit--
+		fire = p.decExtantLocked()
+	}
+	p.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// AddSendRef takes a kernel-held send reference on the port: it counts
+// toward the no-senders total exactly like a space-held send right.
+// Kernel-side use only — the netmsg layer pins proxies and charges each
+// proxy's one logical send right at its home port with it.
+func (p *Port) AddSendRef() {
+	p.mu.Lock()
+	if !p.dead.Load() {
+		p.kernRefs++
+		p.incExtantLocked()
+	}
+	p.mu.Unlock()
+}
+
+// DropSendRef releases a kernel-held send reference taken by
+// AddSendRef, firing an armed no-senders request if it was the last
+// extant reference.
+func (p *Port) DropSendRef() {
+	var fire func()
+	p.mu.Lock()
+	if !p.dead.Load() {
+		p.kernRefs--
+		fire = p.decExtantLocked()
+	}
+	p.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// SendRefs returns the current count of extant send references.
+// Kernel-side use only; the netmsg layer re-checks it (under its own
+// handout lock) before committing a proxy retirement.
+func (p *Port) SendRefs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.extant
+}
+
+// MakeSendCount returns the port's monotone make-send counter.
+// Kernel-side diagnostic.
+func (p *Port) MakeSendCount() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.makeSend
+}
+
+// WatchNoSenders arms a one-shot kernel-side no-senders request: fn
+// runs with the port's make-send count when the count of extant send
+// references next drops to zero. Arming replaces any earlier request.
+// Unlike Mach, a request armed while the count is already zero does not
+// fire immediately — it waits for the next transition to zero, which
+// lets a watcher arm a freshly built port before its first right is
+// minted. On a dead port the request never fires (death watches cover
+// that path). fn must not block: it runs on whatever goroutine dropped
+// the last reference.
+func (p *Port) WatchNoSenders(fn func(msCount uint32)) {
+	p.mu.Lock()
+	if !p.dead.Load() {
+		p.nsFunc = fn
+		p.nsSpace = nil
+		p.nsArmed = true
 	}
 	p.mu.Unlock()
 }
 
 // setReceiver installs the space now holding the receive right and
-// rehomes the queue to its host.
+// rehomes the queue to its host. The receiver's own send right is
+// excluded from the no-senders count, so the count is adjusted when the
+// receive right moves between spaces that also hold send rights.
 func (p *Port) setReceiver(s *Space) {
+	var fire func()
 	p.mu.Lock()
-	if !p.dead {
+	if !p.dead.Load() && s != p.receiver {
+		old := p.receiver
 		p.receiver = s
 		if s != nil {
 			p.home = s.host
 		}
+		if old != nil && p.senders[old] > 0 {
+			p.incExtantLocked()
+		}
+		if s != nil && p.senders[s] > 0 {
+			fire = p.decExtantLocked()
+		}
 	}
 	p.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
 }
 
 // destroy kills the port: the queue is drained (destroying any rights in
@@ -346,11 +557,11 @@ func (p *Port) setReceiver(s *Space) {
 // its notify port.
 func (p *Port) destroy() {
 	p.mu.Lock()
-	if p.dead {
+	if p.dead.Load() {
 		p.mu.Unlock()
 		return
 	}
-	p.dead = true
+	p.dead.Store(true)
 	dropped := p.queue
 	p.queue = nil
 	p.receiver = nil
@@ -359,6 +570,8 @@ func (p *Port) destroy() {
 		notify = append(notify, s)
 	}
 	p.senders = nil
+	p.transit, p.kernRefs, p.extant = 0, 0, 0
+	p.nsArmed, p.nsSpace, p.nsFunc = false, nil, nil
 	watch := p.deathWatch
 	p.deathWatch = nil
 	for _, w := range p.waiters {
@@ -369,14 +582,10 @@ func (p *Port) destroy() {
 	p.sendCond.Broadcast()
 	p.mu.Unlock()
 
-	// Destroy rights carried by undelivered messages.
+	// Dispose of rights carried by undelivered messages: receive rights
+	// destroy their ports, send rights drop their transit references.
 	for _, m := range dropped {
-		for i := range m.Sections {
-			sec := &m.Sections[i]
-			if sec.Kind == PortRightSection && sec.port != nil && sec.Right&ReceiveRight != 0 {
-				sec.port.destroy()
-			}
-		}
+		m.destroyRights()
 	}
 	for _, fn := range watch {
 		fn()
@@ -388,8 +597,4 @@ func (p *Port) destroy() {
 }
 
 // isDead reports whether the port has been destroyed.
-func (p *Port) isDead() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.dead
-}
+func (p *Port) isDead() bool { return p.dead.Load() }

@@ -113,6 +113,10 @@ type Space struct {
 	rrCursor atomic.Uint32
 	dead     atomic.Bool
 	notify   Name
+	// deadLetters counts kernel notifications dropped because the
+	// notify port's queue was at NotifyQueueCap (or the notify port was
+	// gone) — the space's dead-letter counter.
+	deadLetters atomic.Uint64
 
 	wakeMu sync.Mutex
 	wakeCh chan struct{}
@@ -129,6 +133,14 @@ type Space struct {
 // maxReplyPool bounds the cached reply ports per space; beyond it,
 // finished RPC ports are deallocated as before.
 const maxReplyPool = 64
+
+// NotifyQueueCap bounds the kernel's forced enqueues on a space's
+// notify port. Notifications bypass the ordinary sender backlog (the
+// kernel never blocks delivering one), so without a cap a space that
+// never drains its notify port would grow the queue without limit under
+// port churn; past the cap notifications are dropped and counted as
+// dead letters.
+const NotifyQueueCap = 256
 
 // NewSpace creates an empty port name space on the given host. Every
 // space is born with an enabled notify port on which the kernel delivers
@@ -162,6 +174,10 @@ func (s *Space) Host() machine.HostID { return s.host }
 
 // NotifyPort returns the name of the space's notification port.
 func (s *Space) NotifyPort() Name { return s.notify }
+
+// DeadLetters returns the number of kernel notifications dropped on the
+// floor because this space's notify queue was full (NotifyQueueCap).
+func (s *Space) DeadLetters() uint64 { return s.deadLetters.Load() }
 
 func (s *Space) shardFor(n Name) *nameShard { return &s.shards[uint32(n)&shardMask] }
 
@@ -455,7 +471,8 @@ func (s *Space) SetBacklog(n Name, backlog int) error {
 // Resolve returns the port behind a name. It models the kernel's
 // privileged lookup of a right presented in a system call (for example
 // the memory object argument of vm_allocate_with_pager) and must only be
-// called by kernel-side code.
+// called by kernel-side code. A name whose port has died resolves to
+// ErrDeadName until the task deallocates it.
 func (s *Space) Resolve(n Name) (*Port, error) {
 	sh := s.shardFor(n)
 	sh.mu.RLock()
@@ -463,6 +480,9 @@ func (s *Space) Resolve(n Name) (*Port, error) {
 	sh.mu.RUnlock()
 	if !ok {
 		return nil, ErrInvalidPort
+	}
+	if e.port.isDead() {
+		return nil, ErrDeadName
 	}
 	return e.port, nil
 }
@@ -545,8 +565,11 @@ func (s *Space) applyInsert(p *Port, r, had Right) {
 }
 
 // notifyPortDeath delivers a MsgIDPortDeleted message to the space's
-// notify port for a port this space held send rights to, and removes the
-// now-dead right from the space. Called by Port.destroy.
+// notify port for a port this space held send rights to. Called by
+// Port.destroy. The name is NOT removed from the space: it becomes a
+// dead name (Resolve and Send return ErrDeadName) until the task
+// deallocates it, so a stale name a client still holds can never be
+// reallocated to alias a fresh port.
 func (s *Space) notifyPortDeath(p *Port) {
 	if s.dead.Load() {
 		return
@@ -563,23 +586,103 @@ func (s *Space) notifyPortDeath(p *Port) {
 	}
 	sh := s.shardFor(n)
 	sh.mu.Lock()
-	if e, live := sh.names[n]; live && e.port == p {
-		delete(sh.names, n)
-		delete(sh.enabled, n)
-	}
+	// Dead names never match a receive-any scan.
+	delete(sh.enabled, n)
 	sh.mu.Unlock()
 
-	notifyPort, err := s.Resolve(s.notify)
-	if err != nil {
-		return
-	}
-	m := &Message{
+	s.postNotification(&Message{
 		ID:       MsgIDPortDeleted,
 		Sections: []Section{InlineBytes(EncodeName(n))},
+	})
+}
+
+// notifyNoSenders delivers a MsgIDNoSenders message for port p, fired
+// by the last extant send reference going away while a request was
+// armed. Runs with no locks held.
+func (s *Space) notifyNoSenders(p *Port, msCount uint32) {
+	if s.dead.Load() {
+		return
 	}
-	// Notifications are forced past the backlog: the kernel must never
-	// block delivering one.
-	_ = notifyPort.enqueue(m, true, false, 0)
+	n, ok := s.NameOf(p)
+	if !ok {
+		return
+	}
+	s.postNotification(&Message{
+		ID:       MsgIDNoSenders,
+		Sections: []Section{InlineBytes(EncodeNoSenders(n, msCount))},
+	})
+}
+
+// postNotification enqueues a kernel notification on the space's notify
+// port, bypassing the backlog but bounded by NotifyQueueCap;
+// undeliverable notifications count as dead letters.
+func (s *Space) postNotification(m *Message) {
+	np, err := s.Resolve(s.notify)
+	if err != nil || !np.enqueueNotify(m, NotifyQueueCap) {
+		s.deadLetters.Add(1)
+	}
+}
+
+// RequestNoSenders arms a no-senders notification for the named port,
+// which must be held with the receive right. When the count of extant
+// send references — space-held send rights other than the receiver's
+// own, rights in transit inside queued messages, and kernel references
+// — next drops to zero, MsgIDNoSenders is delivered on the space's
+// notify port carrying the name and the port's make-send count at
+// firing time. The request is one-shot: a receiver that wants further
+// notifications re-arms after each one. Unlike Mach, a request armed
+// while the count is already zero does not fire immediately; it fires
+// on the next transition to zero, which lets a server arm before
+// minting its first client right.
+func (s *Space) RequestNoSenders(n Name) error {
+	sh := s.shardFor(n)
+	sh.mu.RLock()
+	e, ok := sh.names[n]
+	if !ok || e.rights&ReceiveRight == 0 {
+		r := Right(0)
+		if ok {
+			r = e.rights
+		}
+		sh.mu.RUnlock()
+		if ok && r&ReceiveRight == 0 {
+			return ErrNotReceiver
+		}
+		return ErrInvalidPort
+	}
+	p := e.port
+	sh.mu.RUnlock()
+	p.mu.Lock()
+	if p.dead.Load() {
+		p.mu.Unlock()
+		return ErrPortDied
+	}
+	p.nsArmed = true
+	p.nsSpace = s
+	p.nsFunc = nil
+	p.mu.Unlock()
+	return nil
+}
+
+// ConfirmNoSenders reports whether a received no-senders notification
+// is still valid: true when no send reference has been minted since the
+// notification fired (the notification's make-send count matches the
+// port's, which implies the extant count is still zero), or when the
+// port has since died outright. A false result means the notification
+// raced a newly minted send right and should be suppressed — drop it
+// and re-arm with RequestNoSenders.
+func (s *Space) ConfirmNoSenders(n Name, msCount uint32) (bool, error) {
+	sh := s.shardFor(n)
+	sh.mu.RLock()
+	e, ok := sh.names[n]
+	sh.mu.RUnlock()
+	if !ok {
+		return false, ErrInvalidPort
+	}
+	p := e.port
+	p.mu.Lock()
+	confirmed := p.dead.Load() || (p.makeSend == msCount && p.extant == 0)
+	p.mu.Unlock()
+	return confirmed, nil
 }
 
 // Destroy tears down the space, as task termination would: receive rights

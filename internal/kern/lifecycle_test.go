@@ -1,0 +1,67 @@
+package kern
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ipc"
+)
+
+func waitDead(t *testing.T, what string, p *ipc.Port) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Dead() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("%s not retired", what)
+}
+
+// TestTaskPortRetiredWhenUnreferenced: a task port whose last holder
+// dies is retired (no-senders drives the kernel service thread down),
+// and a later TaskPort call mints a fresh, working one.
+func TestTaskPortRetiredWhenUnreferenced(t *testing.T) {
+	k := newTestKernel(t)
+	victim := k.NewTask()
+	holder := k.NewTask()
+
+	tp := k.TaskPort(victim)
+	name, err := holder.Space.InsertRight(tp, ipc.SendRight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TaskSuspendRPC(holder, name); err != nil {
+		t.Fatal(err)
+	}
+	if err := TaskResumeRPC(holder, name); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the holder: its space's send right was the only extant one.
+	holder.Terminate()
+	waitDead(t, "task port", tp)
+
+	// The task itself is unaffected, and a fresh task port works.
+	if victim.Dead() {
+		t.Fatal("victim died with its task port")
+	}
+	tp2 := k.TaskPort(victim)
+	if tp2 == tp || tp2.Dead() {
+		t.Fatal("stale task port reissued")
+	}
+	holder2 := k.NewTask()
+	name2, err := holder2.Space.InsertRight(tp2, ipc.SendRight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TaskSuspendRPC(holder2, name2); err != nil {
+		t.Fatal(err)
+	}
+	if err := TaskResumeRPC(holder2, name2); err != nil {
+		t.Fatal(err)
+	}
+	holder2.Terminate()
+	victim.Terminate()
+}

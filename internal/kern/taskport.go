@@ -34,7 +34,9 @@ const (
 
 // TaskPort returns the port representing the task, creating it (and its
 // kernel service thread) on first use. Hand the send right to other
-// tasks with Space.InsertRight or by message.
+// tasks with Space.InsertRight or by message. A task port whose last
+// send right goes away is retired — its kernel service thread exits —
+// and a later TaskPort call mints a fresh one.
 func (k *Kernel) TaskPort(t *Task) *ipc.Port {
 	t.mu.Lock()
 	if t.taskPort != nil {
@@ -45,6 +47,23 @@ func (k *Kernel) TaskPort(t *Task) *ipc.Port {
 	p := ipc.NewRawPort(k.host)
 	t.taskPort = p
 	t.mu.Unlock()
+	var retire func(uint32)
+	retire = func(ms uint32) {
+		if p.MakeSendCount() != ms {
+			// A right was minted while the notification was pending
+			// (TaskPort returned this port to a new holder): suppress
+			// the retirement and wait for the next real zero.
+			p.WatchNoSenders(retire)
+			return
+		}
+		t.mu.Lock()
+		if t.taskPort == p {
+			t.taskPort = nil
+		}
+		t.mu.Unlock()
+		p.Destroy()
+	}
+	p.WatchNoSenders(retire)
 	go k.serviceTaskPort(t, p)
 	return p
 }
@@ -100,6 +119,7 @@ func (k *Kernel) serviceTaskPort(t *Task, port *ipc.Port) {
 				Sections: []ipc.Section{ipc.InlineBytes(payload)},
 			}, ipc.SendOptions{Force: true})
 		}
+		m.ReleaseRights()
 		if m.ID == MsgTaskTerminate {
 			port.Destroy()
 			return

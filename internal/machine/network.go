@@ -39,6 +39,12 @@ func NewTopology(model CostModel, clock *Clock) *Topology {
 // Model returns the topology's cost model.
 func (t *Topology) Model() CostModel { return t.model }
 
+// Clock returns the virtual clock charges advance (nil when time
+// accounting is disabled). Consumers use it for deterministic
+// time-based policies — the netmsg registry's lookup-cache TTL runs on
+// virtual time.
+func (t *Topology) Clock() *Clock { return t.clock }
+
 // Stats returns a snapshot of the traffic counters.
 func (t *Topology) Stats() NetStats {
 	return NetStats{

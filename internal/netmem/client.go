@@ -29,11 +29,11 @@ func Create(t *kern.Task, svc ipc.Name, name string, size uint64) error {
 	}
 }
 
-// Attach maps the named shared region into the task's address space with
-// vm_allocate_with_pager and returns its address and size. Tasks on any
-// kernel of the complex that attach the same name share the memory
-// consistently.
-func Attach(t *kern.Task, svc ipc.Name, name string) (addr, size uint64, err error) {
+// AttachObject returns the named region's memory-object send right and
+// size without mapping it. The right is the attachment: deallocating it
+// is the explicit detach, and when the last attachment right anywhere
+// dies the server reaps the region (detach-on-death).
+func AttachObject(t *kern.Task, svc ipc.Name, name string) (ipc.Name, uint64, error) {
 	resp, err := rpc.NewClient(t.Space, svc, rpcTimeout).
 		Call(MsgAttachRegion, rpc.NewEnc().String(name))
 	if err != nil {
@@ -46,18 +46,25 @@ func Attach(t *kern.Task, svc ipc.Name, name string) (addr, size uint64, err err
 	default:
 		return 0, 0, ErrServer
 	}
-	size = resp.Dec.U64()
+	size := resp.Dec.U64()
 	if resp.Dec.Err() != nil {
 		return 0, 0, ErrServer
 	}
-	var moName ipc.Name
-	for i := range resp.Msg.Sections {
-		if resp.Msg.Sections[i].Kind == ipc.PortRightSection {
-			moName = resp.Msg.Sections[i].PortName
-		}
-	}
+	moName := resp.Msg.FirstPortRight()
 	if moName == 0 {
 		return 0, 0, ErrServer
+	}
+	return moName, size, nil
+}
+
+// Attach maps the named shared region into the task's address space with
+// vm_allocate_with_pager and returns its address and size. Tasks on any
+// kernel of the complex that attach the same name share the memory
+// consistently.
+func Attach(t *kern.Task, svc ipc.Name, name string) (addr, size uint64, err error) {
+	moName, size, err := AttachObject(t, svc, name)
+	if err != nil {
+		return 0, 0, err
 	}
 	addr, err = t.VMAllocateWithPager(moName, 0, 0, size, true)
 	if err != nil {

@@ -1,0 +1,84 @@
+package netmem
+
+import (
+	"testing"
+	"time"
+)
+
+func waitForReaps(t *testing.T, srv *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Stats().RegionReaps == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("region reaps stuck at %d, want %d", srv.Stats().RegionReaps, want)
+}
+
+// TestRegionReapedOnClientDeath is the netmem kill-the-client test:
+// when the last task holding an attachment right dies, the region is
+// reaped via no-senders (detach-on-death); regions still attached
+// elsewhere survive.
+func TestRegionReapedOnClientDeath(t *testing.T) {
+	kernels, srv := newComplex(t, 2)
+	doomed := kernels[1].NewTask()
+	survivorTask := kernels[0].NewTask()
+
+	svcD, _ := srv.Publish(doomed)
+	svcS, _ := srv.Publish(survivorTask)
+	if err := Create(doomed, svcD, "dies-with-client", 2*pgsz); err != nil {
+		t.Fatal(err)
+	}
+	if err := Create(survivorTask, svcS, "survives", 2*pgsz); err != nil {
+		t.Fatal(err)
+	}
+	// A region never attached is not armed and never reaped.
+	if err := Create(survivorTask, svcS, "never-attached", pgsz); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, _, err := Attach(doomed, svcD, "dies-with-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doomed.VMWrite(addr, []byte("scratch")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Attach(survivorTask, svcS, "survives"); err != nil {
+		t.Fatal(err)
+	}
+
+	doomed.Terminate()
+	waitForReaps(t, srv, 1)
+
+	// The doomed client's region is gone; the others are untouched.
+	probe := kernels[0].NewTask()
+	svcP, _ := srv.Publish(probe)
+	if _, _, err := Attach(probe, svcP, "dies-with-client"); err != ErrNoRegion {
+		t.Fatalf("reaped region still attachable: %v", err)
+	}
+	if _, _, err := Attach(probe, svcP, "survives"); err != nil {
+		t.Fatalf("surviving region lost: %v", err)
+	}
+}
+
+// TestRegionReapedOnExplicitDetach: dropping the last attachment right
+// explicitly reaps the region too.
+func TestRegionReapedOnExplicitDetach(t *testing.T) {
+	kernels, srv := newComplex(t, 1)
+	task := kernels[0].NewTask()
+	svc, _ := srv.Publish(task)
+	if err := Create(task, svc, "r", pgsz); err != nil {
+		t.Fatal(err)
+	}
+	mo, _, err := AttachObject(task, svc, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Space.DeallocatePort(mo); err != nil {
+		t.Fatal(err)
+	}
+	waitForReaps(t, srv, 1)
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
+	"repro/internal/lifecycle"
 	"repro/internal/pager"
 	"repro/internal/rpc"
 	"repro/internal/vm"
@@ -62,6 +63,11 @@ type Stats struct {
 	Invalidations int64
 	// WriteBacks counts dirty pages returned by kernels.
 	WriteBacks int64
+	// RegionReaps counts regions reclaimed by the no-senders machinery:
+	// the last attachment right disappeared (an explicit detach, or a
+	// client task dying with it), so the region and its master copy
+	// were released.
+	RegionReaps int64
 }
 
 // pageState is the ownership state machine for one page of a region.
@@ -109,10 +115,12 @@ type Server struct {
 	task   *kern.Task
 	mgr    *pager.Manager
 	rpc    *rpc.Server
+	lc     *lifecycle.Watcher
 
 	mu        sync.Mutex
 	regions   map[string]*region
 	byAckPort map[ipc.Name]*region
+	byObject  map[ipc.Name]*region
 	stats     Stats
 
 	// ServicePort receives client create/attach requests.
@@ -128,6 +136,7 @@ func NewServer(k *kern.Kernel) (*Server, error) {
 		task:      k.NewTask(),
 		regions:   make(map[string]*region),
 		byAckPort: make(map[ipc.Name]*region),
+		byObject:  make(map[ipc.Name]*region),
 	}
 	s.mgr = pager.NewManager(s.task.Space, (*handler)(s))
 	srv, err := rpc.NewServer(s.task.Space)
@@ -140,7 +149,10 @@ func NewServer(k *kern.Kernel) (*Server, error) {
 	// on the regions' ack ports; they share the manager loop's demux.
 	srv.Handle(pager.MsgLockCompleted, s.handleFlushAck)
 	s.rpc = srv
-	s.mgr.Default = srv.Dispatch
+	// Lifecycle notifications (region no-senders) are consumed ahead of
+	// the service demux; both run on the manager loop.
+	s.lc = lifecycle.New(s.task.Space)
+	s.mgr.Default = s.lc.Chain(srv.Dispatch)
 	s.ServicePort = srv.Port
 	return s, nil
 }
@@ -205,6 +217,7 @@ func (s *Server) createRegion(name string, size uint64) error {
 	s.mu.Lock()
 	s.regions[name] = r
 	s.byAckPort[ack] = r
+	s.byObject[mo.Port] = r
 	s.mu.Unlock()
 	return nil
 }
@@ -232,10 +245,40 @@ func (s *Server) handleAttach(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	if r == nil {
 		return nil, rpc.Errf(rpc.StatusNotFound, "netmem: no region %q", name)
 	}
+	// Detach-on-death: the attachment right carried in this reply (and
+	// every later copy of it) is what keeps the region alive. Arming at
+	// attach time — never at create — means a region lives until it has
+	// been attached at least once and every attachment right has died,
+	// whether by explicit deallocation or the client task's death.
+	if err := s.lc.OnNoSenders(r.object.Port, s.reapRegion); err != nil {
+		return nil, err
+	}
 	reply := rpc.NewReply()
 	reply.U64(r.size)
 	reply.Carry(ipc.CarryRight(r.object.Port, ipc.SendRight))
 	return reply, nil
+}
+
+// reapRegion runs on the manager loop when a region's last attachment
+// right dies: the region, its master copy and its ports are released.
+// A client that still maps the region after dropping its right sees
+// memory failure on its next fault, the documented consequence of
+// detaching while mapped.
+func (s *Server) reapRegion(n ipc.Name) {
+	s.mu.Lock()
+	r := s.byObject[n]
+	if r != nil {
+		delete(s.byObject, n)
+		delete(s.regions, r.name)
+		delete(s.byAckPort, r.ackPort)
+		s.stats.RegionReaps++
+	}
+	s.mu.Unlock()
+	if r == nil {
+		return
+	}
+	s.mgr.Remove(r.object)
+	_ = s.task.Space.DeallocatePort(r.ackPort)
 }
 
 // --- pager event handling ---------------------------------------------------

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ipc"
 	"repro/internal/machine"
@@ -43,8 +44,51 @@ import (
 )
 
 // controlBytes approximates one netmsg-to-netmsg control message (proxy
-// negotiation, registry broadcast), charged to the interconnect.
+// negotiation, registry broadcast, sender-count delta), charged to the
+// interconnect.
 const controlBytes = 32
+
+// msgProxyRetire is the private sentinel a proxy's no-senders watch
+// enqueues behind all in-flight traffic; the forwarding thread commits
+// (or aborts) the retirement when the sentinel reaches the queue head,
+// so no message sent before the last right died can be lost.
+const msgProxyRetire ipc.MsgID = -201
+
+// proxyLinger is the wall-clock grace a zero-reference proxy lingers
+// before its retire sentinel is queued. Request/reply traffic retires
+// and re-creates a reply port's reverse proxy between every call
+// without it — a create+retire churn of two control messages and a
+// forwarding thread per RPC; with the linger, back-to-back calls reuse
+// a warm proxy and only a genuinely idle one is collected.
+//
+// The linger is deliberately wall-clock, not virtual: the virtual
+// clock only advances when traffic is charged, so a virtual-time
+// linger on an idle proxy would never expire (nothing schedules on the
+// virtual clock — the lookup cache's TTL works because it is checked
+// lazily on the next lookup). The cost is that WHEN a retirement's
+// control message lands on the topology is timing-dependent; protocol
+// correctness and steady-state experiment numbers are not.
+const proxyLinger = 10 * time.Millisecond
+
+// Stats counts one message server's proxy and registry activity — the
+// observable surface of the distributed garbage collection.
+type Stats struct {
+	// ProxiesCreated counts proxy ports materialized on this host.
+	ProxiesCreated int64
+	// ProxiesRetired counts proxies reclaimed by the no-senders GC:
+	// the last local send reference went away, the proxy drained and
+	// retired itself, and its one logical send right at home was
+	// returned (one control message).
+	ProxiesRetired int64
+	// ProxiesDied counts proxies torn down by home-port death or
+	// server stop rather than by GC.
+	ProxiesDied int64
+	// ActiveProxies is the number of live proxies on this host now.
+	ActiveProxies int
+	// LookupCacheHits counts registry lookups answered from the TTL
+	// cache instead of a peer broadcast.
+	LookupCacheHits int64
+}
 
 // Network is the set of message servers of one machine complex — the
 // rendezvous the per-kernel servers use to reach each other, standing
@@ -143,12 +187,32 @@ type Server struct {
 	mu sync.Mutex
 	// proxies dedups proxy ports per home port, which both bounds the
 	// forwarding threads and keeps a remote port's identity stable on
-	// this host (every local holder names the same proxy).
+	// this host (every local holder names the same proxy). Every proxy
+	// handout (proxyFor) pins the proxy with a kernel send reference
+	// under this lock; retirement re-checks the reference count under
+	// the same lock, which is what makes retire-vs-handout race free.
 	proxies map[*ipc.Port]*ipc.Port
 	// names is this host's slice of the registry: locally checked-in
-	// services by name, as home (unproxied) ports.
-	names   map[string]*ipc.Port
+	// services by name, as home (unproxied) ports. The references are
+	// weak — the registry holds no counting send right, so a checked-in
+	// service still learns when its last real client is gone; dead
+	// entries are pruned on lookup.
+	names map[string]*ipc.Port
+	// cache holds remote lookup results for a short virtual-time TTL,
+	// each invalidated early by a death watch on the cached port.
+	cache   map[string]*cacheEntry
+	stats   Stats
 	stopped bool
+	// linger overrides proxyLinger (white-box tests set 0 for a
+	// synchronous retire sentinel). Set before any proxy exists.
+	linger time.Duration
+}
+
+// cacheEntry is one positive remote lookup result.
+type cacheEntry struct {
+	port   *ipc.Port
+	expiry time.Duration // virtual-clock deadline
+	cancel func()        // death-watch cancellation
 }
 
 // NewServer boots the message server for one host and attaches it to
@@ -162,6 +226,8 @@ func NewServer(host machine.HostID, topo *machine.Topology, net *Network) (*Serv
 		space:   ipc.NewSpace(host, topo),
 		proxies: make(map[*ipc.Port]*ipc.Port),
 		names:   make(map[string]*ipc.Port),
+		cache:   make(map[string]*cacheEntry),
+		linger:  proxyLinger,
 	}
 	srv, err := rpc.NewServer(s.space)
 	if err != nil {
@@ -203,7 +269,12 @@ func (s *Server) Stop() {
 	for _, pp := range s.proxies {
 		proxies = append(proxies, pp)
 	}
+	cache := s.cache
+	s.cache = make(map[string]*cacheEntry)
 	s.mu.Unlock()
+	for _, e := range cache {
+		e.cancel()
+	}
 	s.net.detach(s)
 	for _, pp := range proxies {
 		pp.Destroy()
@@ -212,10 +283,23 @@ func (s *Server) Stop() {
 	s.space.Destroy()
 }
 
+// Stats returns a snapshot of the server's proxy and registry counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.ActiveProxies = len(s.proxies)
+	return st
+}
+
 // ProxyFor returns the port through which senders on this host reach p:
 // p itself when it is (or forwards to a port) homed here, otherwise a
 // local proxy, materialized with its forwarding thread on first use.
-// Kernel-side API; tasks get proxies through the registry.
+// The returned port is pinned with one kernel send reference
+// (AddSendRef) so a concurrent garbage collection cannot retire it out
+// from under the caller; the caller must DropSendRef once the right has
+// been handed on. Kernel-side API; tasks get proxies through the
+// registry.
 func (s *Server) ProxyFor(p *ipc.Port) *ipc.Port {
 	pp, _ := s.proxyFor(p)
 	return pp
@@ -223,10 +307,11 @@ func (s *Server) ProxyFor(p *ipc.Port) *ipc.Port {
 
 // proxyFor is ProxyFor reporting whether this call materialized the
 // proxy (the event a peer-initiated translation charges a control
-// message for).
+// message for). Every return is pinned.
 func (s *Server) proxyFor(p *ipc.Port) (*ipc.Port, bool) {
 	home := s.net.unproxy(p)
 	if home.Home() == s.host || home.Dead() {
+		home.AddSendRef()
 		return home, false
 	}
 	s.mu.Lock()
@@ -234,9 +319,11 @@ func (s *Server) proxyFor(p *ipc.Port) (*ipc.Port, bool) {
 		s.mu.Unlock()
 		// No forwarding available; hand back the raw port (sends still
 		// work and are charged — only the proxy indirection is gone).
+		home.AddSendRef()
 		return home, false
 	}
 	if pp, ok := s.proxies[home]; ok && !pp.Dead() {
+		pp.AddSendRef()
 		s.mu.Unlock()
 		return pp, false
 	}
@@ -246,24 +333,118 @@ func (s *Server) proxyFor(p *ipc.Port) (*ipc.Port, bool) {
 	// translated right could chain a proxy onto this proxy.
 	s.net.registerProxy(pp, home)
 	s.proxies[home] = pp
+	pp.AddSendRef() // the caller's pin
+	s.stats.ProxiesCreated++
 	s.mu.Unlock()
+	// The proxy holds exactly one logical send right at home for all
+	// its local senders; it is returned when the proxy retires or dies,
+	// so a home port's sender count sums real senders across all hosts.
+	home.AddSendRef()
 	// The proxy follows its home port down, so local holders see the
 	// death as a dead name exactly as holders on the home host do; the
 	// watch is cancelled if the proxy dies first (server stop).
 	cancel := home.WatchDeath(pp.Destroy)
+	// Distributed GC, local half: when the last local send reference to
+	// the proxy goes away, queue the retire sentinel behind any
+	// in-flight traffic. The callback runs on whatever goroutine
+	// dropped the last reference, so it only does a forced local
+	// enqueue.
+	pp.WatchNoSenders(func(uint32) { s.scheduleRetire(pp) })
 	go s.forward(pp, home, cancel)
 	return pp, true
 }
 
+// scheduleRetire queues the retire sentinel on a proxy whose last local
+// sender went away, after the linger grace (a handout during the grace
+// makes the sentinel abort at commit time). Forced: a retire must never
+// block, and the sentinel must land behind every message sent while
+// senders still existed. A sentinel racing a proxy that already died is
+// a silently failed send.
+func (s *Server) scheduleRetire(proxy *ipc.Port) {
+	post := func() {
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			// The server tore every proxy down already; don't post
+			// sentinels at destroyed ports from a straggling timer.
+			return
+		}
+		_ = ipc.RawSend(nil, s.host, proxy, &ipc.Message{ID: msgProxyRetire}, ipc.SendOptions{Force: true})
+	}
+	if s.linger <= 0 {
+		post()
+		return
+	}
+	time.AfterFunc(s.linger, post)
+}
+
+// tryRetire attempts to commit a proxy retirement. Both the reference
+// count and the queue depth are checked under the handout lock: new
+// handouts pin the proxy under this same lock and a message can only be
+// enqueued by a sender holding a reference, so reading zero refs AND an
+// empty queue here means neither can appear again — the retirement
+// wins, the proxy leaves the map, and no one can reach it.
+//
+// Otherwise the retirement aborts, and the return value tells the
+// forwarder how the cycle will terminate. rearmed: a live sender was
+// seen and the no-senders watch is armed again — the next zero
+// transition queues a fresh sentinel (the watch is armed FIRST and the
+// count re-read after, so a drop landing after the arm fires the watch
+// itself, while one landing before it is caught by the re-read, which
+// queues the fresh sentinel directly). Neither retired nor rearmed:
+// references are gone but traffic is still queued behind the sentinel
+// and must be relayed, never destroyed — the forwarder keeps a pending
+// retirement and re-tries after each relay (never a synchronous
+// sentinel repost, which could livelock on a queue holding nothing but
+// sentinels).
+func (s *Server) tryRetire(proxy, home *ipc.Port) (retired, rearmed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if proxy.SendRefs() == 0 && proxy.QueueLen() == 0 {
+		if s.proxies[home] == proxy {
+			delete(s.proxies, home)
+		}
+		return true, false
+	}
+	if proxy.SendRefs() > 0 {
+		proxy.WatchNoSenders(func(uint32) { s.scheduleRetire(proxy) })
+		if proxy.SendRefs() > 0 {
+			return false, true
+		}
+		// The raced drop beat the arm, so no fire will come, and the
+		// queue may already be empty (nothing for the forwarder to
+		// sweep on): one fresh sentinel terminates the cycle.
+		s.scheduleRetire(proxy)
+	}
+	return false, false
+}
+
 // forward is a proxy's store-and-forward thread: it drains the proxy
 // queue and re-sends each message toward the home port. It exits when
-// the proxy dies (home port death, or server stop), dropping the death
-// watch on the home port on the way out.
+// the proxy dies (home port death, server stop, or no-senders
+// retirement), dropping the death watch and the proxy's send right at
+// home on the way out.
 func (s *Server) forward(proxy, home *ipc.Port, cancelWatch func()) {
+	retired := false
+	// pending marks an aborted retirement whose references are gone but
+	// whose queue still held traffic: re-try after every relay until it
+	// commits or a live sender re-arms the watch.
+	pending := false
 	for {
 		m, err := ipc.RawReceive(proxy, ipc.ReceiveOptions{})
 		if err != nil {
 			break
+		}
+		if m.ID == msgProxyRetire {
+			ok, rearmed := s.tryRetire(proxy, home)
+			if ok {
+				retired = true
+				proxy.Destroy()
+				break
+			}
+			pending = !rearmed
+			continue
 		}
 		if err := s.deliver(home, m); err != nil {
 			// The home port died with traffic in flight; the proxy
@@ -271,14 +452,39 @@ func (s *Server) forward(proxy, home *ipc.Port, cancelWatch func()) {
 			proxy.Destroy()
 			break
 		}
+		if pending {
+			ok, rearmed := s.tryRetire(proxy, home)
+			if ok {
+				retired = true
+				proxy.Destroy()
+				break
+			}
+			if rearmed {
+				pending = false
+			}
+		}
 	}
 	cancelWatch()
 	s.mu.Lock()
 	if s.proxies[home] == proxy {
 		delete(s.proxies, home)
 	}
+	if retired {
+		s.stats.ProxiesRetired++
+	} else {
+		s.stats.ProxiesDied++
+	}
 	s.mu.Unlock()
 	s.net.forgetProxy(proxy)
+	// Return the proxy's one logical send right at home. The
+	// sender-count delta travels as one control message (piggybacked in
+	// a real netmsgserver; charged explicitly here). If this was the
+	// last send reference anywhere, the home port's no-senders fires to
+	// its receiver.
+	if !home.Dead() && s.topo != nil {
+		s.topo.ChargeMessage(s.host, home.Home(), controlBytes)
+	}
+	home.DropSendRef()
 }
 
 // deliver translates one proxied message for the home port's host and
@@ -288,38 +494,38 @@ func (s *Server) deliver(home *ipc.Port, m *ipc.Message) error {
 	// Home is read per message: if the receive right migrated since the
 	// proxy was built, traffic follows it.
 	dst := home.Home()
+	// pins holds the handout references translate takes; they are
+	// dropped once the forwarded message's own transit references (or
+	// its failure path) have taken over.
+	var pins []*ipc.Port
 	fwd := &ipc.Message{ID: m.ID, Sections: make([]ipc.Section, len(m.Sections))}
 	for i := range m.Sections {
 		sec := m.Sections[i]
 		if sec.Kind == ipc.PortRightSection {
-			fwd.Sections[i] = ipc.CarryRawRight(s.translate(dst, sec.RawPort(), sec.Right), sec.Right)
+			fwd.Sections[i] = ipc.CarryRawRight(s.translate(dst, sec.RawPort(), sec.Right, &pins), sec.Right)
 		} else {
 			fwd.Sections[i] = sec
 		}
 	}
 	if rp := m.ReplyPort(); rp != nil {
-		fwd.SetReplyPort(s.translate(dst, rp, ipc.SendRight))
+		fwd.SetReplyPort(s.translate(dst, rp, ipc.SendRight, &pins))
 	}
 	// Not forced: when the home queue is full the forwarder blocks,
 	// the proxy queue behind it fills, and local senders block at the
 	// proxy's backlog — the same end-to-end backpressure a local
 	// sender sees, relayed per proxy so one slow destination stalls
 	// only its own traffic. A destroyed home port wakes the blocked
-	// send with ErrPortDied.
+	// send with ErrPortDied. An undeliverable message has its carried
+	// receive rights destroyed and send references released by RawSend
+	// itself.
 	err := ipc.RawSend(s.topo, s.host, home, fwd, ipc.SendOptions{})
-	if err != nil {
-		// Undeliverable message: as ipc.Send's failure path does,
-		// destroy the receive rights it carried — an orphaned receive
-		// right could never be drained or destroyed by anyone.
-		for i := range fwd.Sections {
-			sec := &fwd.Sections[i]
-			if sec.Kind == ipc.PortRightSection && sec.Right&ipc.ReceiveRight != 0 {
-				if p := sec.RawPort(); p != nil {
-					p.Destroy()
-				}
-			}
-		}
+	for _, p := range pins {
+		p.DropSendRef()
 	}
+	// The original message's in-transit references are released only
+	// now, after the forwarded copy holds its own: the extant counts
+	// never dip through zero mid-relay.
+	m.ReleaseRights()
 	return err
 }
 
@@ -329,7 +535,8 @@ func (s *Server) deliver(home *ipc.Port, m *ipc.Message) error {
 // receiver gets a sendable local stand-in. Receive rights always travel
 // as the real port — the queue itself moves, rehoming the port at
 // insertion — and creating a proxy on a peer costs one control message.
-func (s *Server) translate(dst machine.HostID, p *ipc.Port, r ipc.Right) *ipc.Port {
+// Any pinned handout is appended to pins for the caller to release.
+func (s *Server) translate(dst machine.HostID, p *ipc.Port, r ipc.Right, pins *[]*ipc.Port) *ipc.Port {
 	if p == nil {
 		return nil
 	}
@@ -344,6 +551,7 @@ func (s *Server) translate(dst machine.HostID, p *ipc.Port, r ipc.Right) *ipc.Po
 		return home
 	}
 	pp, created := peer.proxyFor(home)
+	*pins = append(*pins, pp)
 	if created && peer != s {
 		// Materializing a proxy on the peer's behalf costs one control
 		// message; reusing it is free.

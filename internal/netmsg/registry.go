@@ -33,23 +33,26 @@ var (
 // rpcTimeout bounds registry client waits.
 const rpcTimeout = 10 * time.Second
 
-// handleCheckIn records a service under a name. The carried right has
-// already been installed in the server's space by delivery; the
-// registry keeps it (the registry holds a send right for every
-// checked-in service) and records the home port, so lookups from other
-// hosts re-proxy from the real port rather than chaining proxies.
+// lookupCacheTTL is the virtual-time lifetime of a cached remote lookup
+// result; a death watch on the cached right invalidates it early, so
+// the TTL only bounds staleness across a live re-check-in elsewhere.
+const lookupCacheTTL = 10 * time.Millisecond
+
+// lookupCacheMax bounds the cache; past it new results are simply not
+// cached.
+const lookupCacheMax = 128
+
+// handleCheckIn records a service under a name. The registry's record
+// is WEAK: it notes the home (unproxied) port but releases the carried
+// send right, so the registry never counts toward a service's sender
+// total — a checked-in server with no-senders armed still learns when
+// its last real client is gone. Dead entries are pruned on lookup.
 func (s *Server) handleCheckIn(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	name := d.String()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	var pn ipc.Name
-	for i := range m.Sections {
-		if m.Sections[i].Kind == ipc.PortRightSection && m.Sections[i].PortName != 0 {
-			pn = m.Sections[i].PortName
-			break
-		}
-	}
+	pn := m.FirstPortRight()
 	if pn == 0 {
 		return nil, rpc.Errf(rpc.StatusBadArgs, "netmsg: check-in of %q carries no port right", name)
 	}
@@ -59,24 +62,12 @@ func (s *Server) handleCheckIn(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	}
 	home := s.net.unproxy(p)
 	s.mu.Lock()
-	old := s.names[name]
 	s.names[name] = home
-	replaced := old != nil && old != home
-	if replaced {
-		// The superseded port may still be checked in under another
-		// name; only release the registry's right when it is not.
-		for _, q := range s.names {
-			if q == old {
-				replaced = false
-				break
-			}
-		}
-	}
 	s.mu.Unlock()
-	if replaced {
-		if n, ok := s.space.NameOf(old); ok {
-			_ = s.space.DeallocatePort(n)
-		}
+	// Release the delivered right (never the registry's own service
+	// port, should someone check that in).
+	if pn != s.srv.Port {
+		_ = s.space.DeallocatePort(pn)
 	}
 	return rpc.NewReply(), nil
 }
@@ -94,16 +85,85 @@ func (s *Server) lookupLocal(name string) *ipc.Port {
 	return p
 }
 
-// handleLookUp resolves a name, broadcasting to peer servers when it is
-// not checked in locally (one control round trip per peer asked), and
-// replies with a send right the caller can use directly — the home port
-// when the service is local, a proxy otherwise.
+// cacheGet consults the TTL cache of remote lookup results, pruning
+// expired or dead entries. Returns nil when the cache cannot help (miss
+// or no virtual clock to run the TTL against).
+func (s *Server) cacheGet(name string) *ipc.Port {
+	if s.topo == nil || s.topo.Clock() == nil {
+		return nil
+	}
+	now := s.topo.Clock().Now()
+	s.mu.Lock()
+	e, ok := s.cache[name]
+	if ok && (now >= e.expiry || e.port.Dead()) {
+		delete(s.cache, name)
+		s.mu.Unlock()
+		e.cancel()
+		return nil
+	}
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stats.LookupCacheHits++
+	p := e.port
+	s.mu.Unlock()
+	return p
+}
+
+// cachePut records a positive remote lookup result for lookupCacheTTL
+// of virtual time, invalidated early if the port dies.
+func (s *Server) cachePut(name string, p *ipc.Port) {
+	if s.topo == nil || s.topo.Clock() == nil {
+		return
+	}
+	e := &cacheEntry{port: p}
+	// Register the death watch before publishing the entry, so a death
+	// can never slip between insert and watch.
+	e.cancel = p.WatchDeath(func() { s.cacheDrop(name, p) })
+	if p.Dead() {
+		e.cancel()
+		return
+	}
+	e.expiry = s.topo.Clock().Now() + lookupCacheTTL
+	s.mu.Lock()
+	if s.stopped || len(s.cache) >= lookupCacheMax {
+		s.mu.Unlock()
+		e.cancel()
+		return
+	}
+	if old, ok := s.cache[name]; ok {
+		defer old.cancel()
+	}
+	s.cache[name] = e
+	s.mu.Unlock()
+}
+
+// cacheDrop invalidates a cache entry whose port died.
+func (s *Server) cacheDrop(name string, p *ipc.Port) {
+	s.mu.Lock()
+	if e, ok := s.cache[name]; ok && e.port == p {
+		delete(s.cache, name)
+	}
+	s.mu.Unlock()
+}
+
+// handleLookUp resolves a name — locally, from the TTL cache, or by
+// broadcasting to peer servers (one charged control round trip per peer
+// asked; positive remote results are cached) — and replies with a send
+// right the caller can use directly: the home port when the service is
+// local, a proxy otherwise. The right the registry mints for the reply
+// is released once the reply is sent (CarryRelease), so the registry
+// itself never pins a proxy against garbage collection.
 func (s *Server) handleLookUp(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	name := d.String()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
 	p := s.lookupLocal(name)
+	if p == nil {
+		p = s.cacheGet(name)
+	}
 	if p == nil {
 		for _, peer := range s.net.peers(s) {
 			s.topo.ChargeMessage(s.host, peer.host, controlBytes)
@@ -114,17 +174,27 @@ func (s *Server) handleLookUp(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 				break
 			}
 		}
+		if p != nil {
+			s.cachePut(name, p)
+		}
 	}
 	if p == nil {
 		return nil, rpc.Errf(rpc.StatusNotFound, "netmsg: no service %q", name)
 	}
-	local := s.ProxyFor(p)
+	local := s.ProxyFor(p) // pinned
 	n, err := s.space.InsertRight(local, ipc.SendRight)
+	local.DropSendRef()
 	if err != nil {
 		return nil, err
 	}
 	r := rpc.NewReply()
-	r.Carry(ipc.CarryRight(n, ipc.SendRight))
+	if n == s.srv.Port {
+		// Looking up the registry itself: never release our own
+		// service port.
+		r.Carry(ipc.CarryRight(n, ipc.SendRight))
+	} else {
+		r.CarryRelease(ipc.CarryRight(n, ipc.SendRight))
+	}
 	return r, nil
 }
 
@@ -155,11 +225,8 @@ func LookUp(space *ipc.Space, svc ipc.Name, name string) (ipc.Name, error) {
 		}
 		return 0, err
 	}
-	for i := range resp.Msg.Sections {
-		sec := &resp.Msg.Sections[i]
-		if sec.Kind == ipc.PortRightSection && sec.PortName != 0 {
-			return sec.PortName, nil
-		}
+	if n := resp.Msg.FirstPortRight(); n != 0 {
+		return n, nil
 	}
 	return 0, ErrBadReply
 }

@@ -1,0 +1,145 @@
+// White-box tests of the proxy retirement commit protocol (package
+// netmsg: the scenario needs direct access to proxyFor's pinning).
+package netmsg
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/machine"
+)
+
+// TestRetireAbortsOnTrafficBehindSentinel: a sender that acquires and
+// drops a right while the retire sentinel is queued must not lose its
+// message — retirement aborts while traffic sits behind the sentinel
+// and commits only after everything has been relayed.
+func TestRetireAbortsOnTrafficBehindSentinel(t *testing.T) {
+	topo := machine.NewTopology(machine.ModelFor(machine.NORMA), machine.NewClock())
+	net := NewNetwork()
+	s0, err := NewServer(0, topo, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s0.Stop()
+	s1, err := NewServer(1, topo, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Stop()
+	s1.linger = 0 // synchronous sentinel: the test choreographs ordering
+
+	home := ipc.NewRawPort(0)
+	defer home.Destroy()
+	proxy := s1.ProxyFor(home) // pinned: refs 1
+	if proxy == home {
+		t.Fatal("no proxy materialized")
+	}
+
+	// Stall the forwarder: fill the home queue to its backlog so the
+	// relay of the first message blocks.
+	for i := 0; i < ipc.DefaultBacklog; i++ {
+		if err := ipc.RawSend(nil, 0, home, &ipc.Message{ID: 1}, ipc.SendOptions{NonBlocking: true}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if err := ipc.RawSend(nil, 1, proxy, &ipc.Message{ID: 100}, ipc.SendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Last reference drops: no-senders fires and the retire sentinel is
+	// queued (behind message 100, or at the head once the forwarder has
+	// picked 100 up and blocked).
+	proxy.DropSendRef()
+
+	// A new sender races the sentinel: handout, send, drop. Message 101
+	// is now queued BEHIND the sentinel with zero extant references and
+	// the one-shot watch already consumed — the exact interleaving that
+	// must not destroy it.
+	p2 := s1.ProxyFor(home)
+	if p2 != proxy {
+		t.Fatalf("handout got a different proxy while retirement pending")
+	}
+	if err := ipc.RawSend(nil, 1, proxy, &ipc.Message{ID: 101}, ipc.SendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	proxy.DropSendRef()
+
+	// Unblock the relay and collect everything that reaches home. Both
+	// proxied messages must arrive.
+	got := map[ipc.MsgID]int{}
+	deadline := time.Now().Add(10 * time.Second)
+	for (got[100] == 0 || got[101] == 0) && time.Now().Before(deadline) {
+		m, err := ipc.RawReceive(home, ipc.ReceiveOptions{Timeout: 100 * time.Millisecond})
+		if err != nil {
+			continue
+		}
+		got[m.ID]++
+		m.ReleaseRights()
+	}
+	if got[100] != 1 || got[101] != 1 {
+		t.Fatalf("messages lost across retirement: got %v", got)
+	}
+
+	// With the traffic drained and no references left, the rescheduled
+	// sentinel commits: the proxy retires, nothing leaks.
+	waitStats := func(cond func(Stats) bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond(s1.Stats()) {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timed out: %s (stats %+v)", what, s1.Stats())
+	}
+	waitStats(func(st Stats) bool { return st.ProxiesRetired == 1 && st.ActiveProxies == 0 },
+		"proxy retirement after drain")
+	if !proxy.Dead() {
+		t.Fatal("retired proxy still alive")
+	}
+	// The proxy's logical send right at home was returned.
+	if refs := home.SendRefs(); refs != 0 {
+		t.Fatalf("home still holds %d proxy refs", refs)
+	}
+}
+
+// TestRetireRecheckAfterRacedDrop: a drop that lands between the
+// sentinel check and the watch re-arm must not strand the proxy — the
+// re-check schedules a fresh sentinel and the proxy still retires.
+func TestRetireRecheckAfterRacedDrop(t *testing.T) {
+	topo := machine.NewTopology(machine.ModelFor(machine.NORMA), machine.NewClock())
+	net := NewNetwork()
+	s0, err := NewServer(0, topo, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s0.Stop()
+	s1, err := NewServer(1, topo, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Stop()
+	s1.linger = 0 // synchronous sentinel: maximize retire/handout races
+
+	home := ipc.NewRawPort(0)
+	defer home.Destroy()
+
+	// Churn handout/drop pairs against the retirement machinery; no
+	// interleaving may strand a live proxy with zero references.
+	for i := 0; i < 50; i++ {
+		p := s1.ProxyFor(home)
+		p.DropSendRef()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := s1.Stats(); st.ActiveProxies == 0 {
+			if refs := home.SendRefs(); refs == 0 {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("proxy stranded: stats %+v, home refs %d", s1.Stats(), home.SendRefs())
+}

@@ -157,6 +157,7 @@ func (c *ObjectCache) serviceRequestPort(obj *vm.Object, req *ipc.Port) {
 		case MsgDataUnavailable:
 			c.sys.DataUnavailable(obj, offset, length)
 		}
+		msg.ReleaseRights()
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ipc"
+	"repro/internal/lifecycle"
 )
 
 // HandlerFunc serves one request. m is the raw message (for port-right
@@ -21,6 +22,7 @@ type HandlerFunc func(m *ipc.Message, d *Dec) (*Reply, error)
 type Reply struct {
 	Enc
 	sections []ipc.Section
+	release  []ipc.Name
 }
 
 // NewReply returns an empty reply builder.
@@ -30,6 +32,22 @@ func NewReply() *Reply { return &Reply{} }
 // region) to the reply body.
 func (r *Reply) Carry(sec ipc.Section) *Reply {
 	r.sections = append(r.sections, sec)
+	return r
+}
+
+// CarryRelease appends a port-right section whose right is released
+// from the server's space once the reply has been sent: the reply's
+// in-transit reference keeps the port alive until the client installs
+// it, so the server's own name does not linger in the port's sender
+// count. Use it for rights the server minted only to hand to this
+// client (the netmsg registry hands out proxy rights this way — a
+// lingering server-side right would pin a proxy against the no-senders
+// garbage collection forever).
+func (r *Reply) CarryRelease(sec ipc.Section) *Reply {
+	r.sections = append(r.sections, sec)
+	if sec.Kind == ipc.PortRightSection && sec.PortName != 0 {
+		r.release = append(r.release, sec.PortName)
+	}
 	return r
 }
 
@@ -57,6 +75,10 @@ type Server struct {
 	handlers map[ipc.MsgID]HandlerFunc
 	workers  int
 	stopped  atomic.Bool
+
+	// ownWatcher is the private lifecycle watcher StopWhenUnreferenced
+	// starts when the caller passes none; Stop terminates it.
+	ownWatcher *lifecycle.Watcher
 
 	poolOnce sync.Once
 	ch       chan *ipc.Message
@@ -152,6 +174,36 @@ func (s *Server) Stop() {
 		return
 	}
 	_ = s.Space.DeallocatePort(s.Port)
+	if s.ownWatcher != nil {
+		s.ownWatcher.Stop()
+	}
+}
+
+// Stopped reports whether Stop has run (directly or through
+// StopWhenUnreferenced).
+func (s *Server) Stopped() bool { return s.stopped.Load() }
+
+// StopWhenUnreferenced arranges for the server to Stop once every send
+// right to its service port is gone: client-held rights, rights in
+// transit inside messages, and kernel references (netmsg proxies on
+// other hosts) all count; the server's own send right does not. The
+// watcher w dispatches the space's notifications — servers embedded in
+// a manager loop must pass the watcher chained into that loop. Passing
+// nil starts a private Run-mode watcher, which is only safe when
+// nothing else receives the space's notifications. Arm AFTER bootstrap
+// is complete: a request armed at zero fires on the next transition to
+// zero, so arming before the first CopySendRight-style publication is
+// safe — but any bootstrap step that transiently mints and releases a
+// right crosses zero and stops the server immediately. The netmsg
+// registry's weak check-in is exactly such a step (it releases the
+// carried right after recording the port), so check in first, then arm.
+func (s *Server) StopWhenUnreferenced(w *lifecycle.Watcher) error {
+	if w == nil {
+		w = lifecycle.New(s.Space)
+		s.ownWatcher = w
+		go w.Run()
+	}
+	return w.OnNoSenders(s.Port, func(ipc.Name) { s.Stop() })
 }
 
 // Dispatch serves one already-received message — the embedded mode for
@@ -186,6 +238,16 @@ func (s *Server) serve(m *ipc.Message) {
 // a reply port get no reply (and error statuses are simply dropped, as
 // Mach drops replies to one-way messages).
 func (s *Server) replyStatus(m *ipc.Message, st Status, r *Reply) {
+	if r != nil && len(r.release) > 0 {
+		// CarryRelease rights leave the server's space once the reply
+		// (whose transit references now hold them) is on its way — or
+		// immediately when there is no reply port to carry them to.
+		defer func() {
+			for _, n := range r.release {
+				_ = s.Space.DeallocatePort(n)
+			}
+		}()
+	}
 	if m.RemotePort == 0 {
 		return
 	}

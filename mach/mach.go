@@ -45,6 +45,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/ipc"
 	"repro/internal/kern"
+	"repro/internal/lifecycle"
 	"repro/internal/machine"
 	"repro/internal/migrate"
 	"repro/internal/netmem"
@@ -180,6 +181,38 @@ var (
 	CarryRegion = ipc.CarryRegion
 )
 
+// --- port lifecycle -----------------------------------------------------------
+
+// The port-lifecycle subsystem: the kernel counts every extant send
+// right (space-held, in transit inside messages, kernel references), a
+// receiver arms Space.RequestNoSenders to learn when its last client is
+// gone, and dead ports leave dead names behind (ErrDeadName) instead of
+// freeing names that could alias fresh ports. The LifecycleWatcher is
+// the consumer layer: it drains a space's notifications and runs
+// per-name callbacks with the make-send staleness check applied.
+type LifecycleWatcher = lifecycle.Watcher
+
+// NewLifecycleWatcher builds a watcher over a space's notifications
+// (run with `go w.Run()`, or chain w.Dispatch into a manager loop).
+var NewLifecycleWatcher = lifecycle.New
+
+// ErrDeadName: the name refers to a port whose receive right was
+// destroyed; the name stays reserved until deallocated.
+var ErrDeadName = ipc.ErrDeadName
+
+// Kernel notification message IDs delivered on a space's notify port.
+const (
+	// MsgIDPortDeleted: a port this space held send rights to died.
+	MsgIDPortDeleted = ipc.MsgIDPortDeleted
+	// MsgIDNoSenders: a port this space requested notification for has
+	// no extant send rights left.
+	MsgIDNoSenders = ipc.MsgIDNoSenders
+)
+
+// NotifyQueueCap bounds a space's notify-port queue; overflow is
+// dropped and counted by Space.DeadLetters.
+const NotifyQueueCap = ipc.NotifyQueueCap
+
 // --- typed RPC layer ---------------------------------------------------------
 
 // The MIG analogue: one typed interface layer every server and client
@@ -240,6 +273,10 @@ type (
 	NetMsgServer = netmsg.Server
 	// NetMsgNetwork connects the message servers of one complex.
 	NetMsgNetwork = netmsg.Network
+	// NetMsgStats is one server's proxy and registry counters — the
+	// observable surface of the distributed proxy GC (see
+	// NetMsgServer.Stats).
+	NetMsgStats = netmsg.Stats
 )
 
 // NewNetMsgNetwork creates a message-server network for kernels built
@@ -332,14 +369,20 @@ type FSServer = fs.Server
 // NewFSServer creates the read-whole-file/write-whole-file server.
 func NewFSServer(k *Kernel, disk *Disk) (*FSServer, error) { return fs.NewServer(k, disk) }
 
-// FSReadFile / FSWriteFile / FSStat are the client calls of §4.1.
+// FSReadFile / FSWriteFile / FSStat are the client calls of §4.1;
+// FSOpen opens a per-client handle whose send right is the session —
+// the server reaps it on no-senders when the client closes or dies.
 var (
 	FSReadFile   = fs.ReadFile
 	FSWriteFile  = fs.WriteFile
 	FSStat       = fs.Stat
 	FSList       = fs.List
 	FSMappedSize = fs.MappedSize
+	FSOpen       = fs.Open
 )
+
+// FSHandle is a client-held open file (see FSOpen).
+type FSHandle = fs.Handle
 
 // Consistent network shared memory (§4.2).
 type SharedMemoryServer = netmem.Server
@@ -347,10 +390,13 @@ type SharedMemoryServer = netmem.Server
 // NewSharedMemoryServer creates the shared memory data manager.
 func NewSharedMemoryServer(k *Kernel) (*SharedMemoryServer, error) { return netmem.NewServer(k) }
 
-// SharedCreate / SharedAttach are the client calls.
+// SharedCreate / SharedAttach are the client calls. SharedAttachObject
+// returns the attachment right without mapping; deallocating the last
+// attachment right anywhere reaps the region (detach-on-death).
 var (
-	SharedCreate = netmem.Create
-	SharedAttach = netmem.Attach
+	SharedCreate       = netmem.Create
+	SharedAttach       = netmem.Attach
+	SharedAttachObject = netmem.AttachObject
 )
 
 // Copy-on-reference task migration (§8.2).
