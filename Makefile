@@ -26,9 +26,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/ipc ./internal/kern ./internal/vm ./internal/rpc ./internal/fs ./internal/netmem ./internal/netmsg ./internal/lifecycle ./internal/camelot ./internal/agora
+	$(GO) test -race -count=2 -run 'TestPortSetChurnStress|TestReceiveAnyVsSetNoDoubleDelivery' ./internal/ipc
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rpc
+	$(GO) test -run '^$$' -fuzz=FuzzReceiveFromSet -fuzztime=5s ./internal/ipc
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .

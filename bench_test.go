@@ -168,6 +168,78 @@ func BenchmarkNoSendersRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkPortSetRPCRoundTrip measures a full typed RPC round trip
+// against three services hosted on ONE space two ways: each service
+// with its own dedicated Run loop (three goroutines), and all three
+// multiplexed onto a single goroutine over a port set
+// (rpc.Server.ServePorts). The port-set path must stay within ~10% of
+// the dedicated-loop number — the price of one receive point for many
+// ports is a set-waiter handoff and a short member scan, not a
+// broadcast.
+func BenchmarkPortSetRPCRoundTrip(b *testing.B) {
+	const msgEcho mach.MsgID = 9800
+	run := func(b *testing.B, portset bool) {
+		k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+		defer k.Shutdown()
+		server := k.NewTask()
+		client := k.NewTask()
+		srvs := make([]*mach.RPCServer, 3)
+		clients := make([]*mach.RPCClient, 3)
+		for i := range srvs {
+			srv, err := mach.NewRPCServer(server.Space)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.Handle(msgEcho, func(m *mach.Message, d *mach.Dec) (*mach.RPCReply, error) {
+				v := d.U64()
+				if err := d.Err(); err != nil {
+					return nil, err
+				}
+				r := mach.NewRPCReply()
+				r.U64(v)
+				return r, nil
+			})
+			svc, err := server.Space.CopySendRight(client.Space, srv.Port)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srvs[i] = srv
+			clients[i] = mach.NewRPCClient(client.Space, svc, 30*time.Second)
+		}
+		if portset {
+			go srvs[0].ServePorts(srvs[1], srvs[2])
+		} else {
+			for _, srv := range srvs {
+				go srv.Run()
+			}
+		}
+		defer func() {
+			for _, srv := range srvs {
+				srv.Stop()
+			}
+		}()
+		// Warm up all three services, then time calls spread across
+		// them.
+		for i, c := range clients {
+			if _, err := c.Invoke(msgEcho, mach.NewEnc().U64(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := clients[i%3].Invoke(msgEcho, mach.NewEnc().U64(uint64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Dec.U64() != uint64(i) {
+				b.Fatal("wrong echo")
+			}
+		}
+	}
+	b.Run("dedicated-loops", func(b *testing.B) { run(b, false) })
+	b.Run("port-set-one-loop", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkIPCSendParallel measures one-way msg_send throughput through
 // one task's port space with 1, 4 and 16 concurrent sender threads, each
 // targeting its own port of a receiver task. The sharded port namespace

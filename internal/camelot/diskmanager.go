@@ -125,6 +125,11 @@ func NewDiskManager(k *kern.Kernel, dataDisk, logDisk *machine.Disk) (*DiskManag
 		outcomes: make(map[uint64]recordKind),
 	}
 	dm.mgr = pager.NewManager(dm.task.Space, (*dmHandler)(dm))
+	// Segment object ports, the notify port and the service port share
+	// one port set drained by the single manager goroutine.
+	if err := dm.mgr.UsePortSet(); err != nil {
+		return nil, err
+	}
 	srv, err := rpc.NewServer(dm.task.Space)
 	if err != nil {
 		return nil, err
@@ -144,6 +149,9 @@ func NewDiskManager(k *kern.Kernel, dataDisk, logDisk *machine.Disk) (*DiskManag
 	dm.lc = lifecycle.New(dm.task.Space)
 	dm.mgr.Default = dm.lc.Chain(srv.Dispatch)
 	dm.ServicePort = srv.Port
+	if err := dm.mgr.Adopt(srv.Port); err != nil {
+		return nil, err
+	}
 	return dm, nil
 }
 

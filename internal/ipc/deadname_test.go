@@ -1,0 +1,263 @@
+package ipc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// deadNamePayload receives the next MsgIDDeadName from a port and
+// decodes it.
+func deadNamePayload(t *testing.T, s *Space, port Name) (Name, uint32) {
+	t.Helper()
+	m, err := s.Receive(port, ReceiveOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != MsgIDDeadName {
+		t.Fatalf("got message %d, want MsgIDDeadName", m.ID)
+	}
+	return DecodeDeadName(m.InlineData())
+}
+
+// TestRequestDeadNameFires: the armed notification arrives on the
+// chosen notify port when the send right's port dies, and confirms.
+func TestRequestDeadNameFires(t *testing.T) {
+	server := NewSpace(0, nil)
+	defer server.Destroy()
+	client := NewSpace(0, nil)
+	defer client.Destroy()
+	svc, _ := server.AllocatePort()
+	cn, err := server.CopySendRight(client, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notify, _ := client.AllocatePort()
+	if err := client.RequestDeadName(cn, notify); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.DeallocatePort(svc); err != nil {
+		t.Fatal(err)
+	}
+	n, gen := deadNamePayload(t, client, notify)
+	if n != cn {
+		t.Fatalf("dead name %d, want %d", n, cn)
+	}
+	if !client.ConfirmDeadName(n, gen) {
+		t.Fatal("fresh dead-name notification did not confirm")
+	}
+	// The name is a dead name until deallocated.
+	if _, err := client.Resolve(cn); err != ErrDeadName {
+		t.Fatalf("resolve after death: %v", err)
+	}
+}
+
+// TestRequestDeadNameOnDeadName: arming an already dead name fails with
+// ErrDeadName — the caller can see the state directly, no notification
+// will come.
+func TestRequestDeadNameOnDeadName(t *testing.T) {
+	server := NewSpace(0, nil)
+	defer server.Destroy()
+	client := NewSpace(0, nil)
+	defer client.Destroy()
+	svc, _ := server.AllocatePort()
+	cn, _ := server.CopySendRight(client, svc)
+	_ = server.DeallocatePort(svc)
+	notify, _ := client.AllocatePort()
+	if err := client.RequestDeadName(cn, notify); err != ErrDeadName {
+		t.Fatalf("got %v, want ErrDeadName", err)
+	}
+}
+
+// TestRequestDeadNameValidation locks in the argument checks: the
+// notify port must be a held receive right, the watched name a held
+// send right.
+func TestRequestDeadNameValidation(t *testing.T) {
+	s := NewSpace(0, nil)
+	defer s.Destroy()
+	other := NewSpace(0, nil)
+	defer other.Destroy()
+	p, _ := s.AllocatePort()
+	notify, _ := s.AllocatePort()
+	if err := s.RequestDeadName(p, Name(9999)); err != ErrNotReceiver {
+		t.Fatalf("missing notify port: %v, want ErrNotReceiver", err)
+	}
+	// A send-only name is not a valid notify port.
+	sendOnly, _ := other.AllocatePort()
+	so, _ := other.CopySendRight(s, sendOnly)
+	if err := s.RequestDeadName(p, so); err != ErrNotReceiver {
+		t.Fatalf("send-only notify port: %v, want ErrNotReceiver", err)
+	}
+	if err := s.RequestDeadName(Name(9999), notify); err != ErrInvalidPort {
+		t.Fatalf("missing watched name: %v, want ErrInvalidPort", err)
+	}
+	// A receive-only right (extracted send) cannot arm: the receiver IS
+	// the destroyer.
+	set, _ := s.AllocatePortSet()
+	if err := s.RequestDeadName(set, notify); err != ErrInvalidPort {
+		t.Fatalf("set name: %v, want ErrInvalidPort", err)
+	}
+}
+
+// TestDeadNameStalenessGuard is the make-send-style staleness test: the
+// name is deallocated and reallocated to a FRESH port while the
+// notification sits queued; the stale notification must fail
+// ConfirmDeadName, or a consumer would act on the new port's name.
+func TestDeadNameStalenessGuard(t *testing.T) {
+	server := NewSpace(0, nil)
+	defer server.Destroy()
+	client := NewSpace(0, nil)
+	defer client.Destroy()
+	svc, _ := server.AllocatePort()
+	cn, _ := server.CopySendRight(client, svc)
+	notify, _ := client.AllocatePort()
+	if err := client.RequestDeadName(cn, notify); err != nil {
+		t.Fatal(err)
+	}
+	_ = server.DeallocatePort(svc)
+	// Before the notification is processed: deallocate the dead name
+	// and force the allocator to reuse it for a fresh port. The name
+	// allocator is monotone per shard, so reuse only happens after the
+	// 2^28-allocation sequence wraps — rewind the shard's sequence
+	// (white box) to simulate that wrap deterministically.
+	if err := client.DeallocatePort(cn); err != nil {
+		t.Fatal(err)
+	}
+	sh := client.shardFor(cn)
+	sh.mu.Lock()
+	sh.seq = uint32(cn) / numShards
+	sh.mu.Unlock()
+	var reused Name
+	var cleanup []Name
+	for i := 0; i < 4*numShards; i++ {
+		n, err := client.AllocatePort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == cn {
+			reused = n
+			break
+		}
+		cleanup = append(cleanup, n)
+	}
+	for _, c := range cleanup {
+		_ = client.DeallocatePort(c)
+	}
+	if reused == 0 {
+		t.Fatal("allocator did not reuse the rewound name")
+	}
+	n, gen := deadNamePayload(t, client, notify)
+	if n != cn {
+		t.Fatalf("dead name %d, want %d", n, cn)
+	}
+	if client.ConfirmDeadName(n, gen) {
+		t.Fatal("stale dead-name notification confirmed against a reused name")
+	}
+	// The reused name resolves to a live port: acting on the stale
+	// notification would have hit it.
+	if _, err := client.Resolve(reused); err != nil {
+		t.Fatalf("reused name: %v", err)
+	}
+}
+
+// TestDeadNameOneShot: the request fires once; a second death of a
+// re-armed name needs a new request.
+func TestDeadNameOneShot(t *testing.T) {
+	server := NewSpace(0, nil)
+	defer server.Destroy()
+	client := NewSpace(0, nil)
+	defer client.Destroy()
+	notify, _ := client.AllocatePort()
+	svc, _ := server.AllocatePort()
+	cn, _ := server.CopySendRight(client, svc)
+	if err := client.RequestDeadName(cn, notify); err != nil {
+		t.Fatal(err)
+	}
+	_ = server.DeallocatePort(svc)
+	deadNamePayload(t, client, notify)
+	if _, err := client.Receive(notify, ReceiveOptions{NonBlocking: true}); err != ErrWouldBlock {
+		t.Fatalf("second notification appeared: %v", err)
+	}
+}
+
+// TestReplyPoolShrinksViaNoSenders: a 32-way RPC burst grows the reply
+// pool; follow-up sequential traffic must decay it back to the floor
+// through the per-call no-senders firings — instead of pinning the
+// burst's ports forever.
+func TestReplyPoolShrinksViaNoSenders(t *testing.T) {
+	server := NewSpace(0, nil)
+	defer server.Destroy()
+	client := NewSpace(0, nil)
+	defer client.Destroy()
+	svc, _ := server.AllocatePort()
+	_ = server.SetBacklog(svc, 1024)
+	cn, _ := server.CopySendRight(client, svc)
+	const burst = 32
+	// The server holds all burst replies until every request has
+	// arrived, forcing the 32 reply ports to be borrowed simultaneously
+	// (a goroutine burst alone serializes on one CPU and the pool never
+	// grows); afterwards it echoes immediately.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reply := func(m *Message) {
+			if m.RemotePort != 0 {
+				_ = server.Send(&Message{ID: m.ID + 1, RemotePort: m.RemotePort}, SendOptions{Force: true})
+				_ = server.DeallocatePort(m.RemotePort)
+			}
+		}
+		held := make([]*Message, 0, burst)
+		for len(held) < burst {
+			m, err := server.Receive(svc, ReceiveOptions{})
+			if err != nil {
+				return
+			}
+			held = append(held, m)
+		}
+		for _, m := range held {
+			reply(m)
+		}
+		for {
+			m, err := server.Receive(svc, ReceiveOptions{})
+			if err != nil {
+				return
+			}
+			reply(m)
+		}
+	}()
+	defer wg.Wait()
+	defer func() { _ = server.DeallocatePort(svc) }()
+
+	var calls sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		calls.Add(1)
+		go func() {
+			defer calls.Done()
+			if _, err := client.RPC(&Message{ID: 1, RemotePort: cn}, 5*time.Second, 5*time.Second); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	calls.Wait()
+	grown := client.ReplyPoolSize()
+	if grown <= replyPoolFloor {
+		t.Fatalf("simultaneous burst did not grow the pool past the floor (%d)", grown)
+	}
+	// Sequential traffic: each completed call's no-senders firing trims
+	// one excess idle port.
+	for i := 0; i < 4*maxReplyPool && client.ReplyPoolSize() > replyPoolFloor; i++ {
+		if _, err := client.RPC(&Message{ID: 1, RemotePort: cn}, 5*time.Second, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The trim runs from the server-side right drop, which may race the
+	// final RPC's return; give stragglers a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for client.ReplyPoolSize() > replyPoolFloor && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := client.ReplyPoolSize(); got > replyPoolFloor {
+		t.Fatalf("reply pool stuck at %d after burst of %d (floor %d)", got, burst, replyPoolFloor)
+	}
+}

@@ -49,4 +49,12 @@ var (
 	// ErrDuplicateRight: inserting a receive right the space already
 	// holds.
 	ErrDuplicateRight = errors.New("ipc: duplicate right")
+	// ErrInSet: direct receive from a port that is a member of a port
+	// set (messages arrive through the set), mirroring MACH_RCV_IN_SET.
+	ErrInSet = errors.New("ipc: port is a member of a port set")
+	// ErrNotSet: a port-set operation named an ordinary port right where
+	// a port set was required.
+	ErrNotSet = errors.New("ipc: name is not a port set")
+	// ErrNotInSet: removing a port from a set it is not a member of.
+	ErrNotInSet = errors.New("ipc: port is not a member of that set")
 )

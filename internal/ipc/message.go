@@ -16,6 +16,15 @@ const (
 	// the 4-byte port name followed by the port's 4-byte make-send
 	// count at firing time (see Space.ConfirmNoSenders).
 	MsgIDNoSenders MsgID = -101
+	// MsgIDDeadName is delivered to the notify port chosen by
+	// Space.RequestDeadName when a held send right's port dies and the
+	// name becomes a dead name. The message carries one inline section:
+	// the 4-byte dead name followed by the name entry's 4-byte
+	// generation at request time — the make-send-style staleness guard
+	// a consumer replays through Space.ConfirmDeadName before acting
+	// (the name may have been deallocated and reallocated to a fresh
+	// port while the notification sat queued).
+	MsgIDDeadName MsgID = -102
 )
 
 // Right describes a port right carried in a name space or a message.
@@ -202,6 +211,15 @@ func DecodeNoSenders(b []byte) (Name, uint32) {
 	ms := uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24
 	return DecodeName(b), ms
 }
+
+// EncodeDeadName encodes the payload of a MsgIDDeadName notification:
+// the dead name followed by the name entry's generation, both 4-byte
+// little-endian (the same shape as a no-senders payload).
+func EncodeDeadName(n Name, gen uint32) []byte { return EncodeNoSenders(n, gen) }
+
+// DecodeDeadName decodes a MsgIDDeadName payload. It returns (0, 0)
+// for malformed payloads.
+func DecodeDeadName(b []byte) (Name, uint32) { return DecodeNoSenders(b) }
 
 // addSendRefs takes an in-transit reference on every send right the
 // message carries (body sections and the reply port). Called on the

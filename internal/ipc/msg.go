@@ -8,14 +8,17 @@ import (
 )
 
 // lookupRight resolves a name under its shard's read lock, requiring the
-// given rights (0 requires mere existence). This is the send-path lookup:
-// concurrent senders resolving names in different shards do not contend.
-// A name whose port has died is a dead name, never a valid right.
+// given rights (0 requires mere existence of a port right). This is the
+// send-path lookup: concurrent senders resolving names in different
+// shards do not contend. A name whose port has died is a dead name,
+// never a valid right; a port-set name is no port right at all (its
+// entry has no port — the need==0 path must reject it, not dereference
+// it).
 func (s *Space) lookupRight(n Name, need Right) (*Port, error) {
 	sh := s.shardFor(n)
 	sh.mu.RLock()
 	e, ok := sh.names[n]
-	if !ok || (need != 0 && e.rights&need != need) {
+	if !ok || e.port == nil || (need != 0 && e.rights&need != need) {
 		sh.mu.RUnlock()
 		return nil, ErrInvalidPort
 	}
@@ -70,7 +73,15 @@ func (s *Space) extractRights(n Name, r Right) (*Port, error) {
 		delete(sh.enabled, n)
 	}
 	sh.mu.Unlock()
+	// A migrating receive right leaves its port set: the set is a
+	// property of the old space's receive point, not of the port. The
+	// queue travels with the right and rehomes at insertion. The
+	// receiver is cleared FIRST so a concurrent MoveToPortSet that
+	// resolved the name before the entry was removed cannot re-capture
+	// the in-transit port (addMember re-checks the receiver under the
+	// port lock).
 	p.setReceiver(nil)
+	p.leaveSet()
 	if gone {
 		ps := s.portShardFor(p)
 		ps.mu.Lock()
@@ -158,11 +169,14 @@ func (s *Space) sendResolved(dest *Port, m *Message, opts SendOptions) error {
 	return dest.enqueue(m, opts.Force, opts.NonBlocking, opts.Timeout)
 }
 
-// Receive takes the next message from the named port, or from the default
-// group of enabled ports when from is ReceiveAny (msg_receive). Rights in
-// the message are installed in this space and the message is rewritten:
-// LocalPort becomes the name of the port the message arrived on and
-// RemotePort the name of the reply port, if any.
+// Receive takes the next message from the named port, from the named
+// port set (fair round-robin over its members), or from the default
+// group of enabled ports when from is ReceiveAny (msg_receive). Rights
+// in the message are installed in this space and the message is
+// rewritten: LocalPort becomes the name of the port the message arrived
+// on (the member's name, for a set receive) and RemotePort the name of
+// the reply port, if any. Receiving directly from a port that is a
+// member of a set fails with ErrInSet.
 func (s *Space) Receive(from Name, opts ReceiveOptions) (*Message, error) {
 	var m *Message
 	var err error
@@ -179,13 +193,17 @@ func (s *Space) Receive(from Name, opts ReceiveOptions) (*Message, error) {
 			sh.mu.RUnlock()
 			return nil, ErrInvalidPort
 		}
-		if e.rights&ReceiveRight == 0 {
+		if set := e.set; set != nil {
+			sh.mu.RUnlock()
+			m, err = set.receive(opts)
+		} else if e.rights&ReceiveRight == 0 {
 			sh.mu.RUnlock()
 			return nil, ErrNotReceiver
+		} else {
+			p := e.port
+			sh.mu.RUnlock()
+			m, err = p.dequeue(opts.NonBlocking, opts.Timeout)
 		}
-		p := e.port
-		sh.mu.RUnlock()
-		m, err = p.dequeue(opts.NonBlocking, opts.Timeout)
 	}
 	if err != nil {
 		return nil, err
@@ -240,7 +258,11 @@ func (s *Space) receiveAny(opts ReceiveOptions) (*Message, error) {
 		ch := s.wakeChan()
 		for i := range cands {
 			c := cands[(start+i)%len(cands)]
-			if m, ok := c.p.tryDequeue(); ok {
+			// tryDequeueFor(nil) refuses ports inside a port set (their
+			// messages arrive through the set), re-checked under the
+			// port lock so concurrent membership churn can never
+			// double-deliver one message.
+			if m, ok := c.p.tryDequeueFor(nil); ok {
 				s.rrCursor.Store(uint32(c.n))
 				return m, nil
 			}
@@ -324,10 +346,11 @@ func (s *Space) deliver(m *Message) {
 // reply arrives. sendTimeout and rcvTimeout of zero block forever.
 func (s *Space) RPC(m *Message, sendTimeout, rcvTimeout time.Duration) (*Message, error) {
 	reply := m.LocalPort
+	var replyPort *Port
 	temp := false
 	if reply == 0 {
 		var err error
-		reply, err = s.getReplyPort()
+		reply, replyPort, err = s.getReplyPort()
 		if err != nil {
 			return nil, err
 		}
@@ -337,19 +360,13 @@ func (s *Space) RPC(m *Message, sendTimeout, rcvTimeout time.Duration) (*Message
 	if err := s.Send(m, SendOptions{Timeout: sendTimeout}); err != nil {
 		if temp {
 			// Nothing was enqueued; the port is clean and reusable.
-			s.putReplyPort(reply)
+			s.replyPortDone(reply, replyPort, true)
 		}
 		return nil, err
 	}
 	r, err := s.Receive(reply, ReceiveOptions{Timeout: rcvTimeout})
 	if temp {
-		if err != nil {
-			// The reply may still arrive later; retire the port so a
-			// stale reply can never be handed to a future call.
-			_ = s.DeallocatePort(reply)
-		} else {
-			s.putReplyPort(reply)
-		}
+		s.replyPortDone(reply, replyPort, err == nil)
 	}
 	return r, err
 }

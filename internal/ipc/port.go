@@ -96,6 +96,14 @@ type Port struct {
 	// when the home port dies.
 	deathWatch map[uint64]func()
 	watchSeq   uint64
+
+	// inSet is the port set this receive right belongs to, nil for
+	// direct receive. While set, messages are taken only through the
+	// set (direct receive fails with ErrInSet and receive-any skips the
+	// port), so one message can never be delivered twice. Guarded by mu;
+	// the set's own lock is ordered before mu, so holders of mu hand
+	// set wakeups off after unlocking.
+	inSet *portSet
 }
 
 func newPort(receiver *Space) *Port {
@@ -208,9 +216,16 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 	}
 	m.arrivedOn = p
 	p.queue = append(p.queue, m)
-	queued, recv := p.dispatchLocked()
+	set := p.inSet
+	var queued bool
+	var recv *Space
+	if set == nil {
+		queued, recv = p.dispatchLocked()
+	}
 	p.mu.Unlock()
-	if queued && recv != nil {
+	if set != nil {
+		set.notifyOne()
+	} else if queued && recv != nil {
 		recv.wakeAll()
 	}
 	return nil
@@ -250,22 +265,34 @@ func (p *Port) enqueueNotify(m *Message, cap int) bool {
 	}
 	m.arrivedOn = p
 	p.queue = append(p.queue, m)
-	queued, recv := p.dispatchLocked()
+	set := p.inSet
+	var queued bool
+	var recv *Space
+	if set == nil {
+		queued, recv = p.dispatchLocked()
+	}
 	p.mu.Unlock()
-	if queued && recv != nil {
+	if set != nil {
+		set.notifyOne()
+	} else if queued && recv != nil {
 		recv.wakeAll()
 	}
 	return true
 }
 
 // dequeue removes the oldest message, blocking per the options. nonblock
-// takes precedence over timeout.
+// takes precedence over timeout. A port in a port set refuses direct
+// receives (ErrInSet): its messages arrive only through the set.
 func (p *Port) dequeue(nonblock bool, timeout time.Duration) (*Message, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
 	p.mu.Lock()
+	if p.inSet != nil {
+		p.mu.Unlock()
+		return nil, ErrInSet
+	}
 	if len(p.queue) > 0 {
 		m := p.queue[0]
 		p.queue = p.queue[1:]
@@ -328,17 +355,46 @@ func (p *Port) cancelWait(w *recvWaiter) (*Message, error) {
 	return m, err
 }
 
-// tryDequeue removes the oldest message without blocking.
-func (p *Port) tryDequeue() (*Message, bool) {
+// tryDequeueFor removes the oldest message without blocking, on behalf
+// of the given receive source: a port set for set receives, nil for
+// direct and receive-any paths. The membership check runs under the
+// port lock, so a receive-any scan can never take a message from a
+// port inside a set (and a set scan never from a port that left it) —
+// one message, one delivery path, even under concurrent membership
+// churn.
+func (p *Port) tryDequeueFor(set *portSet) (*Message, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.queue) == 0 {
+	if p.inSet != set || len(p.queue) == 0 {
 		return nil, false
 	}
 	m := p.queue[0]
 	p.queue = p.queue[1:]
 	p.sendCond.Broadcast()
 	return m, true
+}
+
+// currentSet returns the set this port belongs to, if any.
+func (p *Port) currentSet() *portSet {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inSet
+}
+
+// leaveSet detaches the port from whatever set it belongs to — the
+// path a migrating receive right takes (a receive right extracted into
+// a message leaves its set; the set stays behind with its other
+// members, and the right rehomes wherever it is installed).
+func (p *Port) leaveSet() {
+	for {
+		cur := p.currentSet()
+		if cur == nil {
+			return
+		}
+		if removed, _ := cur.removeMember(p); removed {
+			return
+		}
+	}
 }
 
 // queued returns the current queue depth.
@@ -574,6 +630,10 @@ func (p *Port) destroy() {
 	p.nsArmed, p.nsSpace, p.nsFunc = false, nil, nil
 	watch := p.deathWatch
 	p.deathWatch = nil
+	// A dying member leaves its set (the set lock is ordered before the
+	// port lock, so the set-side cleanup runs after the unlock below).
+	set := p.inSet
+	p.inSet = nil
 	for _, w := range p.waiters {
 		w.err = ErrPortDied
 		w.ready <- struct{}{}
@@ -582,6 +642,9 @@ func (p *Port) destroy() {
 	p.sendCond.Broadcast()
 	p.mu.Unlock()
 
+	if set != nil {
+		set.forgetPort(p)
+	}
 	// Dispose of rights carried by undelivered messages: receive rights
 	// destroy their ports, send rights drop their transit references.
 	for _, m := range dropped {

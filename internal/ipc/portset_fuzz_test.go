@@ -1,0 +1,192 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzReceiveFromSet drives arbitrary interleavings of port-set
+// membership mutations, sends, receives and deallocations from the
+// fuzzer's byte string, then checks the exactly-once invariant: every
+// sent message was received exactly once, or was destroyed with its
+// port — and every send right carried inside a message had its
+// in-transit reference released (the canary port's extant count returns
+// to baseline). No operation sequence may panic, double-deliver, or
+// strand a message on a live reachable port.
+func FuzzReceiveFromSet(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 3, 4, 3, 5, 2, 3, 6, 4, 4})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 3, 3, 3, 4, 4, 4, 2, 5, 5, 5})
+	f.Add([]byte{0, 3, 1, 3, 7, 3, 4, 6})
+	f.Add([]byte{0, 0, 1, 1, 3, 3, 3, 3, 7, 0, 1, 4, 4, 4, 4, 6, 6, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewSpace(0, nil)
+		defer s.Destroy()
+		peer := NewSpace(0, nil)
+		defer peer.Destroy()
+		canaryHome, err := peer.AllocatePort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		canary, err := peer.CopySendRight(s, canaryHome)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canaryPort, err := peer.Resolve(canaryHome)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline := canaryPort.SendRefs()
+
+		const maxPorts = 6
+		sets := make([]Name, 2)
+		for i := range sets {
+			if sets[i], err = s.AllocatePortSet(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var (
+			ports     []Name
+			alive     = map[Name]bool{}
+			sentTo    = map[Name][]uint32{}
+			nextID    uint32
+			received  = map[uint32]int{}
+			destroyed = map[uint32]bool{}
+		)
+		record := func(m *Message) {
+			if m.ID != 1 {
+				return // not a fuzz payload (never happens; defensive)
+			}
+			id := uint32(DecodeName(m.InlineData()))
+			received[id]++
+			if received[id] > 1 {
+				t.Fatalf("message %d delivered twice", id)
+			}
+		}
+		pick := func(b byte) (Name, bool) {
+			if len(ports) == 0 {
+				return 0, false
+			}
+			return ports[int(b)%len(ports)], true
+		}
+		for i := 0; i < len(data); i++ {
+			op := data[i] % 8
+			var arg byte
+			if i+1 < len(data) {
+				arg = data[i+1]
+			}
+			switch op {
+			case 0: // allocate a port
+				if len(ports) < maxPorts {
+					n, err := s.AllocatePort()
+					if err != nil {
+						t.Fatal(err)
+					}
+					_ = s.SetBacklog(n, 1<<20)
+					ports = append(ports, n)
+					alive[n] = true
+				}
+			case 1: // move into a set
+				if n, ok := pick(arg); ok {
+					_ = s.MoveToPortSet(sets[int(arg)%2], n)
+				}
+			case 2: // remove from a set
+				if n, ok := pick(arg); ok {
+					_ = s.RemoveFromPortSet(sets[int(arg)%2], n)
+				}
+			case 3: // send, sometimes carrying a send right to the canary
+				if n, ok := pick(arg); ok && alive[n] {
+					nextID++
+					msg := &Message{
+						ID:         1,
+						RemotePort: n,
+						Sections:   []Section{InlineBytes(EncodeName(Name(nextID)))},
+					}
+					if arg%3 == 0 {
+						msg.Sections = append(msg.Sections, CarryRight(canary, SendRight))
+					}
+					if err := s.Send(msg, SendOptions{NonBlocking: true}); err == nil {
+						sentTo[n] = append(sentTo[n], nextID)
+					} else {
+						nextID--
+					}
+				}
+			case 4: // receive from a set
+				if m, err := s.Receive(sets[int(arg)%2], ReceiveOptions{NonBlocking: true}); err == nil {
+					record(m)
+				}
+			case 5: // direct receive
+				if n, ok := pick(arg); ok && alive[n] {
+					if m, err := s.Receive(n, ReceiveOptions{NonBlocking: true}); err == nil {
+						record(m)
+					}
+				}
+			case 6: // deallocate a port: its queued messages are destroyed
+				if n, ok := pick(arg); ok && alive[n] {
+					if err := s.DeallocatePort(n); err != nil {
+						t.Fatalf("dealloc live port: %v", err)
+					}
+					alive[n] = false
+					for _, id := range sentTo[n] {
+						if received[id] == 0 {
+							destroyed[id] = true
+						}
+					}
+				}
+			case 7: // destroy and replace a set (members orphaned)
+				si := int(arg) % 2
+				if err := s.DeallocatePort(sets[si]); err != nil {
+					t.Fatalf("dealloc set: %v", err)
+				}
+				if sets[si], err = s.AllocatePortSet(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Final drain: orphan everything back to direct receive and
+		// empty every live port.
+		for _, set := range sets {
+			_ = s.DeallocatePort(set)
+		}
+		for _, n := range ports {
+			if !alive[n] {
+				continue
+			}
+			for {
+				m, err := s.Receive(n, ReceiveOptions{NonBlocking: true})
+				if err != nil {
+					if err != ErrWouldBlock {
+						t.Fatalf("drain %d: %v", n, err)
+					}
+					break
+				}
+				record(m)
+			}
+		}
+		// Exactly-once: every sent message was received once or
+		// destroyed with its port, never both, never neither.
+		for _, ids := range sentTo {
+			for _, id := range ids {
+				got := received[id]
+				if destroyed[id] {
+					if got != 0 {
+						t.Fatalf("message %d both destroyed and delivered", id)
+					}
+					continue
+				}
+				if got != 1 {
+					t.Fatalf("message %d delivered %d times", id, got)
+				}
+			}
+		}
+		// Carried rights released: the canary's extant count is back to
+		// baseline once every message is delivered or destroyed (transit
+		// references dropped either way).
+		deadline := time.Now().Add(time.Second)
+		for canaryPort.SendRefs() != baseline && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if got := canaryPort.SendRefs(); got != baseline {
+			t.Fatalf("canary extant count %d, want %d: in-transit send references leaked", got, baseline)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package ipc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReceiveAnySkipsSetMembers is the regression test for the latent
+// receiveAny/port-set overlap: a port that is BOTH enabled (in the
+// default receive group) and a member of a port set must deliver each
+// message exactly once, through the set — a receive-any scan that also
+// drained it could double-serve the port (and steal messages the set
+// receiver is parked for). The membership check runs inside
+// tryDequeueFor under the port lock, so the guarantee holds under
+// concurrent churn too (see TestPortSetChurnStress).
+func TestReceiveAnySkipsSetMembers(t *testing.T) {
+	s := NewSpace(0, nil)
+	defer s.Destroy()
+	set, _ := s.AllocatePortSet()
+	inSet, _ := s.AllocatePort()
+	direct, _ := s.AllocatePort()
+	_ = s.SetBacklog(inSet, 64)
+	_ = s.SetBacklog(direct, 64)
+	// Enable BOTH, then move one into the set: the enabled flag stays,
+	// but the membership must win.
+	if err := s.Enable(inSet); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enable(direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MoveToPortSet(set, inSet); err != nil {
+		t.Fatal(err)
+	}
+	const per = 16
+	for i := 0; i < per; i++ {
+		if err := s.Send(&Message{ID: 100, RemotePort: inSet}, SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Send(&Message{ID: 200, RemotePort: direct}, SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain receive-any: it must see ONLY the direct port's messages.
+	anyCount := 0
+	for {
+		m, err := s.Receive(ReceiveAny, ReceiveOptions{NonBlocking: true})
+		if err == ErrWouldBlock {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.LocalPort != direct || m.ID != 200 {
+			t.Fatalf("receive-any drained a set member's message: port %d id %d", m.LocalPort, m.ID)
+		}
+		anyCount++
+	}
+	if anyCount != per {
+		t.Fatalf("receive-any got %d messages, want %d", anyCount, per)
+	}
+	// The set sees exactly the member's messages.
+	for i := 0; i < per; i++ {
+		m, err := s.Receive(set, ReceiveOptions{NonBlocking: true})
+		if err != nil {
+			t.Fatalf("set receive %d: %v", i, err)
+		}
+		if m.LocalPort != inSet || m.ID != 100 {
+			t.Fatalf("set drained a non-member message: port %d id %d", m.LocalPort, m.ID)
+		}
+	}
+	if _, err := s.Receive(set, ReceiveOptions{NonBlocking: true}); err != ErrWouldBlock {
+		t.Fatalf("set not empty after drain: %v", err)
+	}
+}
+
+// TestReceiveAnyVsSetNoDoubleDelivery runs a receive-any drainer and a
+// set drainer concurrently against one flooded enabled member: every
+// message must arrive exactly once, and only through the set.
+func TestReceiveAnyVsSetNoDoubleDelivery(t *testing.T) {
+	s := NewSpace(0, nil)
+	defer s.Destroy()
+	set, _ := s.AllocatePortSet()
+	p, _ := s.AllocatePort()
+	_ = s.SetBacklog(p, 1024)
+	_ = s.Enable(p)
+	_ = s.MoveToPortSet(set, p)
+	// A second enabled port keeps the receive-any scan busy.
+	q, _ := s.AllocatePort()
+	_ = s.SetBacklog(q, 1024)
+	_ = s.Enable(q)
+
+	const total = 500
+	var mu sync.Mutex
+	seen := make(map[uint32]int)
+	var wg sync.WaitGroup
+	record := func(m *Message) {
+		id := DecodeName(m.InlineData())
+		mu.Lock()
+		seen[uint32(id)]++
+		mu.Unlock()
+	}
+	wg.Add(2)
+	go func() { // set drainer
+		defer wg.Done()
+		for {
+			m, err := s.Receive(set, ReceiveOptions{Timeout: 500 * time.Millisecond})
+			if err != nil {
+				return
+			}
+			if m.LocalPort != p {
+				panic("set received non-member message")
+			}
+			record(m)
+		}
+	}()
+	go func() { // receive-any drainer
+		defer wg.Done()
+		for {
+			m, err := s.Receive(ReceiveAny, ReceiveOptions{Timeout: 500 * time.Millisecond})
+			if err != nil {
+				return
+			}
+			if m.LocalPort == p {
+				panic("receive-any drained a set member")
+			}
+			record(m)
+		}
+	}()
+	for i := 0; i < total; i++ {
+		dst := p
+		if i%3 == 0 {
+			dst = q
+		}
+		if err := s.Send(&Message{
+			ID:         1,
+			RemotePort: dst,
+			Sections:   []Section{InlineBytes(EncodeName(Name(i + 1)))},
+		}, SendOptions{Timeout: 5 * time.Second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != total {
+		t.Fatalf("received %d distinct messages, want %d", len(seen), total)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("message %d delivered %d times", id, c)
+		}
+	}
+}

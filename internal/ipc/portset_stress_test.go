@@ -1,0 +1,216 @@
+package ipc
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPortSetChurnStress is the port-set churn torture test: 16
+// goroutines move 16 ports in and out of one shared set while senders
+// flood every member and two kinds of receivers (set receives and
+// direct sweeps) drain them. Every message must be delivered exactly
+// once — across membership changes, through either path — and the test
+// finishing at all proves the waiter hand-off protocol cannot deadlock
+// or lose wakeups. Run under -race in CI.
+func TestPortSetChurnStress(t *testing.T) {
+	const (
+		ports     = 16
+		churners  = 16
+		senders   = 8
+		perSender = 400
+		total     = senders * perSender
+	)
+	s := NewSpace(0, nil)
+	defer s.Destroy()
+	set, err := s.AllocatePortSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]Name, ports)
+	for i := range names {
+		n, err := s.AllocatePort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetBacklog(n, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = n
+		if i%2 == 0 {
+			if err := s.MoveToPortSet(set, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var (
+		received atomic.Int64
+		sendSeq  atomic.Uint32
+		stop     atomic.Bool
+		mu       sync.Mutex
+		seen     = make(map[uint32]int, total)
+	)
+	record := func(m *Message) {
+		id := uint32(DecodeName(m.InlineData()))
+		mu.Lock()
+		seen[id]++
+		dup := seen[id] > 1
+		mu.Unlock()
+		if dup {
+			panic("duplicate delivery")
+		}
+		received.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	// Churners: random membership mutations, errors from racing
+	// mutations tolerated (ErrNotInSet when another churner won).
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				n := names[rng.Intn(ports)]
+				if rng.Intn(2) == 0 {
+					_ = s.MoveToPortSet(set, n)
+				} else {
+					_ = s.RemoveFromPortSet(set, n)
+				}
+			}
+		}(int64(c))
+	}
+	// Senders: flood all ports with uniquely tagged messages.
+	for sd := 0; sd < senders; sd++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(1000 + seed))
+			for i := 0; i < perSender; i++ {
+				id := sendSeq.Add(1)
+				n := names[rng.Intn(ports)]
+				if err := s.Send(&Message{
+					ID:         1,
+					RemotePort: n,
+					Sections:   []Section{InlineBytes(EncodeName(Name(id)))},
+				}, SendOptions{Timeout: 20 * time.Second}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(int64(sd))
+	}
+	// Set receivers: drain whatever is in the set.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for received.Load() < total && !stop.Load() {
+				m, err := s.Receive(set, ReceiveOptions{Timeout: 50 * time.Millisecond})
+				if err != nil {
+					continue
+				}
+				record(m)
+			}
+		}()
+	}
+	// Direct sweepers: drain ports while they are OUT of the set
+	// (ErrInSet while they are members is the expected answer).
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(2000 + seed))
+			for received.Load() < total && !stop.Load() {
+				n := names[rng.Intn(ports)]
+				m, err := s.Receive(n, ReceiveOptions{NonBlocking: true})
+				if err != nil {
+					continue
+				}
+				record(m)
+			}
+		}(int64(r))
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for received.Load() < total {
+		if time.Now().After(deadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("deadlock/lost messages: %d of %d received", received.Load(), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != total {
+		t.Fatalf("%d distinct messages, want %d", len(seen), total)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("message %d delivered %d times", id, c)
+		}
+	}
+}
+
+// TestPortSetStressFairness floods 16 members and drains the set with
+// one receiver: fair rotation must finish every member within 2x the
+// mean drain position — the assertion that a flooded low-numbered
+// member cannot starve the rest.
+func TestPortSetStressFairness(t *testing.T) {
+	const members, per = 16, 64
+	s := NewSpace(0, nil)
+	defer s.Destroy()
+	set, _ := s.AllocatePortSet()
+	names := make([]Name, members)
+	for i := range names {
+		n, _ := s.AllocatePort()
+		_ = s.SetBacklog(n, per)
+		if err := s.MoveToPortSet(set, n); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = n
+	}
+	// Preload every member to its backlog from concurrent senders.
+	var wg sync.WaitGroup
+	for _, n := range names {
+		wg.Add(1)
+		go func(n Name) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if err := s.Send(&Message{ID: MsgID(j), RemotePort: n}, SendOptions{Timeout: 20 * time.Second}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	lastAt := make(map[Name]int, members)
+	for i := 0; i < members*per; i++ {
+		m, err := s.Receive(set, ReceiveOptions{Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		lastAt[m.LocalPort] = i
+	}
+	if len(lastAt) != members {
+		t.Fatalf("only %d members served", len(lastAt))
+	}
+	mean := 0
+	for _, at := range lastAt {
+		mean += at
+	}
+	mean /= members
+	for n, at := range lastAt {
+		if at > 2*mean {
+			t.Fatalf("member %d drained at position %d (mean %d): starved", n, at, mean)
+		}
+	}
+}

@@ -38,8 +38,21 @@ type ReceiveOptions struct {
 }
 
 type entry struct {
+	// port and rights describe an ordinary port right. For a port-set
+	// name, port is nil, rights is zero and set is the kernel object.
 	port   *Port
 	rights Right
+	set    *portSet
+	// gen is the entry's generation, a space-unique stamp assigned when
+	// the name is (re)installed. Dead-name notifications carry it so a
+	// consumer can tell a notification for THIS binding of the name
+	// from one that raced a deallocate-and-reallocate (the make-send
+	// staleness discipline applied to names instead of send rights).
+	gen uint32
+	// dnNotify, when non-zero, is the armed one-shot dead-name request:
+	// the name of the port MsgIDDeadName is delivered to when this
+	// entry's port dies.
+	dnNotify Name
 }
 
 // PortStatus is the information returned by port_status (Table 3-2).
@@ -107,6 +120,9 @@ type Space struct {
 	// allocCtr round-robins fresh allocations over shards so that the
 	// ports of one busy space spread across every lock.
 	allocCtr atomic.Uint32
+	// genCtr stamps every installed name entry with a space-unique
+	// generation (see entry.gen).
+	genCtr atomic.Uint32
 	// rrCursor is the name of the enabled port receiveAny served last,
 	// the rotation point the next scan resumes after (fairness across
 	// flooded ports).
@@ -125,14 +141,36 @@ type Space struct {
 	// reuses across calls. Allocating and destroying a port per msg_rpc
 	// costs two shard insertions, a sender registration and a port-death
 	// sweep; pooling turns the RPC fast path into pure send/receive.
+	// Entries carry the resolved *Port alongside the name so the
+	// per-call no-senders arm and cleanliness check skip the name-table
+	// lookup (reply ports are private to the space: only the pool's own
+	// paths ever deallocate them, so a pair can never go stale).
 	replyMu     sync.Mutex
-	replyPool   []Name
+	replyPool   []pooledReply
 	replyNoPool atomic.Bool
+	// replyBorrowed counts reply ports currently out on RPCs — the
+	// live-demand floor the no-senders-driven pool trim respects.
+	replyBorrowed int
+}
+
+// pooledReply is one idle cached reply port.
+type pooledReply struct {
+	n Name
+	p *Port
 }
 
 // maxReplyPool bounds the cached reply ports per space; beyond it,
 // finished RPC ports are deallocated as before.
 const maxReplyPool = 64
+
+// replyPoolFloor is the number of idle reply ports the pool always
+// keeps. Above it the pool shrinks back toward live demand: every
+// reply port is armed with a kernel no-senders watch at handout, the
+// watch fires when the server of that call releases its last send
+// right to the port (the call's zero-crossing), and each firing trims
+// one excess idle port — so a 64-deep burst decays to the floor over
+// the following calls instead of pinning 64 ports forever.
+const replyPoolFloor = 8
 
 // NotifyQueueCap bounds the kernel's forced enqueues on a space's
 // notify port. Notifications bypass the ordinary sender backlog (the
@@ -193,24 +231,29 @@ func (s *Space) SetReplyPortCache(on bool) {
 		pool := s.replyPool
 		s.replyPool = nil
 		s.replyMu.Unlock()
-		for _, n := range pool {
-			_ = s.DeallocatePort(n)
+		for _, e := range pool {
+			_ = s.DeallocatePort(e.n)
 		}
 	}
 }
 
 // replyPortClean reports whether a reply port is safe to hand to a new
 // RPC: alive and with an empty queue.
-func (s *Space) replyPortClean(n Name) bool {
-	st, err := s.Status(n)
-	return err == nil && !st.Dead && st.NumMsgs == 0
+func replyPortClean(p *Port) bool {
+	depth, _, dead := p.status()
+	return !dead && depth == 0
 }
 
 // getReplyPort returns a cached reply port or allocates a fresh one.
 // Pooled ports are re-checked for queued stragglers on the way out and
-// retired if any are found.
-func (s *Space) getReplyPort() (Name, error) {
-	if !s.replyNoPool.Load() {
+// retired if any are found. Every handout arms the port's no-senders
+// watch: when the borrowing call's server drops its last send right,
+// the firing trims the pool back toward demand (see replyPoolFloor).
+func (s *Space) getReplyPort() (Name, *Port, error) {
+	pooled := !s.replyNoPool.Load()
+	var name Name
+	var port *Port
+	if pooled {
 		for {
 			s.replyMu.Lock()
 			n := len(s.replyPool)
@@ -218,16 +261,82 @@ func (s *Space) getReplyPort() (Name, error) {
 				s.replyMu.Unlock()
 				break
 			}
-			p := s.replyPool[n-1]
+			e := s.replyPool[n-1]
 			s.replyPool = s.replyPool[:n-1]
 			s.replyMu.Unlock()
-			if s.replyPortClean(p) {
-				return p, nil
+			if replyPortClean(e.p) {
+				name, port = e.n, e.p
+				break
 			}
-			_ = s.DeallocatePort(p)
+			_ = s.DeallocatePort(e.n)
 		}
 	}
-	return s.AllocatePort()
+	if name == 0 {
+		var err error
+		name, err = s.AllocatePort()
+		if err != nil {
+			return 0, nil, err
+		}
+		if port, err = s.Resolve(name); err != nil {
+			return 0, nil, err
+		}
+	}
+	if pooled {
+		s.replyMu.Lock()
+		s.replyBorrowed++
+		s.replyMu.Unlock()
+		port.WatchNoSenders(func(uint32) { s.trimReplyPool() })
+	}
+	return name, port, nil
+}
+
+// replyPortDone returns a borrowed reply port (see putReplyPort) and
+// drops the borrow count the pool trim uses as its demand floor.
+func (s *Space) replyPortDone(n Name, p *Port, clean bool) {
+	if !s.replyNoPool.Load() {
+		s.replyMu.Lock()
+		if s.replyBorrowed > 0 {
+			s.replyBorrowed--
+		}
+		s.replyMu.Unlock()
+	}
+	if clean {
+		s.putReplyPort(n, p)
+	} else {
+		// The reply may still arrive later; retire the port so a stale
+		// reply can never be handed to a future call.
+		_ = s.DeallocatePort(n)
+	}
+}
+
+// trimReplyPool releases one idle pooled port when the pool exceeds
+// both the floor and the current outstanding demand. It runs from a
+// reply port's no-senders firing — once per completed borrow — so the
+// pool decays at the rate the space actually performs RPCs, without
+// timers.
+func (s *Space) trimReplyPool() {
+	var victim Name
+	s.replyMu.Lock()
+	// Total capacity (idle + borrowed) above the floor, and more idle
+	// ports than live demand: release one. The demand guard keeps a
+	// sustained N-way burst from churning its warm ports.
+	if len(s.replyPool)+s.replyBorrowed > replyPoolFloor && len(s.replyPool) > s.replyBorrowed {
+		// The pool is a LIFO stack; the front is the coldest port.
+		victim = s.replyPool[0].n
+		s.replyPool = append(s.replyPool[:0], s.replyPool[1:]...)
+	}
+	s.replyMu.Unlock()
+	if victim != 0 {
+		_ = s.DeallocatePort(victim)
+	}
+}
+
+// ReplyPoolSize returns the number of idle cached reply ports —
+// observable surface of the no-senders-driven pool shrinking.
+func (s *Space) ReplyPoolSize() int {
+	s.replyMu.Lock()
+	defer s.replyMu.Unlock()
+	return len(s.replyPool)
 }
 
 // putReplyPort returns a reply port to the cache, or deallocates it when
@@ -236,11 +345,11 @@ func (s *Space) getReplyPort() (Name, error) {
 // (deallocated) instead, or a late reply could be delivered to the next
 // RPC that borrows the port. A port with messages still queued (a
 // double-replying server) is likewise retired, never pooled.
-func (s *Space) putReplyPort(n Name) {
-	if !s.replyNoPool.Load() && !s.dead.Load() && s.replyPortClean(n) {
+func (s *Space) putReplyPort(n Name, p *Port) {
+	if !s.replyNoPool.Load() && !s.dead.Load() && replyPortClean(p) {
 		s.replyMu.Lock()
 		if len(s.replyPool) < maxReplyPool {
-			s.replyPool = append(s.replyPool, n)
+			s.replyPool = append(s.replyPool, pooledReply{n, p})
 			s.replyMu.Unlock()
 			return
 		}
@@ -281,12 +390,12 @@ func (sh *nameShard) allocName(idx uint32) Name {
 	}
 }
 
-// allocEntry installs a fresh entry for p in a round-robin-chosen shard
-// and returns its new name. It re-checks the dead flag under the shard
-// lock: Destroy sets the flag before sweeping shards, so an insert that
-// observed the space alive under its shard lock is guaranteed to be seen
-// by the sweep.
-func (s *Space) allocEntry(p *Port, r Right) (Name, error) {
+// allocEntry installs a fresh entry in a round-robin-chosen shard and
+// returns its new name, stamping the entry's generation. It re-checks
+// the dead flag under the shard lock: Destroy sets the flag before
+// sweeping shards, so an insert that observed the space alive under its
+// shard lock is guaranteed to be seen by the sweep.
+func (s *Space) allocEntry(e *entry) (Name, error) {
 	idx := s.allocCtr.Add(1) & shardMask
 	sh := &s.shards[idx]
 	sh.mu.Lock()
@@ -295,7 +404,8 @@ func (s *Space) allocEntry(p *Port, r Right) (Name, error) {
 		return 0, ErrSpaceDead
 	}
 	n := sh.allocName(idx)
-	sh.names[n] = &entry{port: p, rights: r}
+	e.gen = s.genCtr.Add(1)
+	sh.names[n] = e
 	sh.mu.Unlock()
 	return n, nil
 }
@@ -307,7 +417,7 @@ func (s *Space) AllocatePort() (Name, error) {
 		return 0, ErrSpaceDead
 	}
 	p := newPort(s)
-	n, err := s.allocEntry(p, SendRight|ReceiveRight)
+	n, err := s.allocEntry(&entry{port: p, rights: SendRight | ReceiveRight})
 	if err != nil {
 		return 0, err
 	}
@@ -330,7 +440,10 @@ func (s *Space) AllocatePort() (Name, error) {
 
 // DeallocatePort removes the space's rights to the named port
 // (port_deallocate). Dropping the receive right destroys the port,
-// notifying all spaces that hold send rights.
+// notifying all spaces that hold send rights. Deallocating a port-set
+// name destroys the set: its members are orphaned back to direct
+// receive with their queues intact, and blocked set receivers fail
+// with ErrPortDied.
 func (s *Space) DeallocatePort(n Name) error {
 	sh := s.shardFor(n)
 	sh.mu.Lock()
@@ -342,6 +455,15 @@ func (s *Space) DeallocatePort(n Name) error {
 	delete(sh.names, n)
 	delete(sh.enabled, n)
 	sh.mu.Unlock()
+
+	if e.set != nil {
+		if e.set.destroy(ErrPortDied) {
+			// An orphaned member had queued messages; direct and
+			// receive-any receivers can take them now.
+			s.wakeAll()
+		}
+		return nil
+	}
 
 	ps := s.portShardFor(e.port)
 	ps.mu.Lock()
@@ -411,7 +533,9 @@ func (s *Space) EnabledWithMessages() []Name {
 		}
 		sh.mu.RUnlock()
 		for _, c := range cands {
-			if c.p.queued() > 0 {
+			// Members of a port set are not receivable here; their
+			// queues belong to the set.
+			if c.p.currentSet() == nil && c.p.queued() > 0 {
 				out = append(out, c.n)
 			}
 		}
@@ -431,7 +555,7 @@ func (s *Space) Status(n Name) (PortStatus, error) {
 		rights = e.rights
 	}
 	sh.mu.RUnlock()
-	if !ok {
+	if !ok || e.port == nil {
 		return PortStatus{}, ErrInvalidPort
 	}
 	depth, backlog, dead := e.port.status()
@@ -478,7 +602,7 @@ func (s *Space) Resolve(n Name) (*Port, error) {
 	sh.mu.RLock()
 	e, ok := sh.names[n]
 	sh.mu.RUnlock()
-	if !ok {
+	if !ok || e.port == nil {
 		return nil, ErrInvalidPort
 	}
 	if e.port.isDead() {
@@ -543,7 +667,7 @@ func (s *Space) InsertRight(p *Port, r Right) (Name, error) {
 		// The index entry was stale (a deallocation raced us); fall
 		// through and install the port under a fresh name.
 	}
-	n, err := s.allocEntry(p, r)
+	n, err := s.allocEntry(&entry{port: p, rights: r})
 	if err != nil {
 		ps.mu.Unlock()
 		return 0, err
@@ -588,12 +712,28 @@ func (s *Space) notifyPortDeath(p *Port) {
 	sh.mu.Lock()
 	// Dead names never match a receive-any scan.
 	delete(sh.enabled, n)
+	var dnNotify Name
+	var gen uint32
+	if e, live := sh.names[n]; live && e.dnNotify != 0 {
+		// Consume the armed one-shot dead-name request.
+		dnNotify, gen = e.dnNotify, e.gen
+		e.dnNotify = 0
+	}
 	sh.mu.Unlock()
 
 	s.postNotification(&Message{
 		ID:       MsgIDPortDeleted,
 		Sections: []Section{InlineBytes(EncodeName(n))},
 	})
+	if dnNotify != 0 {
+		m := &Message{
+			ID:       MsgIDDeadName,
+			Sections: []Section{InlineBytes(EncodeDeadName(n, gen))},
+		}
+		if np, err := s.Resolve(dnNotify); err != nil || !np.enqueueNotify(m, NotifyQueueCap) {
+			s.deadLetters.Add(1)
+		}
+	}
 }
 
 // notifyNoSenders delivers a MsgIDNoSenders message for port p, fired
@@ -663,6 +803,63 @@ func (s *Space) RequestNoSenders(n Name) error {
 	return nil
 }
 
+// RequestDeadName arms a one-shot dead-name notification for the named
+// send right: when the port behind it dies (its receive right is
+// destroyed anywhere), MsgIDDeadName is delivered on the port this
+// space names notify — which must be a receive right it holds, the
+// space's own NotifyPort being the common choice. The payload carries
+// the dead name and the name entry's generation; a consumer replays
+// both through ConfirmDeadName before acting, because the task may
+// have deallocated the dead name and had it reallocated to a fresh
+// port while the notification sat queued (the make-send staleness
+// discipline, applied to names). Arming an already dead name fails
+// with ErrDeadName — the caller can see the state directly.
+func (s *Space) RequestDeadName(n, notify Name) error {
+	// The notify port must be a receive right in this space: dead-name
+	// notifications to a port the requester cannot drain are dead
+	// letters by construction.
+	nsh := s.shardFor(notify)
+	nsh.mu.RLock()
+	ne, ok := nsh.names[notify]
+	if !ok || ne.rights&ReceiveRight == 0 {
+		nsh.mu.RUnlock()
+		return ErrNotReceiver
+	}
+	nsh.mu.RUnlock()
+
+	sh := s.shardFor(n)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.names[n]
+	if !ok || e.set != nil {
+		return ErrInvalidPort
+	}
+	if e.rights&SendRight == 0 {
+		// Only the death of a held send right leaves a dead name worth
+		// announcing; the receive-right holder IS the destroyer.
+		return ErrInvalidPort
+	}
+	if e.port.isDead() {
+		return ErrDeadName
+	}
+	e.dnNotify = notify
+	return nil
+}
+
+// ConfirmDeadName reports whether a received MsgIDDeadName notification
+// is still valid: true when the name still exists, is the same binding
+// the notification was armed for (matching generation), and its port is
+// dead. A false result means the notification went stale — the task
+// deallocated the name (and possibly reallocated it to a fresh port)
+// while the notification was queued — and must be suppressed.
+func (s *Space) ConfirmDeadName(n Name, gen uint32) bool {
+	sh := s.shardFor(n)
+	sh.mu.RLock()
+	e, ok := sh.names[n]
+	sh.mu.RUnlock()
+	return ok && e.set == nil && e.gen == gen && e.port.isDead()
+}
+
 // ConfirmNoSenders reports whether a received no-senders notification
 // is still valid: true when no send reference has been minted since the
 // notification fired (the notification's make-send count matches the
@@ -675,7 +872,7 @@ func (s *Space) ConfirmNoSenders(n Name, msCount uint32) (bool, error) {
 	sh.mu.RLock()
 	e, ok := sh.names[n]
 	sh.mu.RUnlock()
-	if !ok {
+	if !ok || e.port == nil {
 		return false, ErrInvalidPort
 	}
 	p := e.port
@@ -718,6 +915,14 @@ func (s *Space) Destroy() {
 	s.replyPool = nil
 	s.replyMu.Unlock()
 
+	// Port sets die first, failing blocked set receivers with
+	// ErrSpaceDead; their members are destroyed with every other
+	// receive right just below.
+	for _, e := range entries {
+		if e.set != nil {
+			e.set.destroy(ErrSpaceDead)
+		}
+	}
 	for _, e := range entries {
 		if e.rights&SendRight != 0 {
 			e.port.dropSender(s)

@@ -42,6 +42,7 @@ type Watcher struct {
 	mu        sync.Mutex
 	deaths    map[ipc.Name]func(ipc.Name)
 	noSenders map[ipc.Name]func(ipc.Name)
+	deadNames map[ipc.Name]func(ipc.Name)
 	stopped   bool
 }
 
@@ -52,6 +53,7 @@ func New(space *ipc.Space) *Watcher {
 		space:     space,
 		deaths:    make(map[ipc.Name]func(ipc.Name)),
 		noSenders: make(map[ipc.Name]func(ipc.Name)),
+		deadNames: make(map[ipc.Name]func(ipc.Name)),
 	}
 }
 
@@ -86,6 +88,32 @@ func (w *Watcher) OnNoSenders(n ipc.Name, fn func(ipc.Name)) error {
 	return nil
 }
 
+// OnDeadName arms a dead-name notification for the named send right
+// (ipc.Space.RequestDeadName on the space's notify port) and registers
+// fn to run once the name goes dead and the notification confirms. The
+// generation staleness check is applied for the caller: a notification
+// that raced a deallocate-and-reallocate of the name is suppressed (by
+// then the registration is moot — the name no longer means what it
+// meant when fn was registered). Registering again replaces the
+// callback; the request is one-shot.
+//
+// OnDeadName differs from OnPortDeath in scope and address: port-death
+// notifications fire for every send right the space holds, while a
+// dead-name request is armed per name — the Mach shape servers use to
+// watch exactly the capabilities they care about.
+func (w *Watcher) OnDeadName(n ipc.Name, fn func(ipc.Name)) error {
+	w.mu.Lock()
+	w.deadNames[n] = fn
+	w.mu.Unlock()
+	if err := w.space.RequestDeadName(n, w.space.NotifyPort()); err != nil {
+		w.mu.Lock()
+		delete(w.deadNames, n)
+		w.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
 // Dispatch examines one received message and consumes it when it is a
 // lifecycle notification this watcher has a registration for. It
 // reports whether the message was consumed. Only messages that arrived
@@ -107,6 +135,25 @@ func (w *Watcher) Dispatch(m *ipc.Message) bool {
 		w.mu.Unlock()
 		if fn == nil {
 			return false
+		}
+		fn(n)
+		return true
+	case ipc.MsgIDDeadName:
+		n, gen := ipc.DecodeDeadName(m.InlineData())
+		w.mu.Lock()
+		fn, ok := w.deadNames[n]
+		if ok {
+			delete(w.deadNames, n)
+		}
+		w.mu.Unlock()
+		if !ok {
+			return false
+		}
+		if !w.space.ConfirmDeadName(n, gen) {
+			// The task deallocated (and possibly reallocated) the name
+			// while the notification sat queued: the registration's
+			// subject is gone, so the callback must not run.
+			return true
 		}
 		fn(n)
 		return true

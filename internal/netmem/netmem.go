@@ -139,6 +139,12 @@ func NewServer(k *kern.Kernel) (*Server, error) {
 		byObject:  make(map[ipc.Name]*region),
 	}
 	s.mgr = pager.NewManager(s.task.Space, (*handler)(s))
+	// Region object ports, ack ports, the notify port and the service
+	// port all join the manager's port set: one receive point, fair
+	// rotation, one goroutine.
+	if err := s.mgr.UsePortSet(); err != nil {
+		return nil, err
+	}
 	srv, err := rpc.NewServer(s.task.Space)
 	if err != nil {
 		return nil, err
@@ -154,6 +160,9 @@ func NewServer(k *kern.Kernel) (*Server, error) {
 	s.lc = lifecycle.New(s.task.Space)
 	s.mgr.Default = s.lc.Chain(srv.Dispatch)
 	s.ServicePort = srv.Port
+	if err := s.mgr.Adopt(srv.Port); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -210,7 +219,7 @@ func (s *Server) createRegion(name string, size uint64) error {
 	if err != nil {
 		return err
 	}
-	if err := s.task.Space.Enable(ack); err != nil {
+	if err := s.mgr.Adopt(ack); err != nil {
 		return err
 	}
 	r.ackPort = ack

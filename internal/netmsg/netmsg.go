@@ -19,7 +19,12 @@
 //     destination host (or unwrapped, when the right is a proxy whose
 //     home port lives there);
 //   - receive rights travel as the real port — moving a receive right
-//     moves the queue itself, rehoming the port when it is inserted;
+//     moves the queue itself, rehoming the port when it is inserted. A
+//     receive right that is a member of a port set leaves the set at
+//     extraction time (the set is a property of the old space's
+//     receive point, not of the port): the queue migrates intact, the
+//     old set keeps its other members, and the new holder is free to
+//     move the right into a set of its own;
 //   - out-of-line regions ride along untouched and move through the
 //     kern layer's existing cross-host copy / copy-on-reference
 //     machinery when the receiver maps them.

@@ -1,0 +1,110 @@
+package netmsg_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ipc"
+)
+
+// TestSetMemberReceiveRightMigrates: a receive right that is a member
+// of a port set migrates cleanly cross-host — it leaves the set on
+// extraction (the set is a property of the old space's receive point),
+// the queue travels with the right and rehomes, and the old set keeps
+// serving its remaining members.
+func TestSetMemberReceiveRightMigrates(t *testing.T) {
+	const msgMove ipc.MsgID = 9300
+	k0, k1, _ := complex2(t)
+	server := k0.NewTask()
+	set, err := server.Space.AllocatePortSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mailbox, err := server.Space.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stayer, err := server.Space.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []ipc.Name{mailbox, stayer} {
+		if err := server.Space.MoveToPortSet(set, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A message queued on the member rides the migration.
+	if err := server.Space.Send(&ipc.Message{ID: msgMove + 5, RemotePort: mailbox},
+		ipc.SendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	client := k1.NewTask()
+	inboxName, err := client.Space.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIn(t, client, "set-inbox", inboxName)
+	inboxSvc := lookUp(t, server, "set-inbox")
+	if err := server.Space.Send(&ipc.Message{
+		ID:         msgMove,
+		RemotePort: inboxSvc,
+		Sections:   []ipc.Section{ipc.CarryRight(mailbox, ipc.SendRight|ipc.ReceiveRight)},
+	}, ipc.SendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The extracted member left the set at send time.
+	members, err := server.Space.PortSetMembers(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0] != stayer {
+		t.Fatalf("set members after migration: %v, want [%d]", members, stayer)
+	}
+
+	m, err := client.Space.Receive(inboxName, ipc.ReceiveOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := m.Sections[0].PortName
+	if moved == 0 {
+		t.Fatal("receive right lost in transit")
+	}
+	p, err := client.Space.Resolve(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Home() != k1.Host() {
+		t.Fatalf("queue did not rehome: home=%d", p.Home())
+	}
+	// The migrated right receives DIRECTLY on the new host (no stale
+	// membership), queue intact.
+	if got, err := client.Space.Receive(moved, ipc.ReceiveOptions{Timeout: time.Second}); err != nil || got.ID != msgMove+5 {
+		t.Fatalf("queued message did not travel: %v %v", got, err)
+	}
+	// The new holder may multiplex it into its OWN set.
+	newSet, err := client.Space.AllocatePortSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Space.MoveToPortSet(newSet, moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Space.Send(&ipc.Message{ID: msgMove + 6, RemotePort: moved},
+		ipc.SendOptions{NonBlocking: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := client.Space.Receive(newSet, ipc.ReceiveOptions{Timeout: time.Second}); err != nil || got.ID != msgMove+6 {
+		t.Fatalf("migrated right in new-host set: %v %v", got, err)
+	}
+
+	// The old set still serves its remaining member.
+	if err := server.Space.Send(&ipc.Message{ID: msgMove + 7, RemotePort: stayer},
+		ipc.SendOptions{NonBlocking: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := server.Space.Receive(set, ipc.ReceiveOptions{Timeout: time.Second}); err != nil || got.ID != msgMove+7 {
+		t.Fatalf("old set after migration: %v %v", got, err)
+	}
+}

@@ -153,6 +153,10 @@ type Manager struct {
 	byPort    map[ipc.Name]*MemoryObject // memory object port -> object
 	byRequest map[ipc.Name]*MemoryObject // request port -> object
 	stopped   bool
+
+	// set, when non-zero, is the port set the service loop receives
+	// from instead of scanning the default group (see UsePortSet).
+	set ipc.Name
 }
 
 // NewManager wraps a space and handler into a manager service loop
@@ -166,16 +170,51 @@ func NewManager(space *ipc.Space, h Handler) *Manager {
 	}
 }
 
+// UsePortSet switches the service loop from the default-group scan
+// (ReceiveAny) to a kernel port set: the space's notify port moves into
+// the set immediately, object ports join it as they are created, and
+// Run receives from the set with fair round-robin across the members —
+// one receive point for many ports, the paper's server shape, with a
+// flooded object port unable to starve the rest. Call it right after
+// NewManager, before Run and before the first NewObject. Ports enabled
+// on the space by OTHER code stop reaching the loop (a set receive sees
+// only members); adopt them with Adopt — the embedded rpc service port
+// of fs/netmem/camelot-style servers is the usual case.
+func (m *Manager) UsePortSet() error {
+	set, err := m.Space.AllocatePortSet()
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.set = set
+	m.mu.Unlock()
+	return m.Space.MoveToPortSet(set, m.Space.NotifyPort())
+}
+
+// Adopt moves a receive right (a service port, an ack port) into the
+// manager's port set so its messages reach the Run loop. No-op details:
+// in default-group mode it falls back to Enable, so callers need not
+// care which mode the manager runs in.
+func (m *Manager) Adopt(n ipc.Name) error {
+	m.mu.Lock()
+	set := m.set
+	m.mu.Unlock()
+	if set == 0 {
+		return m.Space.Enable(n)
+	}
+	return m.Space.MoveToPortSet(set, n)
+}
+
 // NewObject allocates a fresh memory object port, enables it for the
-// service loop, and registers it. The returned MemoryObject has no
-// request port until a kernel maps it (PagerInit). The send right to hand
-// to clients is the Port name.
+// service loop (or moves it into the manager's port set), and registers
+// it. The returned MemoryObject has no request port until a kernel maps
+// it (PagerInit). The send right to hand to clients is the Port name.
 func (m *Manager) NewObject(tag any) (*MemoryObject, error) {
 	n, err := m.Space.AllocatePort()
 	if err != nil {
 		return nil, err
 	}
-	if err := m.Space.Enable(n); err != nil {
+	if err := m.Adopt(n); err != nil {
 		return nil, err
 	}
 	mo := &MemoryObject{mgr: m, Port: n, Tag: tag}
@@ -227,18 +266,26 @@ func (m *Manager) Stop() {
 }
 
 // Run is the manager service loop: it receives on every enabled port of
-// the space and dispatches pager calls to the Handler. It returns when
-// the space is destroyed.
+// the space — or on the manager's port set, after UsePortSet — and
+// dispatches pager calls to the Handler. It returns when the space is
+// destroyed.
 func (m *Manager) Run() {
 	for {
 		m.mu.Lock()
 		stopped := m.stopped
+		src := m.set
 		m.mu.Unlock()
 		if stopped {
 			return
 		}
-		msg, err := m.Space.Receive(ipc.ReceiveAny, ipc.ReceiveOptions{})
-		if err == ipc.ErrSpaceDead {
+		msg, err := m.Space.Receive(src, ipc.ReceiveOptions{})
+		if err == ipc.ErrSpaceDead || err == ipc.ErrPortDied {
+			// The space died, or the port set was torn down with it.
+			return
+		}
+		if src != 0 && err == ipc.ErrNoEnabledPorts {
+			// The set emptied (every member died): nothing can ever
+			// arrive again, so returning beats spinning.
 			return
 		}
 		if err != nil {
@@ -329,7 +376,7 @@ func (m *Manager) handleInit(msg *ipc.Message, create bool) {
 			return
 		}
 		mo = &MemoryObject{mgr: m, Port: rights[0], Request: rights[1], PagerName: rights[2]}
-		if err := m.Space.Enable(mo.Port); err != nil {
+		if err := m.Adopt(mo.Port); err != nil {
 			return
 		}
 		m.mu.Lock()

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -162,6 +163,53 @@ func (s *Server) startPool() {
 				s.serve(m)
 			}
 		}()
+	}
+}
+
+// ServePorts runs ONE receive loop over a port set containing this
+// server's service port and every other server's — the paper's servers'
+// shape of multiplexing many client ports through one receive point
+// (§4-§5), here letting N services (an fs, a netmem, a camelot — any
+// mix of protocols with disjoint handler tables) share a single
+// goroutine instead of costing a loop each. All servers must live on
+// this server's Space. Requests are dispatched to the owning server by
+// arrival port, with fair round-robin across the ports, so one flooded
+// service cannot starve the rest.
+//
+// The loop runs on the calling goroutine (usually `go a.ServePorts(b,
+// c)`), dispatching inline — WithWorkers pools are not consulted. It
+// returns nil once every member server has stopped (each Stop
+// deallocates its service port, which drops the port out of the set;
+// the emptied set ends the loop), or the space's death error. Received
+// requests are always served before the loop exits.
+func (s *Server) ServePorts(others ...*Server) error {
+	set, err := s.Space.AllocatePortSet()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = s.Space.DeallocatePort(set) }()
+	byPort := make(map[ipc.Name]*Server, 1+len(others))
+	for _, srv := range append([]*Server{s}, others...) {
+		if srv.Space != s.Space {
+			return errors.New("rpc: ServePorts servers must share one space")
+		}
+		if err := s.Space.MoveToPortSet(set, srv.Port); err != nil {
+			return err
+		}
+		byPort[srv.Port] = srv
+	}
+	for {
+		m, err := s.Space.Receive(set, ipc.ReceiveOptions{})
+		if err == ipc.ErrNoEnabledPorts {
+			// Every member stopped; the multiplexed loop is done.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if srv, ok := byPort[m.LocalPort]; ok {
+			srv.serve(m)
+		}
 	}
 }
 

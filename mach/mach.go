@@ -181,6 +181,30 @@ var (
 	CarryRegion = ipc.CarryRegion
 )
 
+// --- port sets ---------------------------------------------------------------
+
+// Port sets multiplex many receive rights through one receive point,
+// the shape of the paper's servers (§4-§5): Space.AllocatePortSet
+// creates a set, Space.MoveToPortSet / Space.RemoveFromPortSet manage
+// membership, and Task.Receive / Space.Receive on the set's name drains
+// the members with fair round-robin rotation. Members keep their own
+// queues and backlogs (per-port backpressure is untouched); a member's
+// messages arrive ONLY through the set (direct receives answer
+// ErrInSet, receive-any skips members), so a message is never delivered
+// twice. RPCServer.ServePorts serves several services from one
+// goroutine over a set; pager managers (fs, netmem, camelot) multiplex
+// their object ports the same way.
+
+// Port-set errors.
+var (
+	// ErrInSet: direct receive from a port-set member.
+	ErrInSet = ipc.ErrInSet
+	// ErrNotSet: a port-set operation named an ordinary port.
+	ErrNotSet = ipc.ErrNotSet
+	// ErrNotInSet: removing a port from a set it is not in.
+	ErrNotInSet = ipc.ErrNotInSet
+)
+
 // --- port lifecycle -----------------------------------------------------------
 
 // The port-lifecycle subsystem: the kernel counts every extant send
@@ -207,6 +231,13 @@ const (
 	// MsgIDNoSenders: a port this space requested notification for has
 	// no extant send rights left.
 	MsgIDNoSenders = ipc.MsgIDNoSenders
+	// MsgIDDeadName: a send right this space armed with
+	// Space.RequestDeadName went dead. Confirm with
+	// Space.ConfirmDeadName (or register through
+	// LifecycleWatcher.OnDeadName, which confirms for you) — the
+	// notification carries the name entry's generation as its staleness
+	// guard.
+	MsgIDDeadName = ipc.MsgIDDeadName
 )
 
 // NotifyQueueCap bounds a space's notify-port queue; overflow is

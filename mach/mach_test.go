@@ -285,3 +285,71 @@ func TestProtAndInheritValues(t *testing.T) {
 		t.Fatalf("ProtDefault renders %q", mach.ProtDefault.String())
 	}
 }
+
+// TestPortSetFacade drives port sets and dead-name notifications
+// through the public facade: one task receives from two service ports
+// via a set, and a client learns of a service's death through
+// OnDeadName.
+func TestPortSetFacade(t *testing.T) {
+	k := mach.NewKernel(mach.Config{})
+	defer k.Shutdown()
+	server := k.NewTask()
+	client := k.NewTask()
+
+	set, err := server.Space.AllocatePortSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := server.Space.AllocatePort()
+	b, _ := server.Space.AllocatePort()
+	if err := server.Space.MoveToPortSet(set, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Space.MoveToPortSet(set, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Receive(a, mach.ReceiveOptions{NonBlocking: true}); err != mach.ErrInSet {
+		t.Fatalf("direct receive on member: %v, want ErrInSet", err)
+	}
+	ca, _ := server.Space.CopySendRight(client.Space, a)
+	cb, _ := server.Space.CopySendRight(client.Space, b)
+	for i, n := range []mach.Name{ca, cb} {
+		if err := client.Send(&mach.Message{ID: mach.MsgID(i + 1), RemotePort: n}, mach.SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[mach.Name]bool{}
+	for i := 0; i < 2; i++ {
+		m, err := server.Receive(set, mach.ReceiveOptions{Timeout: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[m.LocalPort] = true
+	}
+	if !got[a] || !got[b] {
+		t.Fatalf("set receive served %v, want both members", got)
+	}
+
+	// Dead-name notification through the watcher facade.
+	w := mach.NewLifecycleWatcher(client.Space)
+	go w.Run()
+	defer w.Stop()
+	fired := make(chan mach.Name, 1)
+	if err := w.OnDeadName(ca, func(n mach.Name) { fired <- n }); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Space.DeallocatePort(a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-fired:
+		if n != ca {
+			t.Fatalf("dead name %d, want %d", n, ca)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dead-name callback never ran")
+	}
+	if _, err := client.Space.Resolve(ca); err != mach.ErrDeadName {
+		t.Fatalf("resolve dead name: %v", err)
+	}
+}
