@@ -2,8 +2,15 @@
 # identical.
 
 GO ?= go
+# Per-benchmark sampling window for the trajectory run. Long enough to
+# settle the pooled fast paths, short enough that `make bench` stays
+# under a couple of minutes.
+BENCHTIME ?= 0.3s
+# Every package that defines benchmarks. bench and bench-smoke must
+# cover all of them so benchmark code can never silently rot.
+BENCH_PKGS = . ./internal/ipc ./internal/rpc
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke fuzz crosshost
+.PHONY: all build vet fmt fmt-check test race bench bench-trajectory bench-smoke fuzz crosshost
 
 all: build vet fmt-check test
 
@@ -25,20 +32,34 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ipc ./internal/kern ./internal/vm ./internal/rpc ./internal/fs ./internal/netmem ./internal/netmsg ./internal/lifecycle ./internal/camelot ./internal/agora
+	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'TestPortSetChurnStress|TestReceiveAnyVsSetNoDoubleDelivery' ./internal/ipc
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rpc
 	$(GO) test -run '^$$' -fuzz=FuzzReceiveFromSet -fuzztime=5s ./internal/ipc
 
+# bench runs every benchmark package with -benchmem and serializes the
+# combined output into the next BENCH_<n>.json trajectory point (see
+# cmd/benchjson for the schema). Raw output still reaches the terminal.
 bench:
-	$(GO) test -bench=. -benchmem -run XXX .
-	$(GO) test -bench=. -benchmem -run XXX ./internal/ipc
+	@rm -f bench.out
+	for p in $(BENCH_PKGS); do \
+		$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) $$p >> bench.out || exit 1; \
+	done
+	$(GO) run ./cmd/benchjson emit -dir . < bench.out
+	@rm -f bench.out
+
+# bench-trajectory records a new point and gates on the previous one:
+# fails on >15% ns/op regression or any allocs/op increase on the
+# pinned fast-path benchmarks. This is what CI runs.
+bench-trajectory: bench
+	$(GO) run ./cmd/benchjson diff
 
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run XXX .
-	$(GO) test -bench=. -benchtime=1x -run XXX ./internal/ipc
+	for p in $(BENCH_PKGS); do \
+		$(GO) test -bench=. -benchtime=1x -run XXX $$p || exit 1; \
+	done
 
 crosshost:
 	$(GO) run ./examples/crosshost

@@ -7,6 +7,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -111,9 +112,12 @@ func BenchmarkIPCRoundTrip(b *testing.B) {
 
 // BenchmarkSendWithRefCounting measures the plain send/receive fast
 // path under the port-lifecycle subsystem's sender-reference
-// accounting. The reference counts live inside locks the path already
-// takes, so the path must show the pre-lifecycle profile: ~4 allocs/op
-// (message + section header + queue slot), no additions.
+// accounting, with the message built the unpooled way. The reference
+// counts live inside locks the path already takes, so the path must
+// show the plain-literal profile: ~2 allocs/op (the caller's message +
+// section array — the queue slot and wakeup channel of the seed's 4
+// are gone), no additions. BenchmarkIPCSend is the pooled counterpart
+// that drives this to zero.
 func BenchmarkSendWithRefCounting(b *testing.B) {
 	k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
 	defer k.Shutdown()
@@ -133,6 +137,84 @@ func BenchmarkSendWithRefCounting(b *testing.B) {
 		if _, err := recvT.Receive(n, mach.ReceiveOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIPCSend measures the allocation-free msg_send fast path: a
+// pooled message built with GetMessage+AppendInline, sent to a port a
+// concurrent receiver drains (releasing each message back to the pool).
+// Steady state is 0 allocs/op; the CI trajectory gate pins it at ≤1.
+func BenchmarkIPCSend(b *testing.B) {
+	k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+	var drain sync.WaitGroup
+	defer drain.Wait()
+	defer k.Shutdown()
+	recvT := k.NewTask()
+	sendT := k.NewTask()
+	n, _ := recvT.Space.AllocatePort()
+	_ = recvT.Space.SetBacklog(n, 1024)
+	sn, _ := recvT.Space.CopySendRight(sendT.Space, n)
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for {
+			m, err := recvT.Receive(n, mach.ReceiveOptions{})
+			if err != nil {
+				return
+			}
+			m.Release()
+		}
+	}()
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mach.GetMessage()
+		m.ID = 1
+		m.RemotePort = sn
+		m.AppendInline(payload)
+		if err := sendT.Send(m, mach.SendOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIPCReceive measures the matching msg_receive fast path: a
+// concurrent sender keeps the port's queue fed with pooled messages,
+// the timed loop receives and releases. Steady state is 0 allocs/op;
+// the CI trajectory gate pins it at ≤1.
+func BenchmarkIPCReceive(b *testing.B) {
+	k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+	var feed sync.WaitGroup
+	defer feed.Wait()
+	defer k.Shutdown()
+	recvT := k.NewTask()
+	sendT := k.NewTask()
+	n, _ := recvT.Space.AllocatePort()
+	_ = recvT.Space.SetBacklog(n, 1024)
+	sn, _ := recvT.Space.CopySendRight(sendT.Space, n)
+	payload := make([]byte, 64)
+	feed.Add(1)
+	go func() {
+		defer feed.Done()
+		for {
+			m := mach.GetMessage()
+			m.ID = 1
+			m.RemotePort = sn
+			m.AppendInline(payload)
+			if err := sendT.Send(m, mach.SendOptions{}); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := recvT.Receive(n, mach.ReceiveOptions{Timeout: 10 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Release()
 	}
 }
 
@@ -533,4 +615,278 @@ type benchPager struct{ mach.NopHandler }
 
 func (benchPager) DataRequest(mo *mach.MemoryObject, offset, length uint64, desired mach.Prot) {
 	_ = mo.DataProvided(offset, make([]byte, length), mach.ProtNone)
+}
+
+// --- multicore sweep --------------------------------------------------------
+//
+// The BenchmarkMulticore* family reruns the contended IPC shapes under
+// GOMAXPROCS 1, 2, 4 and 8 — the machine-checkable core of the perf
+// trajectory (ROADMAP item 4): each BENCH_<n>.json records msgs/s per
+// processor count, so scaling regressions (a lock that serializes, a
+// pool that bounces) show up as a trajectory diff, not an anecdote.
+// `machbench mcore` runs the same sweep standalone with mutex/block
+// profiles.
+
+// benchProcs is the GOMAXPROCS ladder the sweep climbs.
+var benchProcs = []int{1, 2, 4, 8}
+
+// withProcs pins GOMAXPROCS for one sub-benchmark.
+func withProcs(b *testing.B, procs int, fn func(b *testing.B, procs int)) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	fn(b, procs)
+}
+
+// BenchmarkMulticoreSend: `procs` senders, each flooding its own port of
+// one receiver task (the shard-scaling shape of PR 1), pooled messages.
+func BenchmarkMulticoreSend(b *testing.B) {
+	for _, procs := range benchProcs {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(b *testing.B) {
+			withProcs(b, procs, func(b *testing.B, procs int) {
+				k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+				var drainers sync.WaitGroup
+				defer drainers.Wait()
+				defer k.Shutdown()
+				receiver := k.NewTask()
+				sender := k.NewTask()
+				names := make([]mach.Name, procs)
+				for i := range names {
+					svc, err := receiver.Space.AllocatePort()
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = receiver.Space.SetBacklog(svc, 1024)
+					names[i], _ = receiver.Space.CopySendRight(sender.Space, svc)
+					drainers.Add(1)
+					go func(svc mach.Name) {
+						defer drainers.Done()
+						for {
+							m, err := receiver.Receive(svc, mach.ReceiveOptions{})
+							if err != nil {
+								return
+							}
+							m.Release()
+						}
+					}(svc)
+				}
+				per := b.N / procs
+				if per == 0 {
+					per = 1
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for i := 0; i < procs; i++ {
+					wg.Add(1)
+					go func(n mach.Name) {
+						defer wg.Done()
+						for j := 0; j < per; j++ {
+							m := mach.GetMessage()
+							m.ID = 1
+							m.RemotePort = n
+							if err := sender.Send(m, mach.SendOptions{}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(names[i])
+				}
+				wg.Wait()
+				b.StopTimer()
+				if e := b.Elapsed(); e > 0 {
+					b.ReportMetric(float64(per*procs)/e.Seconds(), "msgs/s")
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMulticoreFanIn: `procs` senders converge on ONE port drained
+// by a single receiver — the service-port contention shape.
+func BenchmarkMulticoreFanIn(b *testing.B) {
+	for _, procs := range benchProcs {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(b *testing.B) {
+			withProcs(b, procs, func(b *testing.B, procs int) {
+				k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+				defer k.Shutdown()
+				receiver := k.NewTask()
+				sender := k.NewTask()
+				svc, _ := receiver.Space.AllocatePort()
+				_ = receiver.Space.SetBacklog(svc, 1024)
+				name, _ := receiver.Space.CopySendRight(sender.Space, svc)
+				per := b.N / procs
+				if per == 0 {
+					per = 1
+				}
+				total := per * procs
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for i := 0; i < procs; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for j := 0; j < per; j++ {
+							m := mach.GetMessage()
+							m.ID = 1
+							m.RemotePort = name
+							if err := sender.Send(m, mach.SendOptions{}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				for i := 0; i < total; i++ {
+					m, err := receiver.Receive(svc, mach.ReceiveOptions{Timeout: 10 * time.Second})
+					if err != nil {
+						b.Fatal(err)
+					}
+					m.Release()
+				}
+				wg.Wait()
+				b.StopTimer()
+				if e := b.Elapsed(); e > 0 {
+					b.ReportMetric(float64(total)/e.Seconds(), "msgs/s")
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMulticoreRPC: `procs` clients issue pooled typed calls
+// against one echo service with a worker pool sized to match.
+func BenchmarkMulticoreRPC(b *testing.B) {
+	const msgEcho mach.MsgID = 9700
+	for _, procs := range benchProcs {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(b *testing.B) {
+			withProcs(b, procs, func(b *testing.B, procs int) {
+				k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+				defer k.Shutdown()
+				server := k.NewTask()
+				srv, err := mach.NewRPCServer(server.Space, mach.WithRPCWorkers(procs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv.Handle(msgEcho, func(m *mach.Message, d *mach.Dec) (*mach.RPCReply, error) {
+					v := d.U64()
+					if err := d.Err(); err != nil {
+						return nil, err
+					}
+					r := mach.NewRPCReply()
+					r.U64(v)
+					return r, nil
+				})
+				go srv.Run()
+				defer srv.Stop()
+				per := b.N / procs
+				if per == 0 {
+					per = 1
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for c := 0; c < procs; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						task := k.NewTask()
+						svc, err := server.Space.CopySendRight(task.Space, srv.Port)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						client := mach.NewRPCClient(task.Space, svc, 30*time.Second)
+						req := mach.NewEnc()
+						for j := 0; j < per; j++ {
+							resp, err := client.Call(msgEcho, req.Reset().U64(uint64(j)))
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if resp.Dec.U64() != uint64(j) {
+								b.Error("wrong echo")
+								return
+							}
+							resp.Release()
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				if e := b.Elapsed(); e > 0 {
+					b.ReportMetric(float64(per*procs)/e.Seconds(), "msgs/s")
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMulticorePortSet: `procs` clients call three services
+// multiplexed through one port-set receive loop (ServePorts) — set
+// handoff under parallel load.
+func BenchmarkMulticorePortSet(b *testing.B) {
+	const msgEcho mach.MsgID = 9600
+	for _, procs := range benchProcs {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(b *testing.B) {
+			withProcs(b, procs, func(b *testing.B, procs int) {
+				k := mach.NewKernel(mach.Config{Frames: 256, PageSize: 4096})
+				defer k.Shutdown()
+				server := k.NewTask()
+				srvs := make([]*mach.RPCServer, 3)
+				for i := range srvs {
+					srv, err := mach.NewRPCServer(server.Space)
+					if err != nil {
+						b.Fatal(err)
+					}
+					srv.Handle(msgEcho, func(m *mach.Message, d *mach.Dec) (*mach.RPCReply, error) {
+						v := d.U64()
+						if err := d.Err(); err != nil {
+							return nil, err
+						}
+						r := mach.NewRPCReply()
+						r.U64(v)
+						return r, nil
+					})
+					srvs[i] = srv
+				}
+				go srvs[0].ServePorts(srvs[1], srvs[2])
+				defer func() {
+					for _, srv := range srvs {
+						srv.Stop()
+					}
+				}()
+				per := b.N / procs
+				if per == 0 {
+					per = 1
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for c := 0; c < procs; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						task := k.NewTask()
+						svc, err := server.Space.CopySendRight(task.Space, srvs[c%3].Port)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						client := mach.NewRPCClient(task.Space, svc, 30*time.Second)
+						req := mach.NewEnc()
+						for j := 0; j < per; j++ {
+							resp, err := client.Call(msgEcho, req.Reset().U64(uint64(j)))
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							resp.Release()
+						}
+					}(c)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if e := b.Elapsed(); e > 0 {
+					b.ReportMetric(float64(per*procs)/e.Seconds(), "msgs/s")
+				}
+			})
+		})
+	}
 }

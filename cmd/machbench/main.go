@@ -7,9 +7,11 @@
 //	machbench            # run all experiments
 //	machbench E3 E5      # run selected experiments
 //	machbench -list      # list experiment IDs
+//	machbench mcore ...  # multicore IPC throughput sweep (see mcore.go)
 //
 // All quantities are simulated (deterministic virtual clock), so output
-// is stable across machines; only the shapes are meaningful.
+// is stable across machines; only the shapes are meaningful. The mcore
+// subcommand is the exception: it measures real wall-clock throughput.
 package main
 
 import (
@@ -38,6 +40,10 @@ var all = []struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "mcore" {
+		runMcore(os.Args[2:])
+		return
+	}
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 	if *list {

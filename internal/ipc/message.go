@@ -118,6 +118,12 @@ type Message struct {
 	replyPort *Port
 	// arrivedOn records the destination port for receive rewriting.
 	arrivedOn *Port
+	// scratch is the message-owned payload buffer InlineCopy assembles
+	// into; it is recycled with the message (see pool.go).
+	scratch []byte
+	// free marks a message currently sitting in the pool, the guard
+	// Release uses to reject a double release.
+	free bool
 }
 
 // messageHeaderBytes approximates the fixed header cost charged to the

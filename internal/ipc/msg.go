@@ -218,6 +218,13 @@ func (s *Space) Receive(from Name, opts ReceiveOptions) (*Message, error) {
 // port served last, so a flooded low-numbered port cannot starve the
 // other enabled ports.
 func (s *Space) receiveAny(opts ReceiveOptions) (*Message, error) {
+	// Announce the scan before reading any queue: wakeAll elides its
+	// channel churn when no receive-any is in flight, which is sound
+	// because this increment is sequenced before every lock the scan
+	// takes — a sender whose enqueue the scan missed must then observe
+	// the incremented count and perform the real wakeup.
+	s.anyParked.Add(1)
+	defer s.anyParked.Add(-1)
 	var deadline time.Time
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)

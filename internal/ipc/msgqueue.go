@@ -1,0 +1,64 @@
+package ipc
+
+// msgRing is a power-of-two ring buffer of queued messages. The port
+// queue was previously a plain slice advanced with q = q[1:], which
+// walks the backing array forward and forces append to reallocate once
+// the capacity drifts off the end — roughly one allocation per
+// queued message on the send fast path. The ring reuses one backing
+// array forever, so steady-state enqueue/dequeue performs zero
+// allocations regardless of traffic.
+type msgRing struct {
+	buf  []*Message // len(buf) is always 0 or a power of two
+	head int        // index of the oldest message
+	n    int        // number of queued messages
+}
+
+// ringMinCap is the initial ring size. Ports are created lazily with a
+// nil ring so idle ports (dead names, notify ports that never fire)
+// cost nothing; the first enqueue allocates once.
+const ringMinCap = 8
+
+// push appends m at the tail, growing the ring when full.
+func (q *msgRing) push(m *Message) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = m
+	q.n++
+}
+
+// pop removes and returns the oldest message. The caller must ensure
+// the ring is non-empty (q.n > 0).
+func (q *msgRing) pop() *Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return m
+}
+
+// grow doubles the ring, compacting the live window to the front.
+func (q *msgRing) grow() {
+	c := len(q.buf) * 2
+	if c < ringMinCap {
+		c = ringMinCap
+	}
+	nb := make([]*Message, c)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf, q.head = nb, 0
+}
+
+// drain removes every queued message, returning them in FIFO order.
+// Used by Port.destroy to dispose of rights in undelivered messages.
+func (q *msgRing) drain() []*Message {
+	if q.n == 0 {
+		return nil
+	}
+	out := make([]*Message, q.n)
+	for i := range out {
+		out[i] = q.pop()
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package ipc
+
+import (
+	"testing"
+)
+
+// TestMessageDoubleReleasePanics: releasing a pooled message twice is a
+// caught ownership bug, not a silent double grant.
+func TestMessageDoubleReleasePanics(t *testing.T) {
+	m := GetMessage()
+	m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	m.Release()
+}
+
+// TestMessageResetOnRelease: a recycled message comes back empty — no
+// header fields, sections, or scratch bytes from its previous life.
+func TestMessageResetOnRelease(t *testing.T) {
+	m := GetMessage()
+	m.ID = 42
+	m.RemotePort = 7
+	m.LocalPort = 9
+	m.InlineCopy([]byte("stale"), []byte("data"))
+	m.AppendSection(Section{Kind: PortRightSection, PortName: 3, Right: SendRight})
+	m.Release()
+
+	m2 := GetMessage()
+	if m2.ID != 0 || m2.RemotePort != 0 || m2.LocalPort != 0 || len(m2.Sections) != 0 {
+		t.Fatalf("recycled message not reset: %+v", m2)
+	}
+	m2.Release()
+}
+
+// TestSendReceiveAllocBudget pins the tentpole number: a pooled
+// Send+Receive round trip performs at most one allocation per
+// operation pair, enforced by go test rather than by reading benchmark
+// output. (Steady state is zero; the budget of one absorbs scheduler
+// noise and the occasional pool refill after a GC.)
+func TestSendReceiveAllocBudget(t *testing.T) {
+	s := NewSpace(0, nil)
+	defer s.Destroy()
+	port, err := s.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	roundTrip := func() {
+		m := GetMessage()
+		m.RemotePort = port
+		m.AppendInline(payload)
+		if err := s.Send(m, SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Receive(port, ReceiveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+	// Warm the pools (message, waiter, queue ring) out of the measured
+	// window.
+	for i := 0; i < 100; i++ {
+		roundTrip()
+	}
+	if avg := testing.AllocsPerRun(200, roundTrip); avg > 1 {
+		t.Fatalf("pooled Send+Receive allocates %.2f/op, budget is 1", avg)
+	}
+}

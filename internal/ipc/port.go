@@ -17,11 +17,14 @@ var portIDs atomic.Uint64
 // recvWaiter is one receiver parked in dequeue. The sender hands the
 // message straight to the waiter (under the port lock) and signals the
 // buffered channel, so delivery to a blocked receiver never touches the
-// space-level wakeup machinery.
+// space-level wakeup machinery. The timer is lazily created and reused
+// across park cycles (a timed receive previously cost a fresh
+// time.NewTimer — three allocations — per call).
 type recvWaiter struct {
 	m     *Message
 	err   error
 	ready chan struct{} // buffered, capacity 1
+	timer *time.Timer   // reused; stopped and drained between uses
 }
 
 var waiterPool = sync.Pool{
@@ -30,11 +33,39 @@ var waiterPool = sync.Pool{
 
 func getWaiter() *recvWaiter { return waiterPool.Get().(*recvWaiter) }
 
-// putWaiter returns a waiter whose signal (if any) has been consumed.
+// putWaiter returns a waiter whose signal (if any) has been consumed
+// and whose timer (if any) is stopped with an empty channel.
 func putWaiter(w *recvWaiter) {
 	w.m = nil
 	w.err = nil
 	waiterPool.Put(w)
+}
+
+// armTimer starts the waiter's reusable timer for d. The timer channel
+// is guaranteed empty here: every code path that stops consuming the
+// timer either saw it fire (channel drained by the select) or ran
+// disarmTimer.
+func (w *recvWaiter) armTimer(d time.Duration) {
+	if w.timer == nil {
+		w.timer = time.NewTimer(d)
+		return
+	}
+	w.timer.Reset(d)
+}
+
+// disarmTimer retires the timer after a wakeup won the race against the
+// deadline, without consuming timer.C. If Stop came too late the timer
+// already fired, and the fired value may not have reached the channel
+// yet (pre-1.23 timer semantics deliver it asynchronously) — a
+// non-blocking drain here can miss it and leave a stale value that
+// instantly times out the NEXT receive to reuse this pooled waiter. So
+// a timer that fired un-consumed is abandoned instead of drained; the
+// race is rare (the wakeup must land inside the deadline's firing
+// window), so the replacement allocation is noise.
+func (w *recvWaiter) disarmTimer() {
+	if !w.timer.Stop() {
+		w.timer = nil
+	}
 }
 
 // Port is a communication channel: a finite-length message queue
@@ -54,7 +85,7 @@ type Port struct {
 
 	mu       sync.Mutex
 	sendCond *sync.Cond
-	queue    []*Message
+	queue    msgRing
 	waiters  []*recvWaiter
 	backlog  int
 
@@ -202,7 +233,7 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 			p.mu.Unlock()
 			return ErrPortDied
 		}
-		if force || len(p.queue) < p.backlog {
+		if force || p.queue.n < p.backlog {
 			break
 		}
 		if nonblock {
@@ -215,7 +246,7 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 		}
 	}
 	m.arrivedOn = p
-	p.queue = append(p.queue, m)
+	p.queue.push(m)
 	set := p.inSet
 	var queued bool
 	var recv *Space
@@ -236,18 +267,29 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 // remain queued and which space to wake for a receive-any.
 func (p *Port) dispatchLocked() (queued bool, recv *Space) {
 	handedOff := false
-	for len(p.waiters) > 0 && len(p.queue) > 0 {
-		w := p.waiters[0]
-		p.waiters = p.waiters[1:]
-		w.m = p.queue[0]
-		p.queue = p.queue[1:]
+	for len(p.waiters) > 0 && p.queue.n > 0 {
+		w := p.popWaiterLocked()
+		w.m = p.queue.pop()
 		w.ready <- struct{}{}
 		handedOff = true
 	}
 	if handedOff {
 		p.sendCond.Broadcast()
 	}
-	return len(p.queue) > 0, p.receiver
+	return p.queue.n > 0, p.receiver
+}
+
+// popWaiterLocked removes the oldest parked waiter with a copy-down
+// (instead of re-slicing forward, which drifts off the backing array
+// and forces the next append to reallocate). Caller holds p.mu and has
+// checked the list is non-empty.
+func (p *Port) popWaiterLocked() *recvWaiter {
+	w := p.waiters[0]
+	last := len(p.waiters) - 1
+	copy(p.waiters, p.waiters[1:])
+	p.waiters[last] = nil
+	p.waiters = p.waiters[:last]
+	return w
 }
 
 // enqueueNotify is the kernel's notification enqueue: it bypasses the
@@ -259,12 +301,12 @@ func (p *Port) dispatchLocked() (queued bool, recv *Space) {
 // letters.
 func (p *Port) enqueueNotify(m *Message, cap int) bool {
 	p.mu.Lock()
-	if p.dead.Load() || len(p.queue) >= cap {
+	if p.dead.Load() || p.queue.n >= cap {
 		p.mu.Unlock()
 		return false
 	}
 	m.arrivedOn = p
-	p.queue = append(p.queue, m)
+	p.queue.push(m)
 	set := p.inSet
 	var queued bool
 	var recv *Space
@@ -293,9 +335,8 @@ func (p *Port) dequeue(nonblock bool, timeout time.Duration) (*Message, error) {
 		p.mu.Unlock()
 		return nil, ErrInSet
 	}
-	if len(p.queue) > 0 {
-		m := p.queue[0]
-		p.queue = p.queue[1:]
+	if p.queue.n > 0 {
+		m := p.queue.pop()
 		p.sendCond.Broadcast()
 		p.mu.Unlock()
 		return m, nil
@@ -322,14 +363,14 @@ func (p *Port) dequeue(nonblock bool, timeout time.Duration) (*Message, error) {
 		putWaiter(w)
 		return m, err
 	}
-	t := time.NewTimer(time.Until(deadline))
+	w.armTimer(time.Until(deadline))
 	select {
 	case <-w.ready:
-		t.Stop()
+		w.disarmTimer()
 		m, err := w.m, w.err
 		putWaiter(w)
 		return m, err
-	case <-t.C:
+	case <-w.timer.C:
 		return p.cancelWait(w)
 	}
 }
@@ -342,7 +383,10 @@ func (p *Port) cancelWait(w *recvWaiter) (*Message, error) {
 	p.mu.Lock()
 	for i, x := range p.waiters {
 		if x == w {
-			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			last := len(p.waiters) - 1
+			copy(p.waiters[i:], p.waiters[i+1:])
+			p.waiters[last] = nil
+			p.waiters = p.waiters[:last]
 			p.mu.Unlock()
 			putWaiter(w)
 			return nil, ErrRcvTimedOut
@@ -350,6 +394,8 @@ func (p *Port) cancelWait(w *recvWaiter) (*Message, error) {
 	}
 	p.mu.Unlock()
 	<-w.ready
+	// No disarm: the select consumed timer.C, so the timer is expired
+	// and drained — exactly the state armTimer can Reset.
 	m, err := w.m, w.err
 	putWaiter(w)
 	return m, err
@@ -365,11 +411,10 @@ func (p *Port) cancelWait(w *recvWaiter) (*Message, error) {
 func (p *Port) tryDequeueFor(set *portSet) (*Message, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.inSet != set || len(p.queue) == 0 {
+	if p.inSet != set || p.queue.n == 0 {
 		return nil, false
 	}
-	m := p.queue[0]
-	p.queue = p.queue[1:]
+	m := p.queue.pop()
 	p.sendCond.Broadcast()
 	return m, true
 }
@@ -401,7 +446,7 @@ func (p *Port) leaveSet() {
 func (p *Port) queued() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.queue)
+	return p.queue.n
 }
 
 // QueueLen returns the current queue depth. Kernel-side use only; the
@@ -413,7 +458,7 @@ func (p *Port) QueueLen() int { return p.queued() }
 func (p *Port) status() (depth, backlog int, dead bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.queue), p.backlog, p.dead.Load()
+	return p.queue.n, p.backlog, p.dead.Load()
 }
 
 // setBacklog adjusts the queue limit and releases senders waiting on it.
@@ -433,25 +478,49 @@ func (p *Port) incExtantLocked() {
 	p.makeSend++
 }
 
+// nsFiring is a consumed no-senders request waiting to run: a value,
+// not a closure, so firing never allocates on the send/receive fast
+// path (the reference counts are maintained inside locks the path
+// already takes). Exactly one of fn and sp is set when pending.
+type nsFiring struct {
+	fn func(uint32)
+	sp *Space
+	p  *Port
+	ms uint32
+}
+
+// run delivers the notification. Must be called with no port locks
+// held — it enqueues on another port.
+func (f *nsFiring) run() {
+	if f.fn != nil {
+		f.fn(f.ms)
+	} else if f.sp != nil {
+		f.sp.notifyNoSenders(f.p, f.ms)
+	}
+}
+
+// pending reports whether the firing holds a consumed request.
+func (f *nsFiring) pending() bool { return f.fn != nil || f.sp != nil }
+
 // decExtantLocked drops one extant send reference and, on the
-// transition to zero, consumes an armed no-senders request. Caller
-// holds p.mu; the returned thunk (if any) must run after the lock is
-// released — it enqueues on another port.
-func (p *Port) decExtantLocked() func() {
+// transition to zero, consumes an armed no-senders request into fire.
+// Caller holds p.mu; a pending fire must be run after the lock is
+// released.
+func (p *Port) decExtantLocked(fire *nsFiring) {
 	if p.extant--; p.extant > 0 || !p.nsArmed {
-		return nil
+		return
 	}
 	p.nsArmed = false
-	ms := p.makeSend
+	fire.ms = p.makeSend
 	if fn := p.nsFunc; fn != nil {
 		p.nsFunc = nil
-		return func() { fn(ms) }
+		fire.fn = fn
+		return
 	}
 	if sp := p.nsSpace; sp != nil {
 		p.nsSpace = nil
-		return func() { sp.notifyNoSenders(p, ms) }
+		fire.sp, fire.p = sp, p
 	}
-	return nil
 }
 
 // addSender registers a space as holding send rights. A right to a dead
@@ -469,14 +538,14 @@ func (p *Port) addSender(s *Space) {
 
 // dropSender removes one send-right reference for a space.
 func (p *Port) dropSender(s *Space) {
-	var fire func()
+	var fire nsFiring
 	p.mu.Lock()
 	if !p.dead.Load() {
 		if c, ok := p.senders[s]; ok {
 			if c--; c <= 0 {
 				delete(p.senders, s)
 				if s != p.receiver {
-					fire = p.decExtantLocked()
+					p.decExtantLocked(&fire)
 				}
 			} else {
 				p.senders[s] = c
@@ -484,9 +553,7 @@ func (p *Port) dropSender(s *Space) {
 		}
 	}
 	p.mu.Unlock()
-	if fire != nil {
-		fire()
-	}
+	fire.run()
 }
 
 // addTransit records one send-right reference entering a queued message
@@ -504,16 +571,14 @@ func (p *Port) addTransit() {
 // dropTransit releases a reference taken by addTransit, after the right
 // was installed in the receiving space or destroyed with its message.
 func (p *Port) dropTransit() {
-	var fire func()
+	var fire nsFiring
 	p.mu.Lock()
 	if !p.dead.Load() {
 		p.transit--
-		fire = p.decExtantLocked()
+		p.decExtantLocked(&fire)
 	}
 	p.mu.Unlock()
-	if fire != nil {
-		fire()
-	}
+	fire.run()
 }
 
 // AddSendRef takes a kernel-held send reference on the port: it counts
@@ -533,16 +598,14 @@ func (p *Port) AddSendRef() {
 // AddSendRef, firing an armed no-senders request if it was the last
 // extant reference.
 func (p *Port) DropSendRef() {
-	var fire func()
+	var fire nsFiring
 	p.mu.Lock()
 	if !p.dead.Load() {
 		p.kernRefs--
-		fire = p.decExtantLocked()
+		p.decExtantLocked(&fire)
 	}
 	p.mu.Unlock()
-	if fire != nil {
-		fire()
-	}
+	fire.run()
 }
 
 // SendRefs returns the current count of extant send references.
@@ -586,7 +649,7 @@ func (p *Port) WatchNoSenders(fn func(msCount uint32)) {
 // excluded from the no-senders count, so the count is adjusted when the
 // receive right moves between spaces that also hold send rights.
 func (p *Port) setReceiver(s *Space) {
-	var fire func()
+	var fire nsFiring
 	p.mu.Lock()
 	if !p.dead.Load() && s != p.receiver {
 		old := p.receiver
@@ -598,13 +661,11 @@ func (p *Port) setReceiver(s *Space) {
 			p.incExtantLocked()
 		}
 		if s != nil && p.senders[s] > 0 {
-			fire = p.decExtantLocked()
+			p.decExtantLocked(&fire)
 		}
 	}
 	p.mu.Unlock()
-	if fire != nil {
-		fire()
-	}
+	fire.run()
 }
 
 // destroy kills the port: the queue is drained (destroying any rights in
@@ -618,8 +679,8 @@ func (p *Port) destroy() {
 		return
 	}
 	p.dead.Store(true)
-	dropped := p.queue
-	p.queue = nil
+	dropped := p.queue.drain()
+	p.queue.buf = nil
 	p.receiver = nil
 	notify := make([]*Space, 0, len(p.senders))
 	for s := range p.senders {

@@ -103,7 +103,7 @@ func (ps *portSet) addMember(n Name, p *Port) error {
 	p.inSet = ps
 	waiters := p.waiters
 	p.waiters = nil
-	queued := len(p.queue) > 0
+	queued := p.queue.n > 0
 	p.mu.Unlock()
 	ps.members[n] = p
 	ps.rebuildLocked()
@@ -138,7 +138,7 @@ func (ps *portSet) removeMember(p *Port) (removed, queued bool) {
 		return false, false
 	}
 	p.inSet = nil
-	queued = len(p.queue) > 0
+	queued = p.queue.n > 0
 	p.mu.Unlock()
 	for n, m := range ps.members {
 		if m == p {
@@ -190,7 +190,7 @@ func (ps *portSet) destroy(reason error) (orphanQueued bool) {
 		p.mu.Lock()
 		if p.inSet == ps {
 			p.inSet = nil
-			if len(p.queue) > 0 {
+			if p.queue.n > 0 {
 				orphanQueued = true
 			}
 		}
@@ -213,7 +213,10 @@ func (ps *portSet) notifyOne() {
 		return
 	}
 	w := ps.waiters[0]
-	ps.waiters = ps.waiters[1:]
+	last := len(ps.waiters) - 1
+	copy(ps.waiters, ps.waiters[1:])
+	ps.waiters[last] = nil
+	ps.waiters = ps.waiters[:last]
 	ps.mu.Unlock()
 	w.ready <- struct{}{}
 }
@@ -237,7 +240,10 @@ func (ps *portSet) cancelWaiter(w *recvWaiter) {
 	ps.mu.Lock()
 	for i, x := range ps.waiters {
 		if x == w {
-			ps.waiters = append(ps.waiters[:i], ps.waiters[i+1:]...)
+			last := len(ps.waiters) - 1
+			copy(ps.waiters[i:], ps.waiters[i+1:])
+			ps.waiters[last] = nil
+			ps.waiters = ps.waiters[:last]
 			ps.mu.Unlock()
 			putWaiter(w)
 			return
@@ -327,11 +333,11 @@ func (ps *portSet) receive(opts ReceiveOptions) (*Message, error) {
 			if d <= 0 {
 				return nil, ps.timeoutWaiter(w)
 			}
-			t := time.NewTimer(d)
+			w.armTimer(d)
 			select {
 			case <-w.ready:
-				t.Stop()
-			case <-t.C:
+				w.disarmTimer()
+			case <-w.timer.C:
 				return nil, ps.timeoutWaiter(w)
 			}
 		}
@@ -351,7 +357,10 @@ func (ps *portSet) timeoutWaiter(w *recvWaiter) error {
 	ps.mu.Lock()
 	for i, x := range ps.waiters {
 		if x == w {
-			ps.waiters = append(ps.waiters[:i], ps.waiters[i+1:]...)
+			last := len(ps.waiters) - 1
+			copy(ps.waiters[i:], ps.waiters[i+1:])
+			ps.waiters[last] = nil
+			ps.waiters = ps.waiters[:last]
 			ps.mu.Unlock()
 			putWaiter(w)
 			return ErrRcvTimedOut

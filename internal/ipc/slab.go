@@ -1,0 +1,96 @@
+package ipc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Slab allocation for out-of-line payload buffers. Cross-host OOL
+// transfer and copy-on-reference paging move page- and region-sized
+// byte buffers constantly; allocating each from the heap churns the
+// garbage collector with exactly the objects it is worst at (large,
+// short-lived, pointer-free). Slabs pool those buffers in power-of-two
+// size classes — the aligned-slab idiom — handing out a stable handle
+// whose explicit Release recycles the memory, with the double-release
+// caught by an atomic state check rather than silently corrupting the
+// next borrower.
+
+// slab size classes: 512 B up to 1 MiB, doubling. Requests above the
+// largest class fall back to plain heap allocation (unpooled).
+const (
+	slabMinShift = 9
+	slabMaxShift = 20
+	slabClasses  = slabMaxShift - slabMinShift + 1
+)
+
+// Slab states for the double-release guard.
+const (
+	slabLive int32 = iota
+	slabFree
+)
+
+// Slab is a pooled byte buffer. The handle and its backing array are
+// one unit: Release recycles both into the owning size class, and the
+// next AllocSlab of that class hands them out again.
+type Slab struct {
+	buf   []byte // class-capacity backing array
+	n     int    // requested length
+	class int    // size-class index, -1 for an oversize (unpooled) buffer
+	state atomic.Int32
+}
+
+var slabPools [slabClasses]sync.Pool
+
+// slabClassFor returns the smallest class index whose capacity holds n
+// bytes, or -1 when n exceeds the largest class.
+func slabClassFor(n int) int {
+	for c := 0; c < slabClasses; c++ {
+		if n <= 1<<(slabMinShift+c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// AllocSlab returns a zeroed buffer of n bytes drawn from the matching
+// power-of-two size class. The caller owns it until Release; requests
+// beyond the largest class are served straight from the heap and
+// Release becomes a no-op recycle (the guard still catches a double
+// release).
+func AllocSlab(n int) *Slab {
+	c := slabClassFor(n)
+	if c < 0 {
+		s := &Slab{buf: make([]byte, n), n: n, class: -1}
+		return s
+	}
+	v := slabPools[c].Get()
+	if v == nil {
+		return &Slab{buf: make([]byte, 1<<(slabMinShift+c)), n: n, class: c}
+	}
+	s := v.(*Slab)
+	s.n = n
+	s.state.Store(slabLive)
+	b := s.buf[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return s
+}
+
+// Bytes returns the live n-byte view of the slab. The view (and any
+// slice of it) is valid only until Release.
+func (s *Slab) Bytes() []byte { return s.buf[:s.n] }
+
+// Release recycles the slab. The caller must be the slab's only
+// remaining user: the backing array is handed verbatim to the next
+// AllocSlab of the class. Releasing twice panics instead of putting the
+// buffer up for a double grant.
+func (s *Slab) Release() {
+	if !s.state.CompareAndSwap(slabLive, slabFree) {
+		panic("ipc: slab released twice")
+	}
+	if s.class < 0 {
+		return
+	}
+	slabPools[s.class].Put(s)
+}

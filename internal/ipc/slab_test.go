@@ -1,0 +1,151 @@
+package ipc
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestSlabClassRounding: requests land in the smallest class that holds
+// them, and oversize requests fall back to exact-size unpooled buffers.
+func TestSlabClassRounding(t *testing.T) {
+	cases := []struct {
+		n       int
+		wantCap int
+	}{
+		{1, 512},
+		{512, 512},
+		{513, 1024},
+		{4096, 4096},
+		{1 << 20, 1 << 20},
+		{1<<20 + 1, 1<<20 + 1}, // oversize: exact-size heap buffer
+	}
+	for _, c := range cases {
+		s := AllocSlab(c.n)
+		if len(s.Bytes()) != c.n {
+			t.Fatalf("AllocSlab(%d): len %d", c.n, len(s.Bytes()))
+		}
+		if cap(s.buf) != c.wantCap {
+			t.Fatalf("AllocSlab(%d): cap %d, want %d", c.n, cap(s.buf), c.wantCap)
+		}
+		s.Release()
+	}
+}
+
+// TestSlabDoubleReleasePanics: the atomic state guard turns a double
+// release into a panic instead of a double grant of the same buffer.
+func TestSlabDoubleReleasePanics(t *testing.T) {
+	for _, n := range []int{64, 1<<20 + 1} { // pooled and oversize
+		s := AllocSlab(n)
+		s.Release()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AllocSlab(%d): double release did not panic", n)
+				}
+			}()
+			s.Release()
+		}()
+	}
+}
+
+// TestSlabReuseIsZeroed: a recycled slab really is the released buffer
+// (white box: same backing array) and carries none of its previous
+// owner's bytes.
+func TestSlabReuseIsZeroed(t *testing.T) {
+	reused := false
+	for i := 0; i < 32 && !reused; i++ {
+		s := AllocSlab(777)
+		for j := range s.Bytes() {
+			s.buf[j] = 0xAB // canary into the whole class buffer view
+		}
+		p := &s.buf[0]
+		s.Release()
+		s2 := AllocSlab(777)
+		if &s2.buf[0] == p {
+			reused = true
+			for j, b := range s2.Bytes() {
+				if b != 0 {
+					t.Fatalf("recycled slab byte %d = %#x, want 0", j, b)
+				}
+			}
+		}
+		s2.Release()
+	}
+	if !reused {
+		t.Skip("pool never returned the released slab (GC raced); nothing to check")
+	}
+}
+
+// TestSlabMessageCanary: payload bytes staged in a slab and carried by
+// queued messages survive until delivery, and the release-after-receive
+// discipline never lets a recycled buffer alias an undelivered message.
+// Senders fill each slab with a per-message pattern, receivers verify it
+// after Receive and only then release — run under -race this also
+// checks the IPC layer holds no hidden reference to a released slab.
+func TestSlabMessageCanary(t *testing.T) {
+	s := NewSpace(0, nil)
+	defer s.Destroy()
+	port, err := s.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		senders = 4
+		msgs    = 200
+	)
+	if err := s.SetBacklog(port, senders*msgs); err != nil {
+		t.Fatal(err)
+	}
+	// slabs[idx] is written by the sender before the message carrying
+	// idx is enqueued; the queue's mutex orders that write before the
+	// receiver's read.
+	slabs := make([]*Slab, senders*msgs)
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				idx := g*msgs + i
+				slab := AllocSlab(96)
+				slabs[idx] = slab
+				pat := byte(idx)
+				b := slab.Bytes()
+				for j := range b {
+					b[j] = pat
+				}
+				m := GetMessage()
+				m.RemotePort = port
+				m.ID = MsgID(idx)
+				m.AppendInline(b)
+				if err := s.Send(m, SendOptions{}); err != nil {
+					t.Error(err)
+					return
+				}
+				// NOT released here: the message still references the
+				// slab until the receiver is done with it.
+			}
+		}(g)
+	}
+	want := make([]byte, 96)
+	for i := 0; i < senders*msgs; i++ {
+		m, err := s.Receive(port, ReceiveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := int(m.ID)
+		pat := byte(idx)
+		for j := range want {
+			want[j] = pat
+		}
+		if !bytes.Equal(m.InlineData(), want) {
+			t.Fatalf("message %d: canary %#x corrupted: % x", idx, pat, m.InlineData()[:8])
+		}
+		// The receiver is the final owner: recycle the slab the payload
+		// lives in, then the message.
+		slabs[idx].Release()
+		m.Release()
+	}
+	wg.Wait()
+}

@@ -53,6 +53,15 @@ type entry struct {
 	// the name of the port MsgIDDeadName is delivered to when this
 	// entry's port dies.
 	dnNotify Name
+	// srefs counts send-right user references (Mach's urefs). Every
+	// InsertRight of a send right onto this name adds one; every
+	// DeallocatePort of a send-only name drops one and removes the
+	// entry only at zero. Without this, two messages carrying rights
+	// to the same port alias one name, and the first holder's
+	// deallocate strips the second holder's still-needed right — a
+	// lost-reply race when concurrent RPC workers answer the same
+	// client's cached reply port.
+	srefs int
 }
 
 // PortStatus is the information returned by port_status (Table 3-2).
@@ -136,6 +145,17 @@ type Space struct {
 
 	wakeMu sync.Mutex
 	wakeCh chan struct{}
+	// anyParked counts threads currently inside receiveAny. wakeAll
+	// replaces the wake channel only when it is non-zero, so the common
+	// case — a send with no receive-any waiter anywhere — skips the
+	// channel re-make (one allocation) entirely. See receiveAny for the
+	// ordering argument that makes the skip safe.
+	anyParked atomic.Int32
+
+	// trimFn is the no-senders callback getReplyPort arms on every
+	// borrowed reply port, built once here so each RPC does not allocate
+	// a fresh closure.
+	trimFn func(uint32)
 
 	// replyMu guards replyPool, the cache of temporary reply ports RPC
 	// reuses across calls. Allocating and destroying a port per msg_rpc
@@ -189,6 +209,7 @@ func NewSpace(host machine.HostID, topo *machine.Topology) *Space {
 		topo:   topo,
 		wakeCh: make(chan struct{}),
 	}
+	s.trimFn = func(uint32) { s.trimReplyPool() }
 	for i := range s.shards {
 		s.shards[i].names = make(map[Name]*entry)
 		s.shards[i].enabled = make(map[Name]bool)
@@ -285,7 +306,7 @@ func (s *Space) getReplyPort() (Name, *Port, error) {
 		s.replyMu.Lock()
 		s.replyBorrowed++
 		s.replyMu.Unlock()
-		port.WatchNoSenders(func(uint32) { s.trimReplyPool() })
+		port.WatchNoSenders(s.trimFn)
 	}
 	return name, port, nil
 }
@@ -359,7 +380,17 @@ func (s *Space) putReplyPort(n Name, p *Port) {
 }
 
 // wakeAll wakes every thread blocked in a receive-any on this space.
+// With no thread inside receiveAny it is a single atomic load: a
+// receive-any waiter increments anyParked (sequentially consistent)
+// before it scans any port queue, and state changes that warrant a
+// wakeup (enqueue, dead flags, name-table edits) are published under
+// the locks the scan reads — so a sender observing anyParked == 0 knows
+// any future scan will see its change directly, and skips the channel
+// churn.
 func (s *Space) wakeAll() {
+	if s.anyParked.Load() == 0 {
+		return
+	}
 	s.wakeMu.Lock()
 	close(s.wakeCh)
 	s.wakeCh = make(chan struct{})
@@ -417,7 +448,7 @@ func (s *Space) AllocatePort() (Name, error) {
 		return 0, ErrSpaceDead
 	}
 	p := newPort(s)
-	n, err := s.allocEntry(&entry{port: p, rights: SendRight | ReceiveRight})
+	n, err := s.allocEntry(&entry{port: p, rights: SendRight | ReceiveRight, srefs: 1})
 	if err != nil {
 		return 0, err
 	}
@@ -451,6 +482,15 @@ func (s *Space) DeallocatePort(n Name) error {
 	if !ok {
 		sh.mu.Unlock()
 		return ErrInvalidPort
+	}
+	// A send-only name with outstanding user references just loses one:
+	// each message that delivered a send right here added one (see
+	// entry.srefs), and the name — shared by every concurrent holder —
+	// must survive until the last of them deallocates it.
+	if e.set == nil && e.rights == SendRight && e.srefs > 1 {
+		e.srefs--
+		sh.mu.Unlock()
+		return nil
 	}
 	delete(sh.names, n)
 	delete(sh.enabled, n)
@@ -658,6 +698,13 @@ func (s *Space) InsertRight(p *Port, r Right) (Name, error) {
 		if e, live := sh.names[n]; live && e.port == p {
 			had = e.rights
 			e.rights |= r
+			if r&SendRight != 0 {
+				if had&SendRight != 0 {
+					e.srefs++
+				} else {
+					e.srefs = 1
+				}
+			}
 			sh.mu.Unlock()
 			ps.mu.Unlock()
 			s.applyInsert(p, r, had)
@@ -667,7 +714,11 @@ func (s *Space) InsertRight(p *Port, r Right) (Name, error) {
 		// The index entry was stale (a deallocation raced us); fall
 		// through and install the port under a fresh name.
 	}
-	n, err := s.allocEntry(&entry{port: p, rights: r})
+	fresh := &entry{port: p, rights: r}
+	if r&SendRight != 0 {
+		fresh.srefs = 1
+	}
+	n, err := s.allocEntry(fresh)
 	if err != nil {
 		ps.mu.Unlock()
 		return 0, err

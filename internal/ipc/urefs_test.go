@@ -1,0 +1,98 @@
+package ipc
+
+import (
+	"testing"
+)
+
+// TestSendRightUserRefs: inserting a send right to the same port twice
+// merges onto one name with two user references, and the name survives
+// the first deallocate — the Mach uref discipline. Without it, two
+// in-flight messages carrying rights to the same port alias one name
+// and the first holder's deallocate breaks the second's.
+func TestSendRightUserRefs(t *testing.T) {
+	owner := NewSpace(0, nil)
+	holder := NewSpace(0, nil)
+	defer owner.Destroy()
+	defer holder.Destroy()
+	port, err := owner.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := owner.CopySendRight(holder, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := owner.CopySendRight(holder, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("second insert got fresh name %v, want merged %v", n2, n1)
+	}
+	if err := holder.DeallocatePort(n1); err != nil {
+		t.Fatal(err)
+	}
+	// One reference remains: the right must still work.
+	m := GetMessage()
+	m.RemotePort = n1
+	if err := holder.Send(m, SendOptions{}); err != nil {
+		t.Fatalf("send after first dealloc: %v", err)
+	}
+	r, err := owner.Receive(port, ReceiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	// Second dealloc drops the last reference; the name is gone.
+	if err := holder.DeallocatePort(n1); err != nil {
+		t.Fatal(err)
+	}
+	m2 := GetMessage()
+	m2.RemotePort = n1
+	if err := holder.Send(m2, SendOptions{}); err != ErrInvalidPort {
+		t.Fatalf("send after last dealloc: %v, want ErrInvalidPort", err)
+	}
+	m2.Release()
+}
+
+// TestSendRightUserRefsNoSenders: the no-senders notification fires at
+// the LAST deallocate of a multiply-referenced name, not the first.
+func TestSendRightUserRefsNoSenders(t *testing.T) {
+	owner := NewSpace(0, nil)
+	holder := NewSpace(0, nil)
+	defer owner.Destroy()
+	defer holder.Destroy()
+	port, err := owner.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := owner.Resolve(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := owner.CopySendRight(holder, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.CopySendRight(holder, port); err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 1)
+	p.WatchNoSenders(func(uint32) { fired <- struct{}{} })
+	if err := holder.DeallocatePort(n); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+		t.Fatal("no-senders fired with a reference outstanding")
+	default:
+	}
+	if err := holder.DeallocatePort(n); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	default:
+		t.Fatal("no-senders did not fire at the last dealloc")
+	}
+}

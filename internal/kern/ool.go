@@ -58,8 +58,12 @@ func (k *Kernel) MapOOLRegion(t *Task, region ipc.OutOfLineRegion) (uint64, erro
 	}
 	// Cross-host: a NORMA interconnect has no remote memory access; the
 	// data is read on the sending host and transferred by (charged)
-	// network copy — the software copy-on-reference fallback of §7.
-	buf := make([]byte, r.size)
+	// network copy — the software copy-on-reference fallback of §7. The
+	// staging buffer is a pooled slab: region-sized transfers recycle
+	// their buffers instead of leaving a GC-visible wake.
+	slab := ipc.AllocSlab(int(r.size))
+	defer slab.Release()
+	buf := slab.Bytes()
 	if err := r.k.transit.ReadBytes(r.addr, buf); err != nil {
 		return 0, err
 	}

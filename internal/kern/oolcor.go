@@ -33,7 +33,11 @@ func (cp *corPager) DataRequest(mo *pager.MemoryObject, offset, length uint64, d
 		_ = mo.DataUnavailable(offset, length)
 		return
 	}
-	buf := make([]byte, ps)
+	// DataProvided copies the page into its wire payload, so the pooled
+	// staging slab can be recycled as soon as the call returns.
+	slab := ipc.AllocSlab(int(ps))
+	defer slab.Release()
+	buf := slab.Bytes()
 	if err := cp.k.transit.ReadBytes(cp.addr+offset, buf); err != nil {
 		_ = mo.DataUnavailable(offset, length)
 		return

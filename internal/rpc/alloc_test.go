@@ -1,0 +1,51 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ipc"
+)
+
+// TestRPCAllocBudget pins the pooled RPC round trip under 10
+// allocations per call — the ISSUE/ROADMAP perf-trajectory number —
+// with testing.AllocsPerRun so a regression fails go test, not just a
+// benchmark diff. Steady state is ~1 (the receiver space's name-table
+// entry for the reply right); the budget of 10 absorbs pool refills.
+func TestRPCAllocBudget(t *testing.T) {
+	serverSpace := ipc.NewSpace(0, nil)
+	clientSpace := ipc.NewSpace(0, nil)
+	defer serverSpace.Destroy()
+	defer clientSpace.Destroy()
+	srv, err := NewServer(serverSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := serverSpace.CopySendRight(clientSpace, srv.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Handle(msgEcho, echoHandler)
+	go srv.Run()
+	defer srv.Stop()
+
+	client := NewClient(clientSpace, svc, 10*time.Second)
+	payload := NewEnc().U64(42).Payload()
+	req := NewEnc()
+	call := func() {
+		resp, err := client.Call(msgEcho, req.Reset().Tail(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != StatusOK {
+			t.Fatal(resp.Status)
+		}
+		resp.Release()
+	}
+	for i := 0; i < 100; i++ {
+		call()
+	}
+	if avg := testing.AllocsPerRun(200, call); avg >= 10 {
+		t.Fatalf("pooled RPC round trip allocates %.2f/op, budget is <10", avg)
+	}
+}

@@ -41,15 +41,20 @@ func BenchmarkRPCRoundTrip(b *testing.B) {
 		defer srv.Stop()
 		client.Space.SetReplyPortCache(pooled)
 		payload := NewEnc().U64(42).Payload()
+		// The full pooled discipline: one request encoder reused across
+		// calls (safe — Call is synchronous, the server consumed the
+		// request before replying) and every Resp released once read.
+		req := NewEnc()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			resp, err := client.Call(msgEcho, NewEnc().Tail(payload))
+			resp, err := client.Call(msgEcho, req.Reset().Tail(payload))
 			if err != nil {
 				b.Fatal(err)
 			}
 			if resp.Status != StatusOK {
 				b.Fatal(resp.Status)
 			}
+			resp.Release()
 		}
 	}
 	b.Run("pooled-reply-port", func(b *testing.B) { run(b, true) })

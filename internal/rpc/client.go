@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/ipc"
@@ -38,14 +39,34 @@ type Resp struct {
 	// Status is the server's canonical status for the call.
 	Status Status
 	// Dec reads the result fields (valid only when Status is StatusOK;
-	// error replies carry no result fields).
+	// error replies carry no result fields). It points at the Resp's
+	// own embedded decoder.
 	Dec *Dec
 	// Msg is the raw reply message.
 	Msg *ipc.Message
+
+	dec Dec
 }
+
+var respPool = sync.Pool{New: func() any { return new(Resp) }}
 
 // Err maps the reply status to its sentinel error (nil for StatusOK).
 func (r *Resp) Err() error { return r.Status.Err() }
+
+// Release recycles the reply message and the Resp itself into their
+// pools. Optional — an unreleased Resp is simply collected — but the
+// allocation-free call path needs it. Call it only once every result
+// has been extracted: the decoder, the raw message and any byte slices
+// read from the reply all become invalid.
+func (r *Resp) Release() {
+	m := r.Msg
+	if m == nil {
+		return
+	}
+	*r = Resp{}
+	respPool.Put(r)
+	m.Release()
+}
 
 // Call sends one typed request and waits for the reply. req may be nil
 // for calls without arguments; extra sections (port rights, regions)
@@ -58,23 +79,33 @@ func (c *Client) Call(id ipc.MsgID, req *Enc, extra ...ipc.Section) (*Resp, erro
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	sections := make([]ipc.Section, 0, 1+len(extra))
-	sections = append(sections, ipc.InlineBytes(req.Payload()))
-	sections = append(sections, extra...)
-	reply, err := c.Space.RPC(&ipc.Message{
-		ID:         id,
-		RemotePort: c.Svc,
-		Sections:   sections,
-	}, timeout, timeout)
+	m := ipc.GetMessage()
+	m.ID = id
+	m.RemotePort = c.Svc
+	m.AppendInline(req.Payload())
+	for i := range extra {
+		m.AppendSection(extra[i])
+	}
+	reply, err := c.Space.RPC(m, timeout, timeout)
 	if err != nil {
+		// The request may still be queued (a receive timeout does not
+		// unsend it), so it cannot be recycled here; the server releases
+		// it after serving.
 		return nil, err
 	}
-	d := NewDec(reply.InlineData())
-	st := d.Status()
-	if err := d.Err(); err != nil {
+	r := respPool.Get().(*Resp)
+	r.dec.Reset(reply.InlineData())
+	st := r.dec.Status()
+	if err := r.dec.Err(); err != nil {
+		*r = Resp{}
+		respPool.Put(r)
+		reply.Release()
 		return nil, err
 	}
-	return &Resp{Status: st, Dec: d, Msg: reply}, nil
+	r.Status = st
+	r.Dec = &r.dec
+	r.Msg = reply
+	return r, nil
 }
 
 // Invoke is Call for the common case where any non-OK status is an

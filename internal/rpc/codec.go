@@ -96,6 +96,15 @@ func (e *Enc) Tail(b []byte) *Enc {
 	return e
 }
 
+// Reset empties the encoder for reuse, keeping the buffer capacity. A
+// caller may only reset an encoder whose previous payload is no longer
+// referenced — for a synchronous Call that is as soon as the call
+// returns, since the server consumed the request before replying.
+func (e *Enc) Reset() *Enc {
+	e.buf = e.buf[:0]
+	return e
+}
+
 // Payload returns the encoded bytes.
 func (e *Enc) Payload() []byte {
 	if e == nil {
@@ -117,6 +126,10 @@ type Dec struct {
 
 // NewDec returns a decoder positioned at the start of b.
 func NewDec(b []byte) *Dec { return &Dec{buf: b} }
+
+// Reset repositions the decoder at the start of b, clearing any sticky
+// error.
+func (d *Dec) Reset(b []byte) { *d = Dec{buf: b} }
 
 // Err returns the sticky decode error, nil if every read so far fit.
 func (d *Dec) Err() error { return d.err }

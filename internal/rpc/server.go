@@ -14,6 +14,11 @@ import (
 // decoder positioned at the start of the request payload. Returning a
 // non-nil error sends an error reply carrying StatusOf(err); returning
 // (nil, nil) sends no reply (for one-way notifications).
+//
+// m, d and the returned Reply are recycled by the server once the
+// handler's reply has been sent: a handler must not retain any of them
+// past its return (decoded values, names and regions are the caller's
+// to keep; the carrier objects are not).
 type HandlerFunc func(m *ipc.Message, d *Dec) (*Reply, error)
 
 // Reply is a successful reply under construction: the typed result
@@ -26,8 +31,27 @@ type Reply struct {
 	release  []ipc.Name
 }
 
-// NewReply returns an empty reply builder.
-func NewReply() *Reply { return &Reply{} }
+var (
+	replyPool = sync.Pool{New: func() any { return new(Reply) }}
+	decPool   = sync.Pool{New: func() any { return new(Dec) }}
+)
+
+// NewReply returns an empty reply builder. Builders are pooled: the
+// server recycles one after sending the reply it describes, so handlers
+// on the fast path construct replies without allocating.
+func NewReply() *Reply { return replyPool.Get().(*Reply) }
+
+// recycle resets a fully consumed Reply (its payload copied into the
+// wire message, its sections sent) and repools it.
+func (r *Reply) recycle() {
+	r.buf = r.buf[:0]
+	for i := range r.sections {
+		r.sections[i] = ipc.Section{}
+	}
+	r.sections = r.sections[:0]
+	r.release = r.release[:0]
+	replyPool.Put(r)
+}
 
 // Carry appends a message section (a port right or an out-of-line
 // region) to the reply body.
@@ -149,6 +173,7 @@ func (s *Server) Run() {
 			s.ch <- m
 		} else {
 			s.serve(m)
+			m.Release()
 		}
 	}
 }
@@ -161,6 +186,7 @@ func (s *Server) startPool() {
 			defer s.wg.Done()
 			for m := range s.ch {
 				s.serve(m)
+				m.Release()
 			}
 		}()
 	}
@@ -210,6 +236,7 @@ func (s *Server) ServePorts(others ...*Server) error {
 		if srv, ok := byPort[m.LocalPort]; ok {
 			srv.serve(m)
 		}
+		m.Release()
 	}
 }
 
@@ -258,14 +285,20 @@ func (s *Server) StopWhenUnreferenced(w *lifecycle.Watcher) error {
 // tasks whose receive loop lives elsewhere (pager.Manager's Default).
 func (s *Server) Dispatch(m *ipc.Message) { s.serve(m) }
 
-// serve looks up the handler and sends the reply.
+// serve looks up the handler and sends the reply. The request message
+// itself is NOT recycled here: loop modes that own their messages (Run,
+// ServePorts, the worker pool) release it after serve returns, while
+// Dispatch leaves ownership with the embedding receive loop.
 func (s *Server) serve(m *ipc.Message) {
 	fn, ok := s.handlers[m.ID]
 	if !ok {
 		s.replyStatus(m, StatusBadID, nil)
 		return
 	}
-	r, err := fn(m, NewDec(m.InlineData()))
+	d := decPool.Get().(*Dec)
+	d.Reset(m.InlineData())
+	r, err := fn(m, d)
+	decPool.Put(d)
 	if err != nil {
 		s.replyStatus(m, StatusOf(err), nil)
 		return
@@ -279,6 +312,7 @@ func (s *Server) serve(m *ipc.Message) {
 		return
 	}
 	s.replyStatus(m, StatusOK, r)
+	r.recycle()
 }
 
 // replyStatus sends [status][result fields][sections] to the request's
@@ -305,18 +339,23 @@ func (s *Server) replyStatus(m *ipc.Message, st Status, r *Reply) {
 		body = r.Payload()
 		extra = r.sections
 	}
-	payload := make([]byte, 0, 1+len(body))
-	payload = append(payload, byte(st))
-	payload = append(payload, body...)
-	sections := make([]ipc.Section, 0, 1+len(extra))
-	sections = append(sections, ipc.InlineBytes(payload))
-	sections = append(sections, extra...)
+	rm := ipc.GetMessage()
+	rm.ID = m.ID
+	rm.RemotePort = m.RemotePort
+	// The status byte and result fields are copied into the reply
+	// message's own scratch buffer, which travels (and is recycled)
+	// with it — the Reply builder is free for reuse the moment this
+	// returns.
+	rm.InlineCopy([]byte{byte(st)}, body)
+	for i := range extra {
+		rm.AppendSection(extra[i])
+	}
 	// Replies are forced past the backlog: a server must never block on
 	// a slow client.
-	_ = s.Space.Send(&ipc.Message{
-		ID:         m.ID,
-		RemotePort: m.RemotePort,
-		Sections:   sections,
-	}, ipc.SendOptions{Force: true})
+	if err := s.Space.Send(rm, ipc.SendOptions{Force: true}); err != nil {
+		// Undeliverable (the client died): Send already disposed of the
+		// carried rights, so the message can go straight back.
+		rm.Release()
+	}
 	_ = s.Space.DeallocatePort(m.RemotePort)
 }

@@ -234,3 +234,55 @@ func TestStop(t *testing.T) {
 		t.Fatal("call succeeded after Stop")
 	}
 }
+
+// TestWorkerPoolSerialClients: several clients each issue back-to-back
+// calls against a multi-worker server. Consecutive calls from one
+// client reuse its cached reply port, so the server repeatedly receives
+// send rights to the same port while another worker deallocates the
+// name from the previous call — the aliasing that loses replies unless
+// send-right user references (entry.srefs) keep the shared name alive.
+// Regression test for a 30s-timeout hang found by the multicore RPC
+// benchmark.
+func TestWorkerPoolSerialClients(t *testing.T) {
+	srv, _, _ := testPair(t, WithWorkers(4))
+	srv.Handle(msgEcho, echoHandler)
+	go srv.Run()
+	defer srv.Stop()
+
+	const (
+		clients = 4
+		calls   = 300
+	)
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		clientSpace := ipc.NewSpace(0, nil)
+		defer clientSpace.Destroy()
+		svc, err := srv.Space.CopySendRight(clientSpace, srv.Port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := NewClient(clientSpace, svc, 5*time.Second)
+		go func() {
+			req := NewEnc()
+			for i := 0; i < calls; i++ {
+				resp, err := client.Call(msgEcho, req.Reset().U32(uint32(i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Status != StatusOK || resp.Dec.U32() != uint32(i) {
+					resp.Release()
+					errs <- errors.New("bad echo")
+					return
+				}
+				resp.Release()
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

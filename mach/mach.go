@@ -179,7 +179,19 @@ var (
 	CarryRight = ipc.CarryRight
 	// CarryRegion builds an out-of-line section (moved copy-on-write).
 	CarryRegion = ipc.CarryRegion
+	// GetMessage returns a pooled empty message — the allocation-free
+	// send path. Build it with AppendInline/AppendSection/InlineCopy;
+	// the final owner (normally the receiver) recycles it with
+	// Message.Release.
+	GetMessage = ipc.GetMessage
+	// AllocSlab draws a pooled byte buffer from a power-of-two size
+	// class for out-of-line payload staging; release it with
+	// Slab.Release when no message references it anymore.
+	AllocSlab = ipc.AllocSlab
 )
+
+// Slab is a pooled out-of-line payload buffer (see AllocSlab).
+type Slab = ipc.Slab
 
 // --- port sets ---------------------------------------------------------------
 
@@ -270,6 +282,9 @@ type (
 func NewRPCServer(space *Space, opts ...rpc.Option) (*RPCServer, error) {
 	return rpc.NewServer(space, opts...)
 }
+
+// WithRPCWorkers sizes the server's worker pool (default 1, serial).
+var WithRPCWorkers = rpc.WithWorkers
 
 // NewRPCClient builds a typed client for a published service port.
 func NewRPCClient(space *Space, svc Name, timeout time.Duration) *RPCClient {
