@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 0.3s
 # Every package that defines benchmarks. bench and bench-smoke must
 # cover all of them so benchmark code can never silently rot.
-BENCH_PKGS = . ./internal/ipc ./internal/rpc
+BENCH_PKGS = . ./internal/ipc ./internal/rpc ./internal/iomgr ./internal/pager ./internal/camelot
 
 .PHONY: all build vet fmt fmt-check test race bench bench-trajectory bench-smoke fuzz crosshost
 

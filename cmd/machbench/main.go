@@ -37,6 +37,7 @@ var all = []struct {
 	{"E8", experiments.E8FaultPath, "fault path costs and memory-failure policies"},
 	{"E9", experiments.E9Ablations, "ablations: COW fork, copy-on-reference OOL, pageout target"},
 	{"E10", experiments.E10NetmsgCrossHost, "cross-host RPC: direct vs netmsg proxy relay"},
+	{"E11", experiments.E11DurableIO, "durable storage: frame pool over real files, group-committed WAL"},
 }
 
 func main() {

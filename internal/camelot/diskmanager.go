@@ -82,8 +82,14 @@ type DiskManager struct {
 	rpc    *rpc.Server
 	lc     *lifecycle.Watcher
 
-	dataDisk *machine.Disk
-	logDisk  *machine.Disk
+	// dataDisk holds recoverable segment pages: a simulated
+	// machine.Disk, or a FileVolume / FramePool for a durable manager.
+	dataDisk pager.BlockStore
+	// wal is the write-ahead log device.
+	wal *WAL
+	// durable carries the real-file resources of a durable manager
+	// (nil for the simulated constructor).
+	durable *durableState
 
 	mu       sync.Mutex
 	segments map[string]*segment
@@ -108,8 +114,16 @@ type DiskManager struct {
 }
 
 // NewDiskManager starts a disk manager on kernel k with separate data and
-// log disks (the data disk's block size must equal the page size).
+// log disks (the data disk's block size must equal the page size). The
+// simulated-disk manager: writes are instantly durable, the clock is
+// charged per operation — the deterministic experiments run here. For a
+// manager over real files see NewDurableDiskManager.
 func NewDiskManager(k *kern.Kernel, dataDisk, logDisk *machine.Disk) (*DiskManager, error) {
+	return newManager(k, dataDisk, NewSimWAL(logDisk))
+}
+
+// newManager wires a disk manager over any data store and log device.
+func newManager(k *kern.Kernel, dataDisk pager.BlockStore, wal *WAL) (*DiskManager, error) {
 	if uint64(dataDisk.BlockSize()) != k.VM.PageSize() {
 		return nil, errors.New("camelot: data disk block size must equal page size")
 	}
@@ -117,7 +131,7 @@ func NewDiskManager(k *kern.Kernel, dataDisk, logDisk *machine.Disk) (*DiskManag
 		kernel:   k,
 		task:     k.NewTask(),
 		dataDisk: dataDisk,
-		logDisk:  logDisk,
+		wal:      wal,
 		segments: make(map[string]*segment),
 		bySegID:  make(map[uint32]*segment),
 		byObject: make(map[ipc.Name]*segment),
@@ -168,6 +182,18 @@ func (dm *DiskManager) Stats() Stats {
 	return dm.stats
 }
 
+// WAL exposes the manager's log device (stats, fault injection).
+func (dm *DiskManager) WAL() *WAL { return dm.wal }
+
+// IOCounters reports the data store's real-I/O counters (zero for a
+// bare simulated disk without counter support).
+func (dm *DiskManager) IOCounters() pager.IOCounters {
+	if cs, ok := dm.dataDisk.(pager.CounterStore); ok {
+		return cs.Counters()
+	}
+	return pager.IOCounters{}
+}
+
 // Publish hands a client task a send right to the service port.
 func (dm *DiskManager) Publish(client *kern.Task) (ipc.Name, error) {
 	return dm.task.Space.CopySendRight(client.Space, dm.ServicePort)
@@ -186,8 +212,12 @@ func (dm *DiskManager) appendRecord(r record) uint64 {
 	return r.lsn
 }
 
-// forceLog writes buffered records through lsn to the log disk. Lock
-// held. Log block b holds the record with LSN b+1.
+// forceLog writes buffered records through lsn to the log device. Lock
+// held. Log block b holds the record with LSN b+1. On a durable
+// manager this only SUBMITS the record writes (forcedLSN means
+// "written"); callers needing stable storage follow up with
+// dm.wal.Force(lsn) OUTSIDE the lock, so concurrent committers can
+// group-commit onto a shared fsync.
 func (dm *DiskManager) forceLog(lsn uint64) {
 	if lsn <= dm.forcedLSN {
 		return
@@ -196,7 +226,7 @@ func (dm *DiskManager) forceLog(lsn uint64) {
 	for len(dm.buffer) > 0 && dm.buffer[0].lsn <= lsn {
 		r := dm.buffer[0]
 		dm.buffer = dm.buffer[1:]
-		dm.logDisk.Write(int(r.lsn-1), encodeRecord(&r, dm.logDisk.BlockSize()))
+		dm.wal.Append(r.lsn, encodeRecord(&r, dm.wal.BlockSize()))
 		dm.forcedLSN = r.lsn
 	}
 }
@@ -256,13 +286,22 @@ func (h *dmHandler) DataWrite(mo *pager.MemoryObject, offset uint64, data []byte
 		dm.mu.Unlock()
 		return
 	}
-	if lsn := dm.pageLSN[pageKey(seg.id, uint64(idx))]; lsn > dm.forcedLSN {
+	pageLSN := dm.pageLSN[pageKey(seg.id, uint64(idx))]
+	if pageLSN > dm.forcedLSN {
 		dm.stats.WALForces++
-		dm.forceLog(lsn)
+		dm.forceLog(pageLSN)
 	}
 	blk := seg.blocks[idx]
 	dm.stats.PageWrites++
 	dm.mu.Unlock()
+	// The WAL invariant on a real device: the page's records must be on
+	// STABLE storage, not merely submitted, before the page overwrites
+	// its disk block. If the log device is dead the page write is
+	// dropped — losing a cached page is recoverable, violating
+	// write-ahead is not.
+	if err := dm.wal.Force(pageLSN); err != nil {
+		return
+	}
 	dm.dataDisk.Write(blk, data)
 }
 
@@ -311,6 +350,13 @@ func (dm *DiskManager) createSegment(name string, size uint64) (*segment, error)
 	seg.mo = mo
 	dm.byObject[mo.Port] = seg
 	dm.mu.Unlock()
+	// A durable manager persists the segment table before the creator
+	// hears the segment exists.
+	if dm.durable != nil {
+		if err := dm.saveCatalog(); err != nil {
+			return nil, err
+		}
+	}
 	return seg, nil
 }
 
@@ -352,7 +398,7 @@ func (dm *DiskManager) handleLogAppend(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, 
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	if max := MaxUpdate(dm.logDisk.BlockSize()); len(old) > max || len(newData) > max {
+	if max := MaxUpdate(dm.wal.BlockSize()); len(old) > max || len(newData) > max {
 		return nil, rpc.Errf(rpc.StatusTooLarge, "camelot: update exceeds log record capacity")
 	}
 
@@ -372,7 +418,11 @@ func (dm *DiskManager) handleLogAppend(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, 
 	return rpc.NewReply(), nil
 }
 
-// handleOutcome logs commit/abort; commit also forces the log (permanence).
+// handleOutcome logs commit/abort; commit also forces the log
+// (permanence). The durability barrier runs OUTSIDE the manager lock —
+// the reply is sent only once the commit record is on stable storage,
+// and a log-device failure surfaces to the client as a failed commit
+// instead of a silent loss.
 func (dm *DiskManager) handleOutcome(d *rpc.Dec, kind recordKind) (*rpc.Reply, error) {
 	tx := d.U64()
 	if err := d.Err(); err != nil {
@@ -388,6 +438,15 @@ func (dm *DiskManager) handleOutcome(d *rpc.Dec, kind recordKind) (*rpc.Reply, e
 		dm.stats.Aborts++
 	}
 	dm.mu.Unlock()
+	if kind == recCommit {
+		if err := dm.wal.Force(lsn); err != nil {
+			dm.mu.Lock()
+			delete(dm.outcomes, tx)
+			dm.stats.Commits--
+			dm.mu.Unlock()
+			return nil, rpc.Errf(rpc.StatusServerErr, "camelot: log force: %v", err)
+		}
+	}
 	return rpc.NewReply(), nil
 }
 
@@ -402,11 +461,13 @@ func (dm *DiskManager) reapSegment(n ipc.Name) {
 		return
 	}
 	dm.forceLog(dm.nextLSN)
+	lsn := dm.forcedLSN
 	for pg := range seg.blocks {
 		delete(dm.pageLSN, pageKey(seg.id, uint64(pg)))
 	}
 	dm.stats.SegmentReaps++
 	dm.mu.Unlock()
+	_ = dm.wal.Force(lsn)
 }
 
 // --- crash and recovery -------------------------------------------------------
@@ -434,17 +495,8 @@ func (dm *DiskManager) Crash() {
 // the number of updates applied.
 func (dm *DiskManager) Recover() int {
 	ps := int(dm.kernel.VM.PageSize())
-	// Read the log from disk.
-	var recs []record
-	buf := make([]byte, dm.logDisk.BlockSize())
-	for blk := 0; blk < dm.logDisk.Blocks(); blk++ {
-		dm.logDisk.Read(blk, buf)
-		r, ok := decodeRecord(buf)
-		if !ok || r.lsn != uint64(blk+1) {
-			break
-		}
-		recs = append(recs, r)
-	}
+	// Read the log from the device.
+	recs := dm.wal.scan()
 	applied := 0
 	apply := func(segID uint32, offset uint64, data []byte) {
 		dm.mu.Lock()

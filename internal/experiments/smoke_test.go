@@ -6,7 +6,7 @@ import (
 )
 
 func TestRunAll(t *testing.T) {
-	for _, f := range []func() Table{E2MessageCopyVsCOW, E3UnixCacheVsMach, E4ArchLatency, E5SharedMemoryLocality, E6Migration, E7CamelotWAL, E8FaultPath, E9Ablations} {
+	for _, f := range []func() Table{E2MessageCopyVsCOW, E3UnixCacheVsMach, E4ArchLatency, E5SharedMemoryLocality, E6Migration, E7CamelotWAL, E8FaultPath, E9Ablations, E11DurableIO} {
 		tb := f()
 		tb.Render(os.Stdout)
 	}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package iomgr
+
+import "errors"
+
+// newUringBackend is unavailable off Linux; Open falls back to the
+// worker-pool backend (or fails when Backend: "uring" was forced).
+func newUringBackend(f *File) (backend, error) {
+	return nil, errors.New("iomgr: io_uring backend requires linux")
+}

@@ -37,8 +37,17 @@ type Config struct {
 	// exchange messages. A private one is created if nil.
 	Topo *machine.Topology
 	// PagingDisk backs the default pager. A disk of 8x physical
-	// memory is created if nil.
+	// memory is created if nil (and PagingStore is nil).
 	PagingDisk *machine.Disk
+	// PagingStore, when non-nil, backs the default pager instead of
+	// PagingDisk: any pager.BlockStore — typically an iomgr-backed
+	// pager.FileVolume so anonymous memory pages to a real file.
+	PagingStore pager.BlockStore
+	// PagingFrames, when > 0, interposes a pager.FramePool of that
+	// many page frames between the default pager and its backing
+	// store: faults hit resident frames without device I/O, dirty
+	// pages write back on eviction under clock rotation.
+	PagingFrames int
 	// Fault is the memory-failure policy (§6.2.1).
 	Fault vm.FaultPolicy
 	// NoDefaultPager disables the default pager bootstrap (anonymous
@@ -131,20 +140,27 @@ func NewKernel(cfg Config) *Kernel {
 	k.nm = nm
 
 	if !cfg.NoDefaultPager {
-		disk := cfg.PagingDisk
-		if disk == nil {
-			disk = machine.NewDisk(cfg.Frames*8, cfg.PageSize, machine.DefaultDiskLatency, cfg.Clock)
+		store := cfg.PagingStore
+		if store == nil {
+			if cfg.PagingDisk != nil {
+				store = cfg.PagingDisk
+			} else {
+				store = machine.NewDisk(cfg.Frames*8, cfg.PageSize, machine.DefaultDiskLatency, cfg.Clock)
+			}
 		}
-		k.bootDefaultPager(disk)
+		if cfg.PagingFrames > 0 {
+			store = pager.NewFramePool(store, cfg.PagingFrames)
+		}
+		k.bootDefaultPager(store)
 	}
 	return k
 }
 
 // bootDefaultPager starts the trusted default pager as a manager task and
 // wires the pager_create path.
-func (k *Kernel) bootDefaultPager(disk *machine.Disk) {
+func (k *Kernel) bootDefaultPager(store pager.BlockStore) {
 	k.dpSpace = ipc.NewSpace(k.host, k.topo)
-	k.dp = pager.NewDefaultPager(disk)
+	k.dp = pager.NewDefaultPagerStore(store)
 	k.dpMgr = pager.NewManager(k.dpSpace, k.dp)
 	boot, err := k.dpSpace.AllocatePort()
 	if err != nil {

@@ -15,12 +15,13 @@ import (
 // manager"); pages that have never been written are reported unavailable
 // so the kernel zero-fills them.
 type DefaultPager struct {
-	disk *machine.Disk
+	store BlockStore
 
 	mu      sync.Mutex
-	free    []int                      // free disk blocks
+	free    []int                      // free-block LIFO (O(1) alloc/release)
 	blocks  map[*MemoryObject]blockMap // per-object offset -> block
 	nextBlk int
+	backing int // total occupied blocks (O(1) BackingPages)
 }
 
 type blockMap map[uint64]int
@@ -28,20 +29,30 @@ type blockMap map[uint64]int
 // NewDefaultPager builds a default pager over a disk whose block size
 // must equal the system page size.
 func NewDefaultPager(disk *machine.Disk) *DefaultPager {
+	return NewDefaultPagerStore(disk)
+}
+
+// NewDefaultPagerStore builds a default pager over any BlockStore — a
+// simulated machine.Disk, an iomgr-backed FileVolume, or a FramePool
+// buffering either. This is how the default pager becomes a real
+// disk-backed pager: hand it a FileVolume (usually under a FramePool)
+// and its pages live in a file instead of the Go heap.
+func NewDefaultPagerStore(store BlockStore) *DefaultPager {
 	return &DefaultPager{
-		disk:   disk,
+		store:  store,
 		blocks: make(map[*MemoryObject]blockMap),
 	}
 }
 
-// allocBlock hands out a disk block, preferring freed ones.
+// allocBlock hands out a disk block from the free-list (freed blocks
+// first, then the high-water mark) — O(1) per page-out, never a scan.
 func (dp *DefaultPager) allocBlock() (int, bool) {
 	if n := len(dp.free); n > 0 {
 		b := dp.free[n-1]
 		dp.free = dp.free[:n-1]
 		return b, true
 	}
-	if dp.nextBlk >= dp.disk.Blocks() {
+	if dp.nextBlk >= dp.store.Blocks() {
 		return 0, false // backing store full
 	}
 	b := dp.nextBlk
@@ -77,8 +88,8 @@ func (dp *DefaultPager) DataRequest(mo *MemoryObject, offset, length uint64, des
 		_ = mo.DataUnavailable(offset, length)
 		return
 	}
-	buf := make([]byte, dp.disk.BlockSize())
-	dp.disk.Read(blk, buf)
+	buf := make([]byte, dp.store.BlockSize())
+	dp.store.Read(blk, buf)
 	_ = mo.DataProvided(offset, buf, vm.ProtNone)
 }
 
@@ -99,9 +110,10 @@ func (dp *DefaultPager) DataWrite(mo *MemoryObject, offset uint64, data []byte) 
 			return // backing store exhausted; drop (kernel data loss, as a full paging disk would)
 		}
 		bm[offset] = blk
+		dp.backing++
 	}
 	dp.mu.Unlock()
-	dp.disk.Write(blk, data)
+	dp.store.Write(blk, data)
 }
 
 // DataUnlock never fires: the default pager sets no locks.
@@ -115,18 +127,38 @@ func (dp *DefaultPager) PortDeath(mo *MemoryObject) {
 	for _, blk := range dp.blocks[mo] {
 		dp.free = append(dp.free, blk)
 	}
+	dp.backing -= len(dp.blocks[mo])
 	delete(dp.blocks, mo)
 	dp.mu.Unlock()
 	mo.mgr.Remove(mo)
 }
 
-// BackingPages returns how many pages currently occupy backing store.
+// BackingPages returns how many pages currently occupy backing store
+// (an O(1) counter, not a table walk).
 func (dp *DefaultPager) BackingPages() int {
 	dp.mu.Lock()
 	defer dp.mu.Unlock()
-	n := 0
-	for _, bm := range dp.blocks {
-		n += len(bm)
+	return dp.backing
+}
+
+// Store returns the pager's backing BlockStore (counter surfacing).
+func (dp *DefaultPager) Store() BlockStore { return dp.store }
+
+// Counters reports the backing store's real-I/O counters: iomgr and
+// frame-pool traffic for file-backed stores, operation counts for a
+// simulated machine.Disk.
+func (dp *DefaultPager) Counters() IOCounters {
+	switch s := dp.store.(type) {
+	case CounterStore:
+		return s.Counters()
+	case *machine.Disk:
+		st := s.Stats()
+		return IOCounters{
+			Reads:        st.Reads,
+			Writes:       st.Writes,
+			BytesRead:    st.Reads * int64(s.BlockSize()),
+			BytesWritten: st.Writes * int64(s.BlockSize()),
+		}
 	}
-	return n
+	return IOCounters{}
 }

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/camelot"
 	"repro/internal/fs"
+	"repro/internal/iomgr"
 	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/lifecycle"
@@ -407,6 +408,49 @@ type (
 // NewManager wraps a space and handler into a manager service loop.
 func NewManager(space *Space, h Handler) *Manager { return pager.NewManager(space, h) }
 
+// --- durable storage & the I/O manager ----------------------------------------
+
+// The asynchronous block I/O subsystem: iomgr files submit ReadAt /
+// WriteAt / Fsync operations into a submission ring drained in batches
+// by an io_uring backend (Linux) or a portable worker pool — identical
+// semantics either way. A FileVolume is a BlockStore over such a file,
+// a FramePool is a frame-table buffer cache over any BlockStore, and a
+// DefaultPager layered on either pages real files instead of the Go
+// heap (Config.PagingStore / Config.PagingFrames boot a kernel that
+// way).
+type (
+	// IOFile is an asynchronous-I/O file handle (see IOOpen).
+	IOFile = iomgr.File
+	// IOOp is one in-flight operation; Await blocks for completion.
+	IOOp = iomgr.Op
+	// IOOptions selects backend, queue depth and worker count.
+	IOOptions = iomgr.Options
+	// IOStats are a file's submission/completion counters.
+	IOStats = iomgr.Stats
+	// BlockStore is the device interface the pager stack pages against.
+	BlockStore = pager.BlockStore
+	// FileVolume is a BlockStore over a real file through the I/O
+	// manager.
+	FileVolume = pager.FileVolume
+	// FramePool is a frame-table buffer cache over a BlockStore.
+	FramePool = pager.FramePool
+	// IOCounters aggregate real device and frame-pool traffic.
+	IOCounters = pager.IOCounters
+)
+
+// IOOpen opens (or creates, with Options.Create) a file for
+// asynchronous I/O.
+var IOOpen = iomgr.Open
+
+// OpenFileVolume opens a block volume backed by a real file.
+var OpenFileVolume = pager.OpenFileVolume
+
+// NewFramePool builds a buffer pool of nframes slab-backed frames.
+var NewFramePool = pager.NewFramePool
+
+// NewDefaultPagerStore builds a default pager over any BlockStore.
+var NewDefaultPagerStore = pager.NewDefaultPagerStore
+
 // --- application suite ------------------------------------------------------------
 
 // Minimal filesystem (§4.1).
@@ -463,9 +507,24 @@ type (
 	CamelotTx          = camelot.Tx
 )
 
-// NewCamelotDiskManager creates the write-ahead-logging disk manager.
+// NewCamelotDiskManager creates the write-ahead-logging disk manager
+// over simulated disks (instant durability, deterministic clock).
 func NewCamelotDiskManager(k *Kernel, dataDisk, logDisk *Disk) (*CamelotDiskManager, error) {
 	return camelot.NewDiskManager(k, dataDisk, logDisk)
+}
+
+// CamelotDurableOptions sizes a real-file disk manager.
+type CamelotDurableOptions = camelot.DurableOptions
+
+// CamelotWALStats counts log-device appends, forces and (group-
+// committed) fsyncs.
+type CamelotWALStats = camelot.WALStats
+
+// NewDurableCamelotDiskManager creates a disk manager whose segments,
+// write-ahead log and catalog live in real files under dir; reopening
+// the directory after a crash recovers exactly the committed state.
+func NewDurableCamelotDiskManager(k *Kernel, dir string, o CamelotDurableOptions) (*CamelotDiskManager, error) {
+	return camelot.NewDurableDiskManager(k, dir, o)
 }
 
 // CamelotOpen connects a task to a disk manager service port.
