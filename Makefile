@@ -10,9 +10,22 @@ BENCHTIME ?= 0.3s
 # cover all of them so benchmark code can never silently rot.
 BENCH_PKGS = . ./internal/ipc ./internal/rpc ./internal/iomgr ./internal/pager ./internal/camelot
 
-.PHONY: all build vet fmt fmt-check test race bench bench-trajectory bench-smoke fuzz crosshost
+.PHONY: all build vet fmt fmt-check test race bench bench-trajectory bench-smoke fuzz crosshost generate generate-check
 
-all: build vet fmt-check test
+all: build vet fmt-check generate-check test
+
+# generate re-runs machgen over the interface definitions in
+# internal/idl/defs, rewriting zz_generated_machgen.go files that
+# changed.
+generate:
+	$(GO) generate ./...
+
+# generate-check fails if the committed generated code drifts from the
+# definitions (CI runs this, so defs and output can never disagree).
+generate-check: generate
+	@git diff --exit-code -- '*zz_generated_machgen.go' || { \
+		echo "generated code is stale: run 'make generate' and commit" >&2; exit 1; \
+	}
 
 build:
 	$(GO) build ./...
@@ -37,7 +50,9 @@ race:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rpc
+	$(GO) test -run '^$$' -fuzz=FuzzBatchMatch -fuzztime=5s ./internal/rpc
 	$(GO) test -run '^$$' -fuzz=FuzzReceiveFromSet -fuzztime=5s ./internal/ipc
+	$(GO) test -run '^$$' -fuzz=FuzzGeneratedReplyDecode -fuzztime=5s ./internal/fs
 
 # bench runs every benchmark package with -benchmem and serializes the
 # combined output into the next BENCH_<n>.json trajectory point (see

@@ -1,0 +1,743 @@
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"reflect"
+	"strings"
+
+	"repro/internal/idl"
+)
+
+// fieldKind is the wire mapping of one struct field (see the package
+// comment of internal/idl for the full mapping table).
+type fieldKind int
+
+const (
+	kU8 fieldKind = iota
+	kU16
+	kU32
+	kU64
+	kName
+	kStatus
+	kString
+	kBytes
+	kTail
+	kRegion
+	kRight
+	kStringList
+	kStructList
+)
+
+// aliasing reports whether a decoded field of this kind shares storage
+// with the message buffer — such replies must not be released back to
+// the pool by the generated stub.
+func (k fieldKind) aliasing() bool { return k == kBytes || k == kTail }
+
+// section reports whether the field rides the message's section list
+// instead of the inline payload.
+func (k fieldKind) section() bool { return k == kRegion || k == kRight }
+
+type fieldInfo struct {
+	name string
+	kind fieldKind
+	// elem is the element type name for kStructList, with elemFields
+	// its inline wire fields.
+	elem       string
+	elemFields []fieldInfo
+}
+
+// goType renders the field's declared type in the generated struct.
+func (f fieldInfo) goType() string {
+	switch f.kind {
+	case kU8:
+		return "uint8"
+	case kU16:
+		return "uint16"
+	case kU32:
+		return "uint32"
+	case kU64:
+		return "uint64"
+	case kName, kRight:
+		return "ipc.Name"
+	case kStatus:
+		return "rpc.Status"
+	case kString:
+		return "string"
+	case kBytes, kTail:
+		return "[]byte"
+	case kRegion:
+		return "ipc.OutOfLineRegion"
+	case kStringList:
+		return "[]string"
+	case kStructList:
+		return "[]" + f.elem
+	}
+	panic("unreachable")
+}
+
+// parseStruct reflects a defs prototype into its wire fields, in
+// declaration order.
+func parseStruct(proto any, allowSections bool) ([]fieldInfo, error) {
+	t := reflect.TypeOf(proto)
+	if t == nil || t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("prototype is %v, want a struct", t)
+	}
+	var out []fieldInfo
+	sawTail := false
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		fi := fieldInfo{name: f.Name}
+		tag := f.Tag.Get("mach")
+		switch tag {
+		case "tail":
+			if f.Type.Kind() != reflect.Slice || f.Type.Elem().Kind() != reflect.Uint8 {
+				return nil, fmt.Errorf("field %s: mach:\"tail\" requires []byte", f.Name)
+			}
+			fi.kind = kTail
+		case "region":
+			if f.Type.Name() != "OutOfLineRegion" {
+				return nil, fmt.Errorf("field %s: mach:\"region\" requires ipc.OutOfLineRegion", f.Name)
+			}
+			fi.kind = kRegion
+		case "right":
+			if f.Type.Name() != "Name" {
+				return nil, fmt.Errorf("field %s: mach:\"right\" requires ipc.Name", f.Name)
+			}
+			fi.kind = kRight
+		case "extern":
+			if f.Type.Kind() != reflect.Slice || f.Type.Elem().Kind() != reflect.Struct {
+				return nil, fmt.Errorf("field %s: mach:\"extern\" requires a []T struct list", f.Name)
+			}
+			elem := f.Type.Elem()
+			elemFields, err := parseStruct(reflect.New(elem).Elem().Interface(), false)
+			if err != nil {
+				return nil, fmt.Errorf("field %s element: %w", f.Name, err)
+			}
+			fi.kind = kStructList
+			fi.elem = elem.Name()
+			fi.elemFields = elemFields
+		case "":
+			switch {
+			case f.Type.Name() == "Name" && strings.HasSuffix(f.Type.PkgPath(), "internal/ipc"):
+				fi.kind = kName
+			case f.Type.Name() == "Status" && strings.HasSuffix(f.Type.PkgPath(), "internal/rpc"):
+				fi.kind = kStatus
+			case f.Type.Kind() == reflect.Uint8:
+				fi.kind = kU8
+			case f.Type.Kind() == reflect.Uint16:
+				fi.kind = kU16
+			case f.Type.Kind() == reflect.Uint32:
+				fi.kind = kU32
+			case f.Type.Kind() == reflect.Uint64:
+				fi.kind = kU64
+			case f.Type.Kind() == reflect.String:
+				fi.kind = kString
+			case f.Type.Kind() == reflect.Slice && f.Type.Elem().Kind() == reflect.Uint8:
+				fi.kind = kBytes
+			case f.Type.Kind() == reflect.Slice && f.Type.Elem().Kind() == reflect.String:
+				fi.kind = kStringList
+			case f.Type.Kind() == reflect.Slice && f.Type.Elem().Kind() == reflect.Struct:
+				return nil, fmt.Errorf("field %s: struct lists must name a target-package type with mach:\"extern\"", f.Name)
+			default:
+				return nil, fmt.Errorf("field %s: unsupported wire type %v", f.Name, f.Type)
+			}
+		default:
+			return nil, fmt.Errorf("field %s: unknown mach tag %q", f.Name, tag)
+		}
+		if fi.kind.section() && !allowSections {
+			return nil, fmt.Errorf("field %s: section fields are not allowed here", f.Name)
+		}
+		if sawTail && !fi.kind.section() {
+			return nil, fmt.Errorf("field %s: follows a mach:\"tail\" field, which must be last", f.Name)
+		}
+		if fi.kind == kTail {
+			sawTail = true
+		}
+		out = append(out, fi)
+	}
+	return out, nil
+}
+
+func inline(fields []fieldInfo) []fieldInfo {
+	var out []fieldInfo
+	for _, f := range fields {
+		if !f.kind.section() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func sections(fields []fieldInfo) []fieldInfo {
+	var out []fieldInfo
+	for _, f := range fields {
+		if f.kind.section() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func hasAliasing(fields []fieldInfo) bool {
+	for _, f := range fields {
+		if f.kind.aliasing() {
+			return true
+		}
+	}
+	return false
+}
+
+// gen accumulates one generated file.
+type gen struct {
+	b        strings.Builder
+	needIpc  bool
+	needRpc  bool
+	needTime bool
+}
+
+func (g *gen) p(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// doc emits a comment block, wrapping the text at ~72 columns.
+func (g *gen) doc(text string) {
+	const width = 72
+	for _, para := range strings.Split(text, "\n") {
+		line := "//"
+		for _, w := range strings.Fields(para) {
+			if len(line)+1+len(w) > width && line != "//" {
+				g.p("%s", line)
+				line = "//"
+			}
+			line += " " + w
+		}
+		g.p("%s", line)
+	}
+}
+
+// Generate renders one interface's zz_generated_machgen.go (formatted).
+func Generate(iface idl.Interface) ([]byte, error) {
+	g := &gen{}
+	if err := g.iface(iface); err != nil {
+		return nil, fmt.Errorf("%s: %w", iface.Name, err)
+	}
+	src, err := format.Source([]byte(g.render(iface)))
+	if err != nil {
+		return nil, fmt.Errorf("%s: generated code does not parse: %w\n%s", iface.Name, err, g.b.String())
+	}
+	return src, nil
+}
+
+// render prepends the header and import block (known only after the
+// body decided what it needs).
+func (g *gen) render(iface idl.Interface) string {
+	var h strings.Builder
+	fmt.Fprintf(&h, "// Code generated by machgen from repro/internal/idl/defs; DO NOT EDIT.\n")
+	fmt.Fprintf(&h, "//\n// %s: %s.\n\n", iface.Name, iface.Doc)
+	fmt.Fprintf(&h, "package %s\n\n", iface.GoPackage)
+	var imports []string
+	if g.needTime {
+		imports = append(imports, `"time"`)
+	}
+	if g.needIpc {
+		imports = append(imports, `"repro/internal/ipc"`)
+	}
+	if g.needRpc {
+		imports = append(imports, `"repro/internal/rpc"`)
+	}
+	if len(imports) > 0 {
+		fmt.Fprintf(&h, "import (\n")
+		for _, im := range imports {
+			fmt.Fprintf(&h, "\t%s\n", im)
+		}
+		fmt.Fprintf(&h, ")\n\n")
+	}
+	return h.String() + g.b.String()
+}
+
+// method is a parsed idl.Method.
+type method struct {
+	idl.Method
+	req, rep []fieldInfo // nil prototypes parse to nil field lists
+}
+
+func (m *method) reqName() string { return m.Name + "Request" }
+func (m *method) repName() string { return m.Name + "Reply" }
+
+// batchable: rpc.Batch coalesces calls into ONE message, so sub-calls
+// cannot carry sections in either direction.
+func (m *method) batchable() bool {
+	return len(sections(m.req)) == 0 && len(sections(m.rep)) == 0
+}
+
+func (g *gen) iface(iface idl.Interface) error {
+	methods := make([]*method, 0, len(iface.Methods))
+	for _, im := range iface.Methods {
+		m := &method{Method: im}
+		var err error
+		if im.Request != nil {
+			if m.req, err = parseStruct(im.Request, true); err != nil {
+				return fmt.Errorf("method %s request: %w", im.Name, err)
+			}
+		}
+		if im.Reply != nil {
+			if m.rep, err = parseStruct(im.Reply, true); err != nil {
+				return fmt.Errorf("method %s reply: %w", im.Name, err)
+			}
+		}
+		methods = append(methods, m)
+	}
+
+	if len(methods) > 0 && !iface.NoIDs {
+		g.needIpc = true
+		g.doc(fmt.Sprintf("Request IDs of the %s protocol (%d+).", iface.Name, iface.BaseID))
+		g.p("const (")
+		for i, m := range methods {
+			g.doc(fmt.Sprintf("Msg%s: %s.", m.Name, m.Doc))
+			if i == 0 {
+				g.p("Msg%s ipc.MsgID = %d + iota", m.Name, iface.BaseID)
+			} else {
+				g.p("Msg%s", m.Name)
+			}
+		}
+		g.p(")")
+		g.p("")
+	}
+
+	for _, m := range methods {
+		if m.req != nil {
+			g.wireStruct(m.reqName(), fmt.Sprintf("%s carries the Msg%s request payload.", m.reqName(), m.Name), m.req)
+		}
+		if m.rep != nil {
+			g.wireStruct(m.repName(), fmt.Sprintf("%s carries the Msg%s reply payload.", m.repName(), m.Name), m.rep)
+		}
+	}
+
+	if !iface.NoServer && len(methods) > 0 {
+		g.serverAPI(iface, methods)
+	}
+	if !iface.NoClient && len(methods) > 0 {
+		g.client(iface, methods)
+	}
+
+	for _, st := range iface.Structs {
+		fields, err := parseStruct(st.Proto, false)
+		if err != nil {
+			return fmt.Errorf("struct %s: %w", st.Name, err)
+		}
+		g.wireStruct(st.Name, fmt.Sprintf("%s: %s.", st.Name, st.Doc), fields)
+	}
+
+	for _, r := range iface.Records {
+		if err := g.record(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wireStruct emits the type declaration and its payload codec (and
+// section carriage, for structs with section fields).
+func (g *gen) wireStruct(name, doc string, fields []fieldInfo) {
+	g.needRpc = true
+	g.doc(doc)
+	g.p("type %s struct {", name)
+	for _, f := range fields {
+		if strings.HasPrefix(f.goType(), "ipc.") {
+			g.needIpc = true
+		}
+		g.p("%s %s", f.name, f.goType())
+	}
+	g.p("}")
+	g.p("")
+
+	in := inline(fields)
+	g.doc(fmt.Sprintf("encodePayload appends the inline fields of %s in wire order.", name))
+	g.p("func (x *%s) encodePayload(e *rpc.Enc) {", name)
+	for _, f := range in {
+		g.encodeField(f, "x."+f.name, "e")
+	}
+	if len(in) == 0 {
+		g.p("_ = e")
+	}
+	g.p("}")
+	g.p("")
+
+	g.doc(fmt.Sprintf("decodePayload reads the inline fields of %s; check d.Err() after. Byte-slice fields alias the payload.", name))
+	g.p("func (x *%s) decodePayload(d *rpc.Dec) {", name)
+	for _, f := range in {
+		g.decodeField(f, "x."+f.name, "d")
+	}
+	if len(in) == 0 {
+		g.p("_ = d")
+	}
+	g.p("}")
+	g.p("")
+
+	secs := sections(fields)
+	if len(secs) == 0 {
+		return
+	}
+	g.needIpc = true
+	g.doc(fmt.Sprintf("sections builds %s's carried sections in field order (absent fields — nil regions, zero rights — are not carried).", name))
+	g.p("func (x *%s) sections() []ipc.Section {", name)
+	g.p("var out []ipc.Section")
+	for _, f := range secs {
+		switch f.kind {
+		case kRegion:
+			g.p("if x.%s != nil {", f.name)
+			g.p("out = append(out, ipc.CarryRegion(x.%s))", f.name)
+			g.p("}")
+		case kRight:
+			g.p("if x.%s != 0 {", f.name)
+			g.p("out = append(out, ipc.CarryRight(x.%s, ipc.SendRight))", f.name)
+			g.p("}")
+		}
+	}
+	g.p("return out")
+	g.p("}")
+	g.p("")
+
+	g.doc(fmt.Sprintf("takeSections consumes the message's carried sections into %s's section fields, in field order.", name))
+	g.p("func (x *%s) takeSections(secs *rpc.Sections) {", name)
+	for _, f := range secs {
+		switch f.kind {
+		case kRegion:
+			g.p("x.%s = secs.NextRegion()", f.name)
+		case kRight:
+			g.p("x.%s = secs.NextRight()", f.name)
+		}
+	}
+	g.p("}")
+	g.p("")
+}
+
+func (g *gen) encodeField(f fieldInfo, expr, enc string) {
+	switch f.kind {
+	case kU8:
+		g.p("%s.U8(%s)", enc, expr)
+	case kU16:
+		g.p("%s.U16(%s)", enc, expr)
+	case kU32:
+		g.p("%s.U32(%s)", enc, expr)
+	case kU64:
+		g.p("%s.U64(%s)", enc, expr)
+	case kName:
+		g.p("%s.Name(%s)", enc, expr)
+	case kStatus:
+		g.p("%s.Status(%s)", enc, expr)
+	case kString:
+		g.p("%s.String(%s)", enc, expr)
+	case kBytes:
+		g.p("%s.Bytes(%s)", enc, expr)
+	case kTail:
+		g.p("%s.Tail(%s)", enc, expr)
+	case kStringList:
+		g.p("%s.U32(uint32(len(%s)))", enc, expr)
+		g.p("for i := range %s {", expr)
+		g.p("%s.String(%s[i])", enc, expr)
+		g.p("}")
+	case kStructList:
+		g.p("%s.U32(uint32(len(%s)))", enc, expr)
+		g.p("for i := range %s {", expr)
+		for _, ef := range f.elemFields {
+			g.encodeField(ef, expr+"[i]."+ef.name, enc)
+		}
+		g.p("}")
+	}
+}
+
+func (g *gen) decodeField(f fieldInfo, expr, dec string) {
+	switch f.kind {
+	case kU8:
+		g.p("%s = %s.U8()", expr, dec)
+	case kU16:
+		g.p("%s = %s.U16()", expr, dec)
+	case kU32:
+		g.p("%s = %s.U32()", expr, dec)
+	case kU64:
+		g.p("%s = %s.U64()", expr, dec)
+	case kName:
+		g.p("%s = %s.Name()", expr, dec)
+	case kStatus:
+		g.p("%s = %s.Status()", expr, dec)
+	case kString:
+		g.p("%s = %s.String()", expr, dec)
+	case kBytes:
+		g.p("%s = %s.Bytes()", expr, dec)
+	case kTail:
+		g.p("%s = %s.Tail()", expr, dec)
+	case kStringList:
+		g.p("{")
+		g.p("n := %s.U32()", dec)
+		g.p("%s = make([]string, 0, rpc.ListCap(n))", expr)
+		g.p("for i := 0; i < int(n); i++ {")
+		g.p("if %s.Err() != nil {", dec)
+		g.p("break")
+		g.p("}")
+		g.p("%s = append(%s, %s.String())", expr, expr, dec)
+		g.p("}")
+		g.p("}")
+	case kStructList:
+		g.p("{")
+		g.p("n := %s.U32()", dec)
+		g.p("%s = make([]%s, 0, rpc.ListCap(n))", expr, f.elem)
+		g.p("for i := 0; i < int(n); i++ {")
+		g.p("if %s.Err() != nil {", dec)
+		g.p("break")
+		g.p("}")
+		g.p("var el %s", f.elem)
+		for _, ef := range f.elemFields {
+			g.decodeField(ef, "el."+ef.name, dec)
+		}
+		g.p("%s = append(%s, el)", expr, expr)
+		g.p("}")
+		g.p("}")
+	}
+}
+
+// serverAPI emits the typed handler interface and the demux installer.
+func (g *gen) serverAPI(iface idl.Interface, methods []*method) {
+	g.needIpc = true
+	g.needRpc = true
+	api := iface.Name + "ServerAPI"
+	g.doc(fmt.Sprintf("%s is the typed handler surface of the %s protocol: one method per request ID, demuxed by Register%sServer. m is the raw request message (demux state, further sections); decoded byte-slice fields alias it, so handlers retain only copies. Returning an error sends an error reply carrying rpc.StatusOf(err).", api, iface.Name, iface.Name))
+	g.p("type %s interface {", api)
+	for _, m := range methods {
+		g.p("%s", g.apiSig(m))
+	}
+	g.p("}")
+	g.p("")
+
+	g.doc(fmt.Sprintf("Register%sServer installs the generated demux for every %s method on srv.", iface.Name, iface.Name))
+	g.p("func Register%sServer(srv *rpc.Server, api %s) {", iface.Name, api)
+	for _, m := range methods {
+		g.p("srv.Handle(Msg%s, func(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {", m.Name)
+		args := "m"
+		if m.req != nil {
+			g.p("var in %s", m.reqName())
+			g.p("in.decodePayload(d)")
+			if len(sections(m.req)) > 0 {
+				g.p("secs := rpc.NewSections(m)")
+				g.p("in.takeSections(&secs)")
+			}
+			g.p("if err := d.Err(); err != nil {")
+			g.p("return nil, err")
+			g.p("}")
+			args += ", &in"
+		}
+		if m.rep != nil {
+			g.p("out, err := api.%s(%s)", m.Name, args)
+			g.p("if err != nil {")
+			g.p("return nil, err")
+			g.p("}")
+			g.p("r := rpc.NewReply()")
+			g.p("out.encodePayload(&r.Enc)")
+			if len(sections(m.rep)) > 0 {
+				g.p("for _, s := range out.sections() {")
+				g.p("r.Carry(s)")
+				g.p("}")
+			}
+			g.p("return r, nil")
+		} else {
+			g.p("if err := api.%s(%s); err != nil {", m.Name, args)
+			g.p("return nil, err")
+			g.p("}")
+			g.p("return rpc.NewReply(), nil")
+		}
+		g.p("})")
+	}
+	g.p("}")
+	g.p("")
+}
+
+func (g *gen) apiSig(m *method) string {
+	params := "m *ipc.Message"
+	if m.req != nil {
+		params += ", in *" + m.reqName()
+	}
+	if m.rep != nil {
+		return fmt.Sprintf("%s(%s) (*%s, error)", m.Name, params, m.repName())
+	}
+	return fmt.Sprintf("%s(%s) error", m.Name, params)
+}
+
+// client emits the typed client and its per-method (and batch) stubs.
+func (g *gen) client(iface idl.Interface, methods []*method) {
+	g.needIpc = true
+	g.needRpc = true
+	g.needTime = true
+	cl := iface.Name + "Client"
+	g.doc(fmt.Sprintf("%s is the generated typed client of the %s protocol.", cl, iface.Name))
+	g.p("type %s struct {", cl)
+	g.p("c *rpc.Client")
+	g.p("}")
+	g.p("")
+	g.doc(fmt.Sprintf("New%s builds a client against a published %s service port. A zero timeout means rpc.DefaultTimeout.", cl, iface.Name))
+	g.p("func New%s(space *ipc.Space, svc ipc.Name, timeout time.Duration) %s {", cl, cl)
+	g.p("return %s{c: rpc.NewClient(space, svc, timeout)}", cl)
+	g.p("}")
+	g.p("")
+	g.doc("RPC returns the underlying transport client (for rpc.Batch and custom calls).")
+	g.p("func (c %s) RPC() *rpc.Client { return c.c }", cl)
+	g.p("")
+
+	for _, m := range methods {
+		g.clientStub(iface, cl, m)
+		if iface.Batch && m.batchable() {
+			g.batchStub(cl, m)
+		}
+	}
+}
+
+func (g *gen) clientStub(iface idl.Interface, cl string, m *method) {
+	params := ""
+	if m.req != nil {
+		params = fmt.Sprintf("in *%s", m.reqName())
+	}
+	rets := "(rpc.Status, error)"
+	if m.rep != nil {
+		rets = fmt.Sprintf("(*%s, rpc.Status, error)", m.repName())
+	}
+	g.doc(fmt.Sprintf("%s performs one Msg%s call: %s. A non-OK status is returned in-band for the caller to map; err covers transport failures and undecodable replies.", m.Name, m.Name, m.Doc))
+	g.p("func (c %s) %s(%s) %s {", cl, m.Name, params, rets)
+	fail := `return 0, err`
+	if m.rep != nil {
+		fail = `return nil, 0, err`
+	}
+	call := fmt.Sprintf("rpc.Call(Msg%s, nil)", m.Name)
+	if m.req != nil {
+		g.p("req := rpc.NewEnc()")
+		g.p("in.encodePayload(req)")
+		call = fmt.Sprintf("c.c.Call(Msg%s, req", m.Name)
+		if len(sections(m.req)) > 0 {
+			call += ", in.sections()..."
+		}
+		call += ")"
+	} else {
+		call = fmt.Sprintf("c.c.Call(Msg%s, nil)", m.Name)
+	}
+	g.p("resp, err := %s", call)
+	g.p("if err != nil {")
+	g.p("%s", fail)
+	g.p("}")
+	g.p("st := resp.Status")
+	if m.rep == nil {
+		g.p("resp.Release()")
+		g.p("return st, nil")
+		g.p("}")
+		g.p("")
+		return
+	}
+	g.p("if st != rpc.StatusOK {")
+	g.p("resp.Release()")
+	g.p("return nil, st, nil")
+	g.p("}")
+	g.p("out := new(%s)", m.repName())
+	g.p("out.decodePayload(resp.Dec)")
+	if len(sections(m.rep)) > 0 {
+		g.p("secs := rpc.NewSections(resp.Msg)")
+		g.p("out.takeSections(&secs)")
+	}
+	g.p("if err := resp.Dec.Err(); err != nil {")
+	g.p("%s", fail)
+	g.p("}")
+	if hasAliasing(m.rep) {
+		g.doc("The decoded reply aliases the message buffer; the message stays with the caller's result instead of returning to the pool.")
+	} else {
+		g.p("resp.Release()")
+	}
+	g.p("return out, st, nil")
+	g.p("}")
+	g.p("")
+}
+
+func (g *gen) batchStub(cl string, m *method) {
+	pend := m.Name + "Pending"
+	params := "b *rpc.Batch"
+	if m.req != nil {
+		params += fmt.Sprintf(", in *%s", m.reqName())
+	}
+	g.doc(fmt.Sprintf("%sBatch adds a Msg%s call to b, pipelined with the batch's other calls into one message. Read the handle after b.Commit().", m.Name, m.Name))
+	g.p("func (c %s) %sBatch(%s) %s {", cl, m.Name, params, pend)
+	if m.req != nil {
+		g.p("req := rpc.NewEnc()")
+		g.p("in.encodePayload(req)")
+		g.p("return %s{bc: b.Add(Msg%s, req)}", pend, m.Name)
+	} else {
+		g.p("return %s{bc: b.Add(Msg%s, nil)}", pend, m.Name)
+	}
+	g.p("}")
+	g.p("")
+
+	g.doc(fmt.Sprintf("%s is the pending handle of a batched Msg%s call.", pend, m.Name))
+	g.p("type %s struct {", pend)
+	g.p("bc *rpc.BatchCall")
+	g.p("}")
+	g.p("")
+
+	rets := "(rpc.Status, error)"
+	if m.rep != nil {
+		rets = fmt.Sprintf("(*%s, rpc.Status, error)", m.repName())
+	}
+	g.doc("Result reads the call's own outcome after Commit: its status (calls fail independently inside a batch) and decoded reply.")
+	g.p("func (p %s) Result() %s {", pend, rets)
+	fail := "return 0, rpc.ErrBatchNoReply"
+	if m.rep != nil {
+		fail = "return nil, 0, rpc.ErrBatchNoReply"
+	}
+	g.p("if !p.bc.Done() {")
+	g.p("%s", fail)
+	g.p("}")
+	g.p("st := p.bc.Status()")
+	if m.rep == nil {
+		g.p("return st, nil")
+		g.p("}")
+		g.p("")
+		return
+	}
+	g.p("if st != rpc.StatusOK {")
+	g.p("return nil, st, nil")
+	g.p("}")
+	g.p("out := new(%s)", m.repName())
+	g.p("d := p.bc.Dec()")
+	g.p("out.decodePayload(d)")
+	g.p("if err := d.Err(); err != nil {")
+	g.p("return nil, 0, err")
+	g.p("}")
+	g.p("return out, st, nil")
+	g.p("}")
+	g.p("")
+}
+
+// record emits a shared-memory layout as constants (and, for array
+// records, an offset helper).
+func (g *gen) record(r idl.Record) error {
+	if r.Stride > 0 {
+		g.doc(fmt.Sprintf("Record %s: %s.", r.Name, r.Doc))
+		g.p("const %sSlotBytes = %d", r.Name, r.Stride*8)
+		g.p("")
+		g.doc(fmt.Sprintf("%sSlotOffset returns the byte offset of slot i in the %s record.", r.Name, r.Name))
+		g.p("func %sSlotOffset(i int) uint64 { return uint64(i) * %sSlotBytes }", r.Name, r.Name)
+		g.p("")
+		return nil
+	}
+	if len(r.Fields) == 0 {
+		return fmt.Errorf("record %s: neither Fields nor Stride", r.Name)
+	}
+	g.doc(fmt.Sprintf("Record %s: %s.", r.Name, r.Doc))
+	g.p("const (")
+	off := 0
+	for _, f := range r.Fields {
+		g.doc(fmt.Sprintf("%s: %s.", f.Name, f.Doc))
+		g.p("%s = %d", f.Name, off)
+		off += f.Words * 8
+	}
+	g.doc(fmt.Sprintf("%sBytes is the record's total size.", r.Name))
+	g.p("%sBytes = %d", r.Name, off)
+	g.p(")")
+	g.p("")
+	return nil
+}

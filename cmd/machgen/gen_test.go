@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/idl"
+	"repro/internal/idl/defs"
+	"repro/internal/ipc"
+)
+
+// TestGoldenNetMem pins the generator's output for one complete
+// interface. If a generator change alters the emitted code, this fails
+// with instructions rather than letting the change ride in silently —
+// regenerate the golden with the committed tree's real output:
+//
+//	go run ./cmd/machgen && cp internal/netmem/zz_generated_machgen.go \
+//	    cmd/machgen/testdata/netmem.go.golden
+func TestGoldenNetMem(t *testing.T) {
+	got, err := Generate(defs.NetMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/netmem.go.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("generated output for NetMem drifted from testdata/netmem.go.golden;\n"+
+			"if the change is intentional run:\n"+
+			"  go run ./cmd/machgen && cp internal/netmem/zz_generated_machgen.go cmd/machgen/testdata/netmem.go.golden\n"+
+			"got %d bytes, want %d bytes", len(got), len(want))
+	}
+}
+
+// TestGenerateAllDefs proves every registered interface generates and
+// formats cleanly — a definition mistake fails here, not at go build.
+func TestGenerateAllDefs(t *testing.T) {
+	for _, iface := range defs.All {
+		if _, err := Generate(iface); err != nil {
+			t.Errorf("%s: %v", iface.Name, err)
+		}
+	}
+}
+
+// TestGenerateRejectsBadDefinitions pins the parser's error checking:
+// wire-unmappable field shapes must be reported, not emitted.
+func TestGenerateRejectsBadDefinitions(t *testing.T) {
+	cases := []struct {
+		name  string
+		iface idl.Interface
+	}{
+		{"tail not last", idl.Interface{
+			Name: "Bad", GoPackage: "bad", Dir: ".", BaseID: 9000,
+			Methods: []idl.Method{{
+				Name: "M",
+				Request: struct {
+					Data []byte `mach:"tail"`
+					Size uint64
+				}{},
+			}},
+		}},
+		{"tail wrong type", idl.Interface{
+			Name: "Bad", GoPackage: "bad", Dir: ".", BaseID: 9000,
+			Methods: []idl.Method{{
+				Name: "M",
+				Request: struct {
+					Data string `mach:"tail"`
+				}{},
+			}},
+		}},
+		{"right wrong type", idl.Interface{
+			Name: "Bad", GoPackage: "bad", Dir: ".", BaseID: 9000,
+			Methods: []idl.Method{{
+				Name: "M",
+				Request: struct {
+					Port uint64 `mach:"right"`
+				}{},
+			}},
+		}},
+		{"struct list without extern", idl.Interface{
+			Name: "Bad", GoPackage: "bad", Dir: ".", BaseID: 9000,
+			Methods: []idl.Method{{
+				Name: "M",
+				Reply: struct {
+					Items []struct{ X uint64 }
+				}{},
+			}},
+		}},
+		{"unsupported field type", idl.Interface{
+			Name: "Bad", GoPackage: "bad", Dir: ".", BaseID: 9000,
+			Methods: []idl.Method{{
+				Name: "M",
+				Request: struct {
+					F float64
+				}{},
+			}},
+		}},
+		{"section in request", idl.Interface{
+			Name: "Bad", GoPackage: "bad", Dir: ".", BaseID: 9000,
+			Structs: []idl.Struct{{
+				Name: "S",
+				Proto: struct {
+					Port ipc.Name `mach:"right"`
+				}{},
+			}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := Generate(tc.iface); err == nil {
+			t.Errorf("%s: generated without error", tc.name)
+		}
+	}
+}

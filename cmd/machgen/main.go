@@ -1,0 +1,64 @@
+// Command machgen turns the interface definitions in
+// repro/internal/idl/defs into wire code: request IDs, payload
+// codecs, typed clients with batch stubs, and server demux tables.
+// One zz_generated_machgen.go is written per interface directory,
+// only when its content changes, so `go generate ./...` is a no-op on
+// a clean tree (CI enforces this).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/idl/defs"
+)
+
+const outName = "zz_generated_machgen.go"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "machgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	root, err := findRoot()
+	if err != nil {
+		return err
+	}
+	for _, iface := range defs.All {
+		src, err := Generate(iface)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(root, filepath.FromSlash(iface.Dir), outName)
+		if old, err := os.ReadFile(path); err == nil && string(old) == string(src) {
+			continue
+		}
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("machgen: wrote %s\n", filepath.Join(iface.Dir, outName))
+	}
+	return nil
+}
+
+// findRoot walks up from the working directory to the module root.
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

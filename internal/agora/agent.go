@@ -13,18 +13,14 @@ import (
 // slots).
 const MaxAgents = 16
 
-// Shared page-0 layout for the blackboard mutex and counters. The mutex
-// is Lamport's bakery algorithm, which needs only per-word atomic reads
+// The shared page-0 layout for the blackboard mutex and counters (the
+// offChoosing/offNumber/offCountW/offGenW constants) is generated from
+// the blackboard record in internal/idl/defs/agora.go. The mutex is
+// Lamport's bakery algorithm, which needs only per-word atomic reads
 // and writes — exactly what network shared memory provides (§4.2's
-// single-writer protocol gives sequential consistency per page) — so the
-// blackboard's mutual exclusion itself exercises the consistency
+// single-writer protocol gives sequential consistency per page) — so
+// the blackboard's mutual exclusion itself exercises the consistency
 // machinery.
-const (
-	offChoosing = 0                 // MaxAgents x 8 bytes
-	offNumber   = offChoosing + 128 // MaxAgents x 8 bytes
-	offCountW   = offNumber + 128   // hypothesis count
-	offGenW     = offCountW + 8     // generation (bumped per post)
-)
 
 // Agent is a tightly coupled agent: it maps the blackboard region and
 // works on it with loads and stores.
@@ -188,14 +184,18 @@ func JoinRemote(task *kern.Task, broker ipc.Name) *RemoteAgent {
 	return &RemoteAgent{task: task, broker: broker}
 }
 
+// client binds the remote agent to the broker.
+func (r *RemoteAgent) client() AgoraClient {
+	return NewAgoraClient(r.task.Space, r.broker, 10*time.Second)
+}
+
 // Post sends a hypothesis to the board by message.
 func (r *RemoteAgent) Post(h Hypothesis) error {
-	resp, err := rpc.NewClient(r.task.Space, r.broker, 10*time.Second).
-		Call(MsgPost, rpc.NewEnc().U64(h.Score).String(h.Text))
+	st, err := r.client().Post(&PostRequest{Score: h.Score, Text: h.Text})
 	if err != nil {
 		return err
 	}
-	switch resp.Status {
+	switch st {
 	case rpc.StatusOK:
 		return nil
 	case rpc.StatusFull:
@@ -203,16 +203,18 @@ func (r *RemoteAgent) Post(h Hypothesis) error {
 	case rpc.StatusTooLarge:
 		return ErrTooLarge
 	default:
-		return resp.Err()
+		return rpc.Errf(st, "agora: broker refused the post")
 	}
 }
 
 // Snapshot fetches all hypotheses by message.
 func (r *RemoteAgent) Snapshot() ([]Hypothesis, error) {
-	resp, err := rpc.NewClient(r.task.Space, r.broker, 10*time.Second).
-		Invoke(MsgSnapshot, nil)
+	out, st, err := r.client().Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	return decodeSnapshot(resp.Dec)
+	if st != rpc.StatusOK {
+		return nil, rpc.Errf(st, "agora: broker refused the snapshot")
+	}
+	return out.Entries, nil
 }

@@ -55,15 +55,10 @@ var (
 	ErrTooLarge = errors.New("agora: hypothesis too large")
 )
 
-// Message IDs of the broker protocol (for message-passing agents).
-// Replies echo the request ID and follow the rpc reply convention.
-const (
-	// MsgPost posts a hypothesis (score: u64, text: string).
-	MsgPost ipc.MsgID = 3300 + iota
-	// MsgSnapshot asks for all hypotheses (reply count: u32, then per
-	// entry score u64 + text string).
-	MsgSnapshot
-)
+// The broker wire protocol (for message-passing agents) — message IDs,
+// payload codecs, the typed client and the server demux — is generated
+// from internal/idl/defs/agora.go (zz_generated_machgen.go), as is the
+// shared blackboard page layout the agents poll.
 
 // Board is the hub: it owns the shared memory region and runs the broker
 // port for loosely coupled agents.
@@ -108,8 +103,7 @@ func NewBoard(k *kern.Kernel, srv *netmem.Server, slots int) (*Board, error) {
 	if err != nil {
 		return nil, err
 	}
-	broker.Handle(MsgPost, b.handlePost)
-	broker.Handle(MsgSnapshot, b.handleSnapshot)
+	RegisterAgoraServer(broker, (*brokerService)(b))
 	b.broker = broker
 	b.BrokerPort = broker.Port
 	go broker.Run()
@@ -153,60 +147,33 @@ func (b *Board) PublishSharedMemory(client *kern.Task) (ipc.Name, error) {
 	return b.srv.Publish(client)
 }
 
-// handlePost serves a message-passing agent's post through the board's
-// own shared memory mapping — the procedural interface deciding "if
-// shared memory or communication must be used".
-func (b *Board) handlePost(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	h := Hypothesis{Score: d.U64(), Text: d.String()}
-	if err := d.Err(); err != nil {
-		return nil, err
+// brokerService implements the generated AgoraServerAPI: it serves
+// message-passing agents through the board's own shared memory mapping
+// — the procedural interface deciding "if shared memory or
+// communication must be used".
+type brokerService Board
+
+// Post serves a message-passing agent's post.
+func (h *brokerService) Post(m *ipc.Message, in *PostRequest) error {
+	b := (*Board)(h)
+	err := b.local.Post(Hypothesis{Score: in.Score, Text: in.Text})
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrFull):
+		return rpc.Errf(rpc.StatusFull, "agora: blackboard full")
+	case errors.Is(err, ErrTooLarge):
+		return rpc.Errf(rpc.StatusTooLarge, "agora: hypothesis too large")
+	default:
+		return err
 	}
-	if err := b.local.Post(h); err != nil {
-		switch {
-		case errors.Is(err, ErrFull):
-			return nil, rpc.Errf(rpc.StatusFull, "agora: blackboard full")
-		case errors.Is(err, ErrTooLarge):
-			return nil, rpc.Errf(rpc.StatusTooLarge, "agora: hypothesis too large")
-		default:
-			return nil, err
-		}
-	}
-	return rpc.NewReply(), nil
 }
 
-// handleSnapshot reads the blackboard for a message-passing agent.
-func (b *Board) handleSnapshot(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	hyps, err := b.local.Snapshot()
+// Snapshot reads the blackboard for a message-passing agent.
+func (h *brokerService) Snapshot(m *ipc.Message) (*SnapshotReply, error) {
+	hyps, err := (*Board)(h).local.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	return encodeSnapshot(hyps), nil
-}
-
-// encodeSnapshot packs hypotheses into a reply: count u32, then per
-// entry score u64 + text string.
-func encodeSnapshot(hyps []Hypothesis) *rpc.Reply {
-	r := rpc.NewReply()
-	r.U32(uint32(len(hyps)))
-	for _, h := range hyps {
-		r.U64(h.Score)
-		r.String(h.Text)
-	}
-	return r
-}
-
-// decodeSnapshot is the client half of the snapshot result encoding.
-func decodeSnapshot(d *rpc.Dec) ([]Hypothesis, error) {
-	n := d.U32()
-	out := make([]Hypothesis, 0, rpc.ListCap(n))
-	for i := uint32(0); i < n; i++ {
-		out = append(out, Hypothesis{Score: d.U64(), Text: d.String()})
-		if d.Err() != nil {
-			break
-		}
-	}
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return &SnapshotReply{Entries: hyps}, nil
 }

@@ -195,15 +195,22 @@ func TestBoardFullAndOversize(t *testing.T) {
 }
 
 func TestSnapshotCodecRoundTrip(t *testing.T) {
-	in := []Hypothesis{{Score: 1, Text: "x"}, {Score: 99, Text: "a longer hypothesis"}}
-	out, err := decodeSnapshot(rpc.NewDec(encodeSnapshot(in).Payload()))
-	if err != nil {
-		t.Fatal(err)
+	in := SnapshotReply{Entries: []Hypothesis{{Score: 1, Text: "x"}, {Score: 99, Text: "a longer hypothesis"}}}
+	e := new(rpc.Enc)
+	in.encodePayload(e)
+	var out SnapshotReply
+	d := rpc.NewDec(e.Payload())
+	out.decodePayload(d)
+	if d.Err() != nil {
+		t.Fatal(d.Err())
 	}
-	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
-		t.Fatalf("round trip %+v", out)
+	if len(out.Entries) != 2 || out.Entries[0] != in.Entries[0] || out.Entries[1] != in.Entries[1] {
+		t.Fatalf("round trip %+v", out.Entries)
 	}
-	if _, err := decodeSnapshot(rpc.NewDec([]byte{1})); err == nil {
+	var bad SnapshotReply
+	d = rpc.NewDec([]byte{1})
+	bad.decodePayload(d)
+	if d.Err() == nil {
 		t.Fatal("bad snapshot decoded")
 	}
 }

@@ -13,25 +13,11 @@ import (
 	"repro/internal/vm"
 )
 
-// Service protocol message IDs. Replies echo the request ID and follow
-// the rpc reply convention (rpc.Status byte, then result fields).
-const (
-	// MsgCreateSegment creates a recoverable segment (size: u64, name:
-	// string).
-	MsgCreateSegment ipc.MsgID = 3200 + iota
-	// MsgAttachSegment returns a segment's size (u64), id (u32) and
-	// memory object right (name: string).
-	MsgAttachSegment
-	// MsgLogAppend appends an update record (tx: u64, seg: u32, offset:
-	// u64, old: bytes, new: bytes); replied to only after the record is
-	// in the manager's log buffer (the WAL "log before update"
-	// discipline).
-	MsgLogAppend
-	// MsgTxCommit forces the log through the commit record (tx: u64).
-	MsgTxCommit
-	// MsgTxAbort records an abort (tx: u64).
-	MsgTxAbort
-)
+// The service wire protocol — message IDs, payload codecs, the typed
+// client and the server demux — is generated from the interface
+// definition in internal/idl/defs/camelot.go (zz_generated_machgen.go).
+// The on-disk log record format (log.go) stays hand-written: it is a
+// storage format with block padding, not a message payload.
 
 // Errors returned by the client library.
 var (
@@ -148,15 +134,7 @@ func newManager(k *kern.Kernel, dataDisk pager.BlockStore, wal *WAL) (*DiskManag
 	if err != nil {
 		return nil, err
 	}
-	srv.Handle(MsgCreateSegment, dm.handleCreate)
-	srv.Handle(MsgAttachSegment, dm.handleAttach)
-	srv.Handle(MsgLogAppend, dm.handleLogAppend)
-	srv.Handle(MsgTxCommit, func(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-		return dm.handleOutcome(d, recCommit)
-	})
-	srv.Handle(MsgTxAbort, func(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-		return dm.handleOutcome(d, recAbort)
-	})
+	RegisterCamelotServer(srv, (*dmService)(dm))
 	dm.rpc = srv
 	// Lifecycle notifications (segment no-senders) are consumed ahead
 	// of the service demux; both run on the manager loop.
@@ -307,16 +285,15 @@ func (h *dmHandler) DataWrite(mo *pager.MemoryObject, offset uint64, data []byte
 
 // --- service protocol --------------------------------------------------------
 
-func (dm *DiskManager) handleCreate(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	size := d.U64()
-	name := d.String()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
-	if _, err := dm.createSegment(name, size); err != nil {
-		return nil, err
-	}
-	return rpc.NewReply(), nil
+// dmService implements the generated CamelotServerAPI against the
+// manager's state; RegisterCamelotServer demuxes and decodes.
+type dmService DiskManager
+
+// CreateSegment creates a recoverable segment.
+func (h *dmService) CreateSegment(m *ipc.Message, in *CreateSegmentRequest) error {
+	dm := (*DiskManager)(h)
+	_, err := dm.createSegment(in.Name, in.Size)
+	return err
 }
 
 func (dm *DiskManager) createSegment(name string, size uint64) (*segment, error) {
@@ -360,16 +337,14 @@ func (dm *DiskManager) createSegment(name string, size uint64) (*segment, error)
 	return seg, nil
 }
 
-func (dm *DiskManager) handleAttach(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	name := d.String()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
+// AttachSegment hands out a segment's size, id and memory-object right.
+func (h *dmService) AttachSegment(m *ipc.Message, in *AttachSegmentRequest) (*AttachSegmentReply, error) {
+	dm := (*DiskManager)(h)
 	dm.mu.Lock()
-	seg := dm.segments[name]
+	seg := dm.segments[in.Name]
 	dm.mu.Unlock()
 	if seg == nil || seg.mo == nil {
-		return nil, rpc.Errf(rpc.StatusNotFound, "camelot: no segment %q", name)
+		return nil, rpc.Errf(rpc.StatusNotFound, "camelot: no segment %q", in.Name)
 	}
 	// Reap the per-client session state when the last attachment right
 	// dies: a client that vanished mid-transaction leaves its logged
@@ -380,54 +355,53 @@ func (dm *DiskManager) handleAttach(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, err
 	if err := dm.lc.OnNoSenders(seg.mo.Port, dm.reapSegment); err != nil {
 		return nil, err
 	}
-	r := rpc.NewReply()
-	r.U64(seg.size)
-	r.U32(seg.id)
-	r.Carry(ipc.CarryRight(seg.mo.Port, ipc.SendRight))
-	return r, nil
+	return &AttachSegmentReply{Size: seg.size, ID: seg.id, Object: seg.mo.Port}, nil
 }
 
-// handleLogAppend records an update BEFORE the client applies it to
-// mapped memory (the reply is the client's permission to proceed).
-func (dm *DiskManager) handleLogAppend(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	tx := d.U64()
-	segID := d.U32()
-	offset := d.U64()
-	old := append([]byte(nil), d.Bytes()...)
-	newData := append([]byte(nil), d.Bytes()...)
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
+// LogAppend records an update BEFORE the client applies it to mapped
+// memory (the reply is the client's permission to proceed). The decoded
+// Old/New fields alias the request message, so they are copied before
+// entering the log buffer.
+func (h *dmService) LogAppend(m *ipc.Message, in *LogAppendRequest) error {
+	dm := (*DiskManager)(h)
+	old := append([]byte(nil), in.Old...)
+	newData := append([]byte(nil), in.New...)
 	if max := MaxUpdate(dm.wal.BlockSize()); len(old) > max || len(newData) > max {
-		return nil, rpc.Errf(rpc.StatusTooLarge, "camelot: update exceeds log record capacity")
+		return rpc.Errf(rpc.StatusTooLarge, "camelot: update exceeds log record capacity")
 	}
 
 	ps := dm.kernel.VM.PageSize()
 	dm.mu.Lock()
-	lsn := dm.appendRecord(record{tx: tx, kind: recUpdate, seg: segID, offset: offset, old: old, new: newData})
+	lsn := dm.appendRecord(record{tx: in.Tx, kind: recUpdate, seg: in.Seg, offset: in.Offset, old: old, new: newData})
 	// An update can span two pages; tag both. (An empty update logs a
 	// record but dirties no page.)
 	if len(newData) > 0 {
-		first := offset / ps
-		last := (offset + uint64(len(newData)) - 1) / ps
+		first := in.Offset / ps
+		last := (in.Offset + uint64(len(newData)) - 1) / ps
 		for pg := first; pg <= last; pg++ {
-			dm.pageLSN[pageKey(segID, pg)] = lsn
+			dm.pageLSN[pageKey(in.Seg, pg)] = lsn
 		}
 	}
 	dm.mu.Unlock()
-	return rpc.NewReply(), nil
+	return nil
 }
 
-// handleOutcome logs commit/abort; commit also forces the log
+// TxCommit logs a commit and forces the log through it (permanence).
+func (h *dmService) TxCommit(m *ipc.Message, in *TxCommitRequest) error {
+	return (*DiskManager)(h).logOutcome(in.Tx, recCommit)
+}
+
+// TxAbort records an abort.
+func (h *dmService) TxAbort(m *ipc.Message, in *TxAbortRequest) error {
+	return (*DiskManager)(h).logOutcome(in.Tx, recAbort)
+}
+
+// logOutcome logs commit/abort; commit also forces the log
 // (permanence). The durability barrier runs OUTSIDE the manager lock —
 // the reply is sent only once the commit record is on stable storage,
 // and a log-device failure surfaces to the client as a failed commit
 // instead of a silent loss.
-func (dm *DiskManager) handleOutcome(d *rpc.Dec, kind recordKind) (*rpc.Reply, error) {
-	tx := d.U64()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
+func (dm *DiskManager) logOutcome(tx uint64, kind recordKind) error {
 	dm.mu.Lock()
 	lsn := dm.appendRecord(record{tx: tx, kind: kind})
 	dm.outcomes[tx] = kind
@@ -444,10 +418,10 @@ func (dm *DiskManager) handleOutcome(d *rpc.Dec, kind recordKind) (*rpc.Reply, e
 			delete(dm.outcomes, tx)
 			dm.stats.Commits--
 			dm.mu.Unlock()
-			return nil, rpc.Errf(rpc.StatusServerErr, "camelot: log force: %v", err)
+			return rpc.Errf(rpc.StatusServerErr, "camelot: log force: %v", err)
 		}
 	}
-	return rpc.NewReply(), nil
+	return nil
 }
 
 // reapSegment runs on the manager loop when a segment's last

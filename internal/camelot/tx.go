@@ -17,7 +17,7 @@ var txIDs atomic.Uint64
 // Client is an application task's connection to the Camelot disk manager.
 type Client struct {
 	task *kern.Task
-	rpc  *rpc.Client
+	c    CamelotClient
 }
 
 // Segment is a recoverable segment mapped into the client's address
@@ -38,16 +38,16 @@ type Segment struct {
 // Open connects a task to a disk manager's service port (obtained via
 // Publish).
 func Open(task *kern.Task, svc ipc.Name) *Client {
-	return &Client{task: task, rpc: rpc.NewClient(task.Space, svc, rpcTimeout)}
+	return &Client{task: task, c: NewCamelotClient(task.Space, svc, rpcTimeout)}
 }
 
 // CreateSegment creates a recoverable segment of the given size.
 func (c *Client) CreateSegment(name string, size uint64) error {
-	resp, err := c.rpc.Call(MsgCreateSegment, rpc.NewEnc().U64(size).String(name))
+	st, err := c.c.CreateSegment(&CreateSegmentRequest{Size: size, Name: name})
 	if err != nil {
 		return err
 	}
-	if resp.Status != rpc.StatusOK {
+	if st != rpc.StatusOK {
 		return ErrServer
 	}
 	return nil
@@ -55,36 +55,25 @@ func (c *Client) CreateSegment(name string, size uint64) error {
 
 // Attach maps the named segment into the client's address space.
 func (c *Client) Attach(name string) (*Segment, error) {
-	resp, err := c.rpc.Call(MsgAttachSegment, rpc.NewEnc().String(name))
+	out, st, err := c.c.AttachSegment(&AttachSegmentRequest{Name: name})
 	if err != nil {
 		return nil, err
 	}
-	switch resp.Status {
+	switch st {
 	case rpc.StatusOK:
 	case rpc.StatusNotFound:
 		return nil, ErrNoSegment
 	default:
 		return nil, ErrServer
 	}
-	size := resp.Dec.U64()
-	segID := resp.Dec.U32()
-	if resp.Dec.Err() != nil {
+	if out.Object == 0 {
 		return nil, ErrServer
 	}
-	var moName ipc.Name
-	for i := range resp.Msg.Sections {
-		if resp.Msg.Sections[i].Kind == ipc.PortRightSection {
-			moName = resp.Msg.Sections[i].PortName
-		}
-	}
-	if moName == 0 {
-		return nil, ErrServer
-	}
-	addr, err := c.task.VMAllocateWithPager(moName, 0, 0, size, true)
+	addr, err := c.task.VMAllocateWithPager(out.Object, 0, 0, out.Size, true)
 	if err != nil {
 		return nil, err
 	}
-	return &Segment{Addr: addr, Size: size, ID: segID, client: c}, nil
+	return &Segment{Addr: addr, Size: out.Size, ID: out.ID, client: c}, nil
 }
 
 // Read reads directly from the mapped segment (no transaction needed;
@@ -126,12 +115,13 @@ func (tx *Tx) Write(s *Segment, offset uint64, data []byte) error {
 	}
 	// Log before update: the reply means the record is in the
 	// manager's buffer, ordered before any future page write-back.
-	resp, err := tx.client.rpc.Call(MsgLogAppend,
-		rpc.NewEnc().U64(tx.ID).U32(s.ID).U64(offset).Bytes(old).Bytes(data))
+	st, err := tx.client.c.LogAppend(&LogAppendRequest{
+		Tx: tx.ID, Seg: s.ID, Offset: offset, Old: old, New: data,
+	})
 	if err != nil {
 		return err
 	}
-	switch resp.Status {
+	switch st {
 	case rpc.StatusOK:
 	case rpc.StatusTooLarge:
 		return ErrUpdateTooLarge
@@ -148,7 +138,12 @@ func (tx *Tx) Write(s *Segment, offset uint64, data []byte) error {
 // Commit makes the transaction's updates permanent: the disk manager
 // forces the log through the commit record before replying.
 func (tx *Tx) Commit() error {
-	return tx.finish(MsgTxCommit)
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	st, err := tx.client.c.TxCommit(&TxCommitRequest{Tx: tx.ID})
+	return tx.outcomeErr(st, err)
 }
 
 // Abort rolls the transaction back: mapped memory is restored from the
@@ -160,19 +155,19 @@ func (tx *Tx) Abort() error {
 			return err
 		}
 	}
-	return tx.finish(MsgTxAbort)
-}
-
-func (tx *Tx) finish(id ipc.MsgID) error {
 	if tx.done {
 		return nil
 	}
 	tx.done = true
-	resp, err := tx.client.rpc.Call(id, rpc.NewEnc().U64(tx.ID))
+	st, err := tx.client.c.TxAbort(&TxAbortRequest{Tx: tx.ID})
+	return tx.outcomeErr(st, err)
+}
+
+func (tx *Tx) outcomeErr(st rpc.Status, err error) error {
 	if err != nil {
 		return err
 	}
-	if resp.Status != rpc.StatusOK {
+	if st != rpc.StatusOK {
 		return ErrServer
 	}
 	return nil

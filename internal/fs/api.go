@@ -1,5 +1,9 @@
 package fs
 
+// The task-level client API: thin wrappers over the generated FSClient
+// that map OOL regions into the calling task and translate reply
+// statuses into this package's error vocabulary.
+
 import (
 	"time"
 
@@ -11,9 +15,9 @@ import (
 // rpcTimeout bounds client waits on the filesystem server.
 const rpcTimeout = 10 * time.Second
 
-// client wraps a task's connection to a published service port.
-func client(t *kern.Task, svc ipc.Name) *rpc.Client {
-	return rpc.NewClient(t.Space, svc, rpcTimeout)
+// client binds a task's connection to a published service port.
+func client(t *kern.Task, svc ipc.Name) FSClient {
+	return NewFSClient(t.Space, svc, rpcTimeout)
 }
 
 // mapStatus converts a reply status to the package's error vocabulary.
@@ -35,26 +39,21 @@ func mapStatus(s rpc.Status) error {
 // its copy. The caller owns the memory and should vm_deallocate it when
 // done (which is what lets the server clean up).
 func ReadFile(t *kern.Task, svc ipc.Name, name string) (addr uint64, size uint64, err error) {
-	resp, err := client(t, svc).Call(MsgReadFile, rpc.NewEnc().String(name))
+	out, st, err := client(t, svc).ReadFile(&ReadFileRequest{Name: name})
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := mapStatus(resp.Status); err != nil {
+	if err := mapStatus(st); err != nil {
 		return 0, 0, err
 	}
-	size = resp.Dec.U64()
-	if resp.Dec.Err() != nil {
+	if out.Content == nil {
 		return 0, 0, ErrServer
 	}
-	region := resp.Msg.FirstRegion()
-	if region == nil {
-		return 0, 0, ErrServer
-	}
-	addr, err = t.Kernel().MapOOLRegion(t, region)
+	addr, err = t.Kernel().MapOOLRegion(t, out.Content)
 	if err != nil {
 		return 0, 0, err
 	}
-	return addr, size, nil
+	return addr, out.Size, nil
 }
 
 // MappedSize returns the page-rounded length of the region ReadFile
@@ -77,12 +76,13 @@ func WriteFile(t *kern.Task, svc ipc.Name, name string, addr, size uint64) error
 	if err != nil {
 		return err
 	}
-	resp, err := client(t, svc).Call(MsgWriteFile,
-		rpc.NewEnc().U64(size).String(name), ipc.CarryRegion(region))
+	_, st, err := client(t, svc).WriteFile(&WriteFileRequest{
+		Size: size, Name: name, Content: region,
+	})
 	if err != nil {
 		return err
 	}
-	return mapStatus(resp.Status)
+	return mapStatus(st)
 }
 
 // Handle is a client-held open file: the send right to the server's
@@ -100,45 +100,36 @@ type Handle struct {
 
 // Open opens a per-client handle on the named file.
 func Open(t *kern.Task, svc ipc.Name, name string) (*Handle, error) {
-	resp, err := client(t, svc).Call(MsgOpen, rpc.NewEnc().String(name))
+	out, st, err := client(t, svc).Open(&OpenRequest{Name: name})
 	if err != nil {
 		return nil, err
 	}
-	if err := mapStatus(resp.Status); err != nil {
+	if err := mapStatus(st); err != nil {
 		return nil, err
 	}
-	size := resp.Dec.U64()
-	if resp.Dec.Err() != nil {
+	if out.Handle == 0 {
 		return nil, ErrServer
 	}
-	h := resp.Msg.FirstPortRight()
-	if h == 0 {
-		return nil, ErrServer
-	}
-	return &Handle{Port: h, Size: size, task: t, svc: svc}, nil
+	return &Handle{Port: out.Handle, Size: out.Size, task: t, svc: svc}, nil
 }
 
 // ReadAt reads up to n bytes at offset through the handle; the handle
 // right travels in the request as the presented capability.
 func (h *Handle) ReadAt(offset uint64, n int) ([]byte, error) {
-	resp, err := client(h.task, h.svc).Call(MsgReadAt,
-		rpc.NewEnc().U64(offset).U64(uint64(n)),
-		ipc.CarryRight(h.Port, ipc.SendRight))
+	out, st, err := client(h.task, h.svc).ReadAt(&ReadAtRequest{
+		Offset: offset, Length: uint64(n), Handle: h.Port,
+	})
 	if err != nil {
 		return nil, err
 	}
-	switch resp.Status {
+	switch st {
 	case rpc.StatusOK:
 	case rpc.StatusNotFound:
 		return nil, ErrStaleHandle
 	default:
 		return nil, ErrServer
 	}
-	b := resp.Dec.Bytes()
-	if resp.Dec.Err() != nil {
-		return nil, ErrServer
-	}
-	return append([]byte(nil), b...), nil
+	return append([]byte(nil), out.Data...), nil
 }
 
 // Close releases the client's handle right; when it was the last one,
@@ -149,42 +140,27 @@ func (h *Handle) Close() error {
 
 // Stat returns the size of the named file.
 func Stat(t *kern.Task, svc ipc.Name, name string) (uint64, error) {
-	resp, err := client(t, svc).Call(MsgStat, rpc.NewEnc().String(name))
+	out, st, err := client(t, svc).Stat(&StatRequest{Name: name})
 	if err != nil {
 		return 0, err
 	}
-	if err := mapStatus(resp.Status); err != nil {
+	if err := mapStatus(st); err != nil {
 		return 0, err
 	}
-	size := resp.Dec.U64()
-	if resp.Dec.Err() != nil {
-		return 0, ErrServer
-	}
-	return size, nil
+	return out.Size, nil
 }
 
 // List returns the names of every file on the server, sorted.
 func List(t *kern.Task, svc ipc.Name) ([]string, error) {
-	resp, err := client(t, svc).Call(MsgList, nil)
+	out, st, err := client(t, svc).List()
 	if err != nil {
 		return nil, err
 	}
-	if err := mapStatus(resp.Status); err != nil {
+	if err := mapStatus(st); err != nil {
 		return nil, err
 	}
-	n := resp.Dec.U32()
-	names := make([]string, 0, rpc.ListCap(n))
-	for i := uint32(0); i < n; i++ {
-		names = append(names, resp.Dec.String())
-		if resp.Dec.Err() != nil {
-			break
-		}
-	}
-	if resp.Dec.Err() != nil {
-		return nil, ErrServer
-	}
-	if len(names) == 0 {
+	if len(out.Names) == 0 {
 		return nil, nil
 	}
-	return names, nil
+	return out.Names, nil
 }

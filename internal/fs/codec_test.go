@@ -1,0 +1,157 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// wirePayload is the shape every generated codec shares: an encode onto
+// an Enc and a decode off a Dec. The round-trip tests below are
+// property checks over the machgen output for this package — encode
+// then decode must reproduce the value, and decode must fail cleanly on
+// truncated input.
+type wirePayload interface {
+	encodePayload(*rpc.Enc)
+	decodePayload(*rpc.Dec)
+}
+
+// roundTrip encodes in, decodes into out (a pointer to the zero value),
+// and returns the payload for truncation sweeps.
+func roundTrip(t *testing.T, in, out wirePayload) []byte {
+	t.Helper()
+	var e rpc.Enc
+	in.encodePayload(&e)
+	payload := e.Payload()
+	d := rpc.NewDec(payload)
+	out.decodePayload(d)
+	if d.Err() != nil {
+		t.Fatalf("decode %T: %v", in, d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("decode %T left %d bytes", in, d.Remaining())
+	}
+	return payload
+}
+
+// truncationSweep re-decodes every strict prefix of payload and demands
+// a decode error (no silent partial values). Payloads whose last field
+// is a tail are exempt at the boundary where the tail is merely shorter
+// — the caller passes the shortest prefix that must still fail.
+func truncationSweep(t *testing.T, payload []byte, fresh func() wirePayload, failBelow int) {
+	t.Helper()
+	for n := 0; n < failBelow; n++ {
+		d := rpc.NewDec(payload[:n])
+		fresh().decodePayload(d)
+		if d.Err() == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", n, len(payload))
+		}
+	}
+}
+
+func TestGeneratedCodecRoundTrips(t *testing.T) {
+	t.Run("ReadFileRequest", func(t *testing.T) {
+		in := ReadFileRequest{Name: "etc/passwd"}
+		var out ReadFileRequest
+		p := roundTrip(t, &in, &out)
+		if out != in {
+			t.Fatalf("round trip %+v", out)
+		}
+		truncationSweep(t, p, func() wirePayload { return &ReadFileRequest{} }, len(p))
+	})
+	t.Run("WriteFileRequest inline fields", func(t *testing.T) {
+		// Content is a section (rides the message, not the payload); the
+		// inline part must round-trip alone.
+		in := WriteFileRequest{Size: 1 << 20, Name: "big"}
+		var out WriteFileRequest
+		roundTrip(t, &in, &out)
+		if out.Size != in.Size || out.Name != in.Name {
+			t.Fatalf("round trip %+v", out)
+		}
+	})
+	t.Run("StatReply", func(t *testing.T) {
+		in := StatReply{Size: 42}
+		var out StatReply
+		p := roundTrip(t, &in, &out)
+		if out != in {
+			t.Fatalf("round trip %+v", out)
+		}
+		truncationSweep(t, p, func() wirePayload { return &StatReply{} }, len(p))
+	})
+	t.Run("ListReply", func(t *testing.T) {
+		in := ListReply{Names: []string{"a", "", "a name with spaces"}}
+		var out ListReply
+		p := roundTrip(t, &in, &out)
+		if len(out.Names) != 3 || out.Names[0] != "a" || out.Names[1] != "" || out.Names[2] != in.Names[2] {
+			t.Fatalf("round trip %+v", out)
+		}
+		truncationSweep(t, p, func() wirePayload { return &ListReply{} }, len(p))
+	})
+	t.Run("ListReply empty", func(t *testing.T) {
+		var out ListReply
+		roundTrip(t, &ListReply{}, &out)
+		if len(out.Names) != 0 {
+			t.Fatalf("round trip %+v", out)
+		}
+	})
+	t.Run("OpenReply inline fields", func(t *testing.T) {
+		// Handle is a port-right section; only Size is inline.
+		in := OpenReply{Size: 7}
+		var out OpenReply
+		p := roundTrip(t, &in, &out)
+		if out.Size != in.Size {
+			t.Fatalf("round trip %+v", out)
+		}
+		truncationSweep(t, p, func() wirePayload { return &OpenReply{} }, len(p))
+	})
+	t.Run("ReadAtRequest inline fields", func(t *testing.T) {
+		// Handle is a port-right section; Offset and Length are inline.
+		in := ReadAtRequest{Offset: 4096, Length: 512}
+		var out ReadAtRequest
+		p := roundTrip(t, &in, &out)
+		if out.Offset != in.Offset || out.Length != in.Length {
+			t.Fatalf("round trip %+v", out)
+		}
+		truncationSweep(t, p, func() wirePayload { return &ReadAtRequest{} }, len(p))
+	})
+	t.Run("ReadAtReply", func(t *testing.T) {
+		in := ReadAtReply{Data: []byte("page contents")}
+		var out ReadAtReply
+		p := roundTrip(t, &in, &out)
+		if !bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("round trip %q", out.Data)
+		}
+		// The decoded Data must alias the payload, not copy it — the
+		// read path's zero-copy contract.
+		if len(p) > 0 && len(out.Data) > 0 && &p[len(p)-1] != &out.Data[len(out.Data)-1] {
+			t.Fatal("decoded Data does not alias the payload")
+		}
+	})
+	t.Run("WriteFileReply", func(t *testing.T) {
+		in := WriteFileReply{Size: 99}
+		var out WriteFileReply
+		p := roundTrip(t, &in, &out)
+		if out != in {
+			t.Fatalf("round trip %+v", out)
+		}
+		truncationSweep(t, p, func() wirePayload { return &WriteFileReply{} }, len(p))
+	})
+}
+
+// TestGeneratedCodecOversizeList pins the list-decode bound: a
+// length-prefixed count larger than the payload could hold must fail
+// without attempting a giant allocation.
+func TestGeneratedCodecOversizeList(t *testing.T) {
+	var e rpc.Enc
+	e.U32(0xFFFFFFFF)
+	var out ListReply
+	d := rpc.NewDec(e.Payload())
+	out.decodePayload(d)
+	if d.Err() == nil {
+		t.Fatal("oversize list count decoded")
+	}
+	if len(out.Names) > rpc.ListCap(0xFFFFFFFF) {
+		t.Fatalf("oversize count preallocated %d entries", len(out.Names))
+	}
+}

@@ -23,32 +23,9 @@ import (
 	"repro/internal/vm"
 )
 
-// Message IDs of the filesystem service protocol. Replies echo the
-// request ID; their payloads follow the rpc reply convention (one
-// rpc.Status byte, then the typed result fields).
-const (
-	// MsgReadFile requests a whole file (name: string); the reply
-	// carries the file size (u64) and an out-of-line region of its
-	// contents.
-	MsgReadFile ipc.MsgID = 3000 + iota
-	// MsgWriteFile stores a whole file from an out-of-line region
-	// (size: u64, name: string, region section).
-	MsgWriteFile
-	// MsgStat asks for a file's size (name: string; reply size: u64).
-	MsgStat
-	// MsgList asks for all file names (reply count: u32, then strings).
-	MsgList
-	// MsgOpen opens a per-client handle on a file (name: string); the
-	// reply carries the file size (u64) and a send right to the handle
-	// port. The handle port IS the open: when its last send right dies
-	// — an explicit Close, or the client task's death — the server
-	// reaps the session via a no-senders notification.
-	MsgOpen
-	// MsgReadAt reads through an open handle (offset: u64, length: u64;
-	// the body carries the handle right as the capability presented per
-	// call). The reply carries the bytes inline.
-	MsgReadAt
-)
+// The wire protocol — message IDs, payload structs, codecs, the typed
+// client and the server demux — is generated from the interface
+// definition in internal/idl/defs/fs.go; see zz_generated_machgen.go.
 
 // ErrStaleHandle: the presented handle names no open session (already
 // reaped, or never opened here).
@@ -135,12 +112,7 @@ func NewServer(k *kern.Kernel, disk *machine.Disk) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv.Handle(MsgReadFile, s.handleRead)
-	srv.Handle(MsgWriteFile, s.handleWrite)
-	srv.Handle(MsgStat, s.handleStat)
-	srv.Handle(MsgList, s.handleList)
-	srv.Handle(MsgOpen, s.handleOpen)
-	srv.Handle(MsgReadAt, s.handleReadAt)
+	RegisterFSServer(srv, (*fsService)(s))
 	s.rpc = srv
 	// Lifecycle notifications (open-handle no-senders) are consumed
 	// ahead of the service demux; both run on the manager loop.
@@ -311,19 +283,22 @@ func (h *serverHandler) PortDeath(mo *pager.MemoryObject) {
 
 // --- service protocol (application-to-server messages) --------------------
 
-// handleRead implements fs_read_file: create a memory object, map it into
+// fsService implements the generated FSServerAPI against the server's
+// state; RegisterFSServer demuxes and decodes, these methods only act.
+type fsService Server
+
+func (h *fsService) srv() *Server { return (*Server)(h) }
+
+// ReadFile implements fs_read_file: create a memory object, map it into
 // the server's own address space, and return that region out-of-line so
 // the client receives it copy-on-write.
-func (s *Server) handleRead(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	name := d.String()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
+func (h *fsService) ReadFile(m *ipc.Message, in *ReadFileRequest) (*ReadFileReply, error) {
+	s := h.srv()
 	s.mu.Lock()
-	f := s.files[name]
+	f := s.files[in.Name]
 	s.mu.Unlock()
 	if f == nil {
-		return nil, rpc.Errf(rpc.StatusNotFound, "fs: no file %q", name)
+		return nil, rpc.Errf(rpc.StatusNotFound, "fs: no file %q", in.Name)
 	}
 	ps := s.kernel.VM.PageSize()
 	mapSize := (f.size + ps - 1) / ps * ps
@@ -365,56 +340,42 @@ func (s *Server) handleRead(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	// mapping (Mach's deallocate-on-send). The object's pages stay in
 	// the kernel cache thanks to pager_cache.
 	_ = s.task.VMDeallocate(addr, mapSize)
-	r := rpc.NewReply()
-	r.U64(f.size)
-	r.Carry(ipc.CarryRegion(region))
-	return r, nil
+	return &ReadFileReply{Size: f.size, Content: region}, nil
 }
 
-// handleWrite implements fs_write_file: map the client's region and store
+// WriteFile implements fs_write_file: map the client's region and store
 // it.
-func (s *Server) handleWrite(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	size := d.U64()
-	name := d.String()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
-	region := m.FirstRegion()
-	if region == nil || size > uint64(region.Size()) {
+func (h *fsService) WriteFile(m *ipc.Message, in *WriteFileRequest) (*WriteFileReply, error) {
+	s := h.srv()
+	if in.Content == nil || in.Size > uint64(in.Content.Size()) {
 		return nil, rpc.Errf(rpc.StatusBadArgs, "fs: write without a matching region")
 	}
-	addr, err := s.kernel.MapOOLRegion(s.task, region)
+	addr, err := s.kernel.MapOOLRegion(s.task, in.Content)
 	if err != nil {
 		return nil, err
 	}
-	data := make([]byte, size)
+	data := make([]byte, in.Size)
 	err = s.task.Map.ReadBytes(addr, data)
 	if err == nil {
-		err = s.storeFile(name, data)
+		err = s.storeFile(in.Name, data)
 	}
-	_ = s.task.VMDeallocate(addr, uint64(region.Size()))
+	_ = s.task.VMDeallocate(addr, uint64(in.Content.Size()))
 	if err != nil {
 		return nil, err
 	}
-	r := rpc.NewReply()
-	r.U64(size)
-	return r, nil
+	return &WriteFileReply{Size: in.Size}, nil
 }
 
-func (s *Server) handleStat(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	name := d.String()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
+// Stat returns a file's size by name.
+func (h *fsService) Stat(m *ipc.Message, in *StatRequest) (*StatReply, error) {
+	s := h.srv()
 	s.mu.Lock()
-	f := s.files[name]
+	f := s.files[in.Name]
 	s.mu.Unlock()
 	if f == nil {
-		return nil, rpc.Errf(rpc.StatusNotFound, "fs: no file %q", name)
+		return nil, rpc.Errf(rpc.StatusNotFound, "fs: no file %q", in.Name)
 	}
-	r := rpc.NewReply()
-	r.U64(f.size)
-	return r, nil
+	return &StatReply{Size: f.size}, nil
 }
 
 // --- open handles (per-client sessions) ------------------------------------
@@ -434,22 +395,19 @@ func (s *Server) SessionsReaped() int64 {
 	return s.sessionsReaped
 }
 
-// handleOpen creates a per-client handle: a fresh port whose send right
-// is the open-file capability. The server arms a no-senders request on
-// it, so the session state is reaped the moment the last client right
+// Open creates a per-client handle: a fresh port whose send right is
+// the open-file capability. The server arms a no-senders request on it,
+// so the session state is reaped the moment the last client right
 // disappears — an explicit Close, or the client task dying with the
 // right in its space (the paper's port_death cleanup, driven by
 // refcount instead of death).
-func (s *Server) handleOpen(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	name := d.String()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
+func (h *fsService) Open(m *ipc.Message, in *OpenRequest) (*OpenReply, error) {
+	s := h.srv()
 	s.mu.Lock()
-	f := s.files[name]
+	f := s.files[in.Name]
 	s.mu.Unlock()
 	if f == nil {
-		return nil, rpc.Errf(rpc.StatusNotFound, "fs: no file %q", name)
+		return nil, rpc.Errf(rpc.StatusNotFound, "fs: no file %q", in.Name)
 	}
 	sp, err := s.task.Space.AllocatePort()
 	if err != nil {
@@ -465,10 +423,7 @@ func (s *Server) handleOpen(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 		_ = s.task.Space.DeallocatePort(sp)
 		return nil, err
 	}
-	r := rpc.NewReply()
-	r.U64(f.size)
-	r.Carry(ipc.CarryRight(sp, ipc.SendRight))
-	return r, nil
+	return &OpenReply{Size: f.size, Handle: sp}, nil
 }
 
 // reapSession runs on the manager loop when an open handle's last send
@@ -486,23 +441,19 @@ func (s *Server) reapSession(n ipc.Name) {
 	}
 }
 
-// handleReadAt serves a read through an open handle. The handle right
-// rides in the message body as the per-call capability; it resolves to
-// the very name the server allocated (rights to one port merge onto
-// one name per space), which indexes the session table.
-func (s *Server) handleReadAt(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	offset := d.U64()
-	length := d.U64()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
-	hn := m.FirstPortRight()
+// ReadAt serves a read through an open handle. The handle right rides
+// in the message body as the per-call capability; it resolves to the
+// very name the server allocated (rights to one port merge onto one
+// name per space), which indexes the session table.
+func (h *fsService) ReadAt(m *ipc.Message, in *ReadAtRequest) (*ReadAtReply, error) {
+	s := h.srv()
 	s.mu.Lock()
-	sess := s.sessions[hn]
+	sess := s.sessions[in.Handle]
 	s.mu.Unlock()
 	if sess == nil {
 		return nil, rpc.Errf(rpc.StatusNotFound, "fs: stale or missing handle")
 	}
+	length := in.Length
 	if length > maxReadAt {
 		return nil, rpc.Errf(rpc.StatusTooLarge, "fs: read of %d exceeds %d", length, maxReadAt)
 	}
@@ -512,37 +463,34 @@ func (s *Server) handleReadAt(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	size := f.size
 	blocks := append([]int(nil), f.blocks...)
 	s.mu.Unlock()
-	if offset >= size {
-		r := rpc.NewReply()
-		r.Bytes(nil)
-		return r, nil
+	if in.Offset >= size {
+		return &ReadAtReply{}, nil
 	}
-	if offset+length > size {
-		length = size - offset
+	if in.Offset+length > size {
+		length = size - in.Offset
 	}
 	out := make([]byte, 0, length)
 	buf := make([]byte, ps)
 	for len(out) < int(length) {
-		pos := offset + uint64(len(out))
+		pos := in.Offset + uint64(len(out))
 		idx := int(pos / ps)
 		if idx >= len(blocks) {
 			break
 		}
 		s.disk.Read(blocks[idx], buf)
-		in := int(pos % ps)
-		n := int(ps) - in
+		off := int(pos % ps)
+		n := int(ps) - off
 		if rem := int(length) - len(out); n > rem {
 			n = rem
 		}
-		out = append(out, buf[in:in+n]...)
+		out = append(out, buf[off:off+n]...)
 	}
-	r := rpc.NewReply()
-	r.Bytes(out)
-	return r, nil
+	return &ReadAtReply{Data: out}, nil
 }
 
-// handleList returns the file names, sorted.
-func (s *Server) handleList(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+// List returns the file names, sorted.
+func (h *fsService) List(m *ipc.Message) (*ListReply, error) {
+	s := h.srv()
 	s.mu.Lock()
 	names := make([]string, 0, len(s.files))
 	for n := range s.files {
@@ -550,10 +498,5 @@ func (s *Server) handleList(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	}
 	s.mu.Unlock()
 	sort.Strings(names)
-	r := rpc.NewReply()
-	r.U32(uint32(len(names)))
-	for _, n := range names {
-		r.String(n)
-	}
-	return r, nil
+	return &ListReply{Names: names}, nil
 }

@@ -1,0 +1,68 @@
+package fs
+
+import (
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// FuzzGeneratedReplyDecode drives machgen-generated reply decoders over
+// arbitrary payload bytes — the bytes a client stub feeds them after a
+// (possibly hostile) server replies. Decoders must never panic, never
+// return data from outside the payload, and must flag every malformed
+// input through Dec.Err.
+func FuzzGeneratedReplyDecode(f *testing.F) {
+	var list rpc.Enc
+	(&ListReply{Names: []string{"a", "bb", "ccc"}}).encodePayload(&list)
+	f.Add(uint8(0), list.Payload())
+	var read rpc.Enc
+	(&ReadAtReply{Data: []byte("page")}).encodePayload(&read)
+	f.Add(uint8(1), read.Payload())
+	var stat rpc.Enc
+	(&StatReply{Size: 99}).encodePayload(&stat)
+	f.Add(uint8(2), stat.Payload())
+	f.Add(uint8(0), []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(uint8(1), []byte{})
+
+	f.Fuzz(func(t *testing.T, which uint8, payload []byte) {
+		d := rpc.NewDec(payload)
+		switch which % 3 {
+		case 0:
+			var out ListReply
+			out.decodePayload(d)
+			// Names decoded before a truncation error are legitimate
+			// (callers must check d.Err before trusting the value); the
+			// invariant is that every decoded byte came from the
+			// payload and the count prefix cannot force a huge
+			// allocation.
+			if cap(out.Names) > rpc.ListCap(0xFFFFFFFF) {
+				t.Fatalf("preallocated %d entries", cap(out.Names))
+			}
+			total := 0
+			for _, n := range out.Names {
+				total += len(n)
+			}
+			if total > len(payload) {
+				t.Fatalf("%d name bytes from %d-byte payload", total, len(payload))
+			}
+		case 1:
+			var out ReadAtReply
+			out.decodePayload(d)
+			if len(out.Data) > len(payload) {
+				t.Fatalf("%d data bytes from %d-byte payload", len(out.Data), len(payload))
+			}
+			if d.Err() != nil && out.Data != nil {
+				t.Fatal("data survived a decode error")
+			}
+		case 2:
+			var out StatReply
+			out.decodePayload(d)
+			if d.Err() != nil && out.Size != 0 {
+				t.Fatal("size survived a decode error")
+			}
+		}
+		if d.Remaining() < 0 || d.Remaining() > len(payload) {
+			t.Fatalf("remaining out of range: %d", d.Remaining())
+		}
+	})
+}

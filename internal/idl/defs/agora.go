@@ -1,0 +1,54 @@
+package defs
+
+import "repro/internal/idl"
+
+// Agora is the blackboard broker protocol (E6's application layer):
+// agents post scored hypotheses and snapshot the board. The shared
+// blackboard page itself is the record below — agents also read it
+// directly through netmem-attached memory.
+var Agora = idl.Interface{
+	Name:      "Agora",
+	GoPackage: "agora",
+	Dir:       "internal/agora",
+	Doc:       "the Agora blackboard broker: post hypotheses, snapshot the board",
+	BaseID:    3300,
+	Batch:     true,
+	Methods: []idl.Method{
+		{
+			Name: "Post",
+			Doc:  "post one scored hypothesis to the board",
+			Request: struct {
+				Score uint64
+				Text  string
+			}{},
+		},
+		{
+			Name: "Snapshot",
+			Doc:  "the board's current entries, newest last",
+			Reply: struct {
+				Entries []Hypothesis `mach:"extern"`
+			}{},
+		},
+	},
+	Records: []idl.Record{
+		{
+			Name: "blackboard",
+			Doc: "the shared blackboard page's control words: the bakery-lock " +
+				"arrays (MaxAgents slots each) and the count/generation words " +
+				"agents poll for changes",
+			Fields: []idl.RecordField{
+				{Name: "offChoosing", Words: 16, Doc: "bakery `choosing` flags, MaxAgents x 8 bytes"},
+				{Name: "offNumber", Words: 16, Doc: "bakery ticket numbers, MaxAgents x 8 bytes"},
+				{Name: "offCountW", Words: 1, Doc: "hypothesis count"},
+				{Name: "offGenW", Words: 1, Doc: "generation (bumped per post)"},
+			},
+		},
+	},
+}
+
+// Hypothesis mirrors agora.Hypothesis (declared by hand in the target
+// package — the broker's public vocabulary) for wire-order reflection.
+type Hypothesis struct {
+	Score uint64
+	Text  string
+}

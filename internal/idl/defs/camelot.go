@@ -1,0 +1,65 @@
+package defs
+
+import (
+	"repro/internal/idl"
+	"repro/internal/ipc"
+)
+
+// Camelot is the disk-manager protocol of the transaction stack
+// (DESIGN.md §5, E9): recoverable segments attached as pager-backed
+// regions, write-ahead logging, and transaction outcomes.
+var Camelot = idl.Interface{
+	Name:      "Camelot",
+	GoPackage: "camelot",
+	Dir:       "internal/camelot",
+	Doc:       "the Camelot disk manager: recoverable segments, WAL, tx outcomes",
+	BaseID:    3200,
+	Batch:     true,
+	Methods: []idl.Method{
+		{
+			Name: "CreateSegment",
+			Doc:  "create a named recoverable segment",
+			Request: struct {
+				Size uint64
+				Name string
+			}{},
+		},
+		{
+			Name: "AttachSegment",
+			Doc:  "attach a segment; the reply carries its memory-object port and log segment ID",
+			Request: struct {
+				Name string
+			}{},
+			Reply: struct {
+				Size   uint64
+				ID     uint32
+				Object ipc.Name `mach:"right"`
+			}{},
+		},
+		{
+			Name: "LogAppend",
+			Doc:  "append one old/new-value update record to the write-ahead log",
+			Request: struct {
+				Tx     uint64
+				Seg    uint32
+				Offset uint64
+				Old    []byte
+				New    []byte
+			}{},
+		},
+		{
+			Name: "TxCommit",
+			Doc:  "commit: force the transaction's log records to disk first",
+			Request: struct {
+				Tx uint64
+			}{},
+		},
+		{
+			Name: "TxAbort",
+			Doc:  "abort: the old values in the log undo the transaction's writes",
+			Request: struct {
+				Tx uint64
+			}{},
+		},
+	},
+}

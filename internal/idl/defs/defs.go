@@ -1,0 +1,15 @@
+// Package defs holds the interface definitions machgen compiles — the
+// repo's .defs files, written as plain Go values so definitions are
+// type-checked and diffable like everything else. Regenerate with
+// `go generate ./...` (or `make generate`); CI diffs the committed
+// output against a fresh run, so generated code can never drift from
+// these definitions.
+package defs
+
+//go:generate go run repro/cmd/machgen
+
+import "repro/internal/idl"
+
+// All is every interface machgen generates, one entry per service
+// package.
+var All = []idl.Interface{FS, NetMem, Camelot, Agora, Pager, UnixEmu, TaskPort}

@@ -1,0 +1,86 @@
+package defs
+
+import (
+	"repro/internal/idl"
+	"repro/internal/ipc"
+)
+
+// FS is the file-server protocol (DESIGN.md §5, E7/E8): whole-file
+// transfer by copy-on-write region, stateful open handles, and
+// positioned reads against a handle's own port.
+var FS = idl.Interface{
+	Name:      "FS",
+	GoPackage: "fs",
+	Dir:       "internal/fs",
+	Doc:       "the file server: whole-file OOL transfer, handles, positioned reads",
+	BaseID:    3000,
+	Batch:     true,
+	Methods: []idl.Method{
+		{
+			Name: "ReadFile",
+			Doc:  "whole-file read; the content arrives as a copy-on-write out-of-line region",
+			Request: struct {
+				Name string
+			}{},
+			Reply: struct {
+				// Size is the file's byte length (the region is padded
+				// to page granularity).
+				Size    uint64
+				Content ipc.OutOfLineRegion `mach:"region"`
+			}{},
+		},
+		{
+			Name: "WriteFile",
+			Doc:  "whole-file write from an out-of-line region; Size bounds how much of it is the file",
+			Request: struct {
+				Size    uint64
+				Name    string
+				Content ipc.OutOfLineRegion `mach:"region"`
+			}{},
+			Reply: struct {
+				// Size echoes the stored byte length.
+				Size uint64
+			}{},
+		},
+		{
+			Name: "Stat",
+			Doc:  "file size by name",
+			Request: struct {
+				Name string
+			}{},
+			Reply: struct {
+				Size uint64
+			}{},
+		},
+		{
+			Name: "List",
+			Doc:  "names of every stored file",
+			Reply: struct {
+				Names []string
+			}{},
+		},
+		{
+			Name: "Open",
+			Doc:  "open a handle: a dedicated port whose death (no more senders) closes the file",
+			Request: struct {
+				Name string
+			}{},
+			Reply: struct {
+				Size   uint64
+				Handle ipc.Name `mach:"right"`
+			}{},
+		},
+		{
+			Name: "ReadAt",
+			Doc:  "positioned read against an open handle, identified by its carried right",
+			Request: struct {
+				Offset uint64
+				Length uint64
+				Handle ipc.Name `mach:"right"`
+			}{},
+			Reply: struct {
+				Data []byte
+			}{},
+		},
+	},
+}

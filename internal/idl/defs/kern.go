@@ -1,0 +1,50 @@
+package defs
+
+import "repro/internal/idl"
+
+// TaskPort is the task-port protocol (DESIGN.md §3): operations on a
+// task by whoever holds its task port. The server side is a raw
+// receive loop inside the kernel package (it replies with RawSend and
+// must survive malformed traffic without an rpc.Server), so only the
+// codecs and the typed client are generated.
+var TaskPort = idl.Interface{
+	Name:      "TaskPort",
+	GoPackage: "kern",
+	Dir:       "internal/kern",
+	Doc:       "task-port operations: suspend/resume/terminate and task-memory access",
+	BaseID:    3400,
+	NoServer:  true,
+	Methods: []idl.Method{
+		{
+			Name: "TaskSuspend",
+			Doc:  "pause the task's threads",
+		},
+		{
+			Name: "TaskResume",
+			Doc:  "resume a suspended task",
+		},
+		{
+			Name: "TaskTerminate",
+			Doc:  "destroy the task; its task port dies with it",
+		},
+		{
+			Name: "TaskVMRead",
+			Doc:  "read task memory (bounded server-side to 1 MiB per call)",
+			Request: struct {
+				Addr uint64
+				Size uint64
+			}{},
+			Reply: struct {
+				Data []byte `mach:"tail"`
+			}{},
+		},
+		{
+			Name: "TaskVMWrite",
+			Doc:  "write task memory",
+			Request: struct {
+				Addr uint64
+				Data []byte `mach:"tail"`
+			}{},
+		},
+	},
+}

@@ -1,0 +1,39 @@
+package defs
+
+import (
+	"repro/internal/idl"
+	"repro/internal/ipc"
+)
+
+// NetMem is the network shared-memory server protocol (DESIGN.md §5,
+// E6): named regions backed by an external pager, attached by carrying
+// the memory-object port back to the client.
+var NetMem = idl.Interface{
+	Name:      "NetMem",
+	GoPackage: "netmem",
+	Dir:       "internal/netmem",
+	Doc:       "the netmsg shared-memory server: named pager-backed regions",
+	BaseID:    3100,
+	Batch:     true,
+	Methods: []idl.Method{
+		{
+			Name: "CreateRegion",
+			Doc:  "create a named region of the given size",
+			Request: struct {
+				Size uint64
+				Name string
+			}{},
+		},
+		{
+			Name: "AttachRegion",
+			Doc:  "look a region up; the reply carries its memory-object port for vm_allocate_with_pager",
+			Request: struct {
+				Name string
+			}{},
+			Reply: struct {
+				Size   uint64
+				Object ipc.Name `mach:"right"`
+			}{},
+		},
+	},
+}

@@ -1,0 +1,33 @@
+package defs
+
+import "repro/internal/idl"
+
+// Pager is the external-pager wire format (DESIGN.md §4): every
+// pager-protocol message shares one payload shape riding under the
+// package's own MsgID block, which stays hand-declared (the IDs
+// thread through manager internals). Only the codec is generated; the
+// Data tail deliberately aliases the message buffer on decode — the
+// paging data path copies pages exactly once.
+var Pager = idl.Interface{
+	Name:      "Pager",
+	GoPackage: "pager",
+	Dir:       "internal/pager",
+	Doc:       "the external-pager wire payload shared by all pager messages",
+	NoIDs:     true,
+	NoClient:  true,
+	NoServer:  true,
+	Structs: []idl.Struct{
+		{
+			Name: "wirePayload",
+			Doc: "one pager-message payload: the region window it concerns, " +
+				"a protection/lock byte, a flag byte, and the page data",
+			Proto: struct {
+				Offset uint64
+				Length uint64
+				Prot   uint8
+				Flag   uint8
+				Data   []byte `mach:"tail"`
+			}{},
+		},
+	},
+}

@@ -1,0 +1,21 @@
+package defs
+
+import "repro/internal/idl"
+
+// UnixEmu pins the emulator's shared u-area layout (DESIGN.md §6): a
+// page of 8-byte file-offset slots shared between parent and child
+// through vm_inherit, one slot per open file description.
+var UnixEmu = idl.Interface{
+	Name:      "UnixEmu",
+	GoPackage: "unixemu",
+	Dir:       "internal/unixemu",
+	Doc:       "the unix emulator's shared u-area page layout",
+	Records: []idl.Record{
+		{
+			Name: "uarea",
+			Doc: "the shared u-area page: an array of 8-byte file-offset " +
+				"words, indexed by open-file slot",
+			Stride: 1,
+		},
+	},
+}

@@ -1,0 +1,121 @@
+// Package idl is the interface-definition model for machgen — the
+// repo's MIG. The paper's Mach interfaces were never hand-marshalled:
+// MIG compiled interface definitions into client stubs, server demux
+// tables and pack/unpack code, which is what kept every new service
+// cheap to add and the message layer uniformly optimizable. Here the
+// definitions are plain Go values (internal/idl/defs) describing each
+// protocol's methods as request/reply struct prototypes; cmd/machgen
+// reflects over them and emits one zz_generated_machgen.go per service
+// package: MsgID constants, typed request/reply structs with codecs,
+// a typed client (plus ...Batch stubs for pipelining inline-only
+// methods through rpc.Batch), and a Register<Iface>Server demux that
+// installs handlers on an rpc.Server.
+//
+// # Wire mapping
+//
+// A method's request and reply are struct prototypes whose fields
+// marshal in declaration order. Untagged fields map by Go type:
+//
+//	uint8/uint16/uint32/uint64  fixed-width little-endian scalars
+//	rpc.Status / ipc.Name       their wire representations (u8 / u32)
+//	string                      u32-length-prefixed bytes
+//	[]byte                      u32-length-prefixed bytes
+//	[]string                    u32 count, then each string
+//	[]T (T a defs struct)       u32 count, then each element's fields
+//
+// Struct tags adjust the carriage:
+//
+//	mach:"tail"    []byte: the unprefixed remainder of the payload;
+//	               must be the last inline field. Decoded aliasing the
+//	               message buffer (no copy) — the pager's data path.
+//	mach:"region"  ipc.OutOfLineRegion: carried as an out-of-line
+//	               section, not inline bytes.
+//	mach:"right"   ipc.Name: carried as a port-right section moving a
+//	               send right; zero names are simply not carried.
+//	mach:"extern"  on a []T list: T is already declared in the target
+//	               package (the generator emits the codec loop but not
+//	               the element type).
+//
+// Section-carried fields ride the message's section list in field
+// order, separately from the inline payload, and make a method
+// batch-ineligible: rpc.Batch coalesces many calls into ONE message,
+// whose sections could not be attributed to sub-calls.
+package idl
+
+// Interface describes one protocol: a block of consecutively numbered
+// methods served by one port, plus any shared-memory record layouts the
+// package pins.
+type Interface struct {
+	// Name is the Go identifier prefix for generated top-level names
+	// (FSClient, RegisterFSServer, FSServerAPI).
+	Name string
+	// GoPackage is the target package name the generated file declares.
+	GoPackage string
+	// Dir is the repo-relative directory of the target package.
+	Dir string
+	// Doc is a one-line description used in the generated file header.
+	Doc string
+	// BaseID numbers the first method; subsequent methods count up by
+	// one, matching the repo's MsgID range registry in
+	// internal/ipc/message.go.
+	BaseID int32
+	// Batch emits ...Batch client stubs (pipelined pending-handle
+	// calls) for every batch-eligible (section-free, non-reply-less
+	// transport) method.
+	Batch bool
+	// NoServer suppresses the ServerAPI/Register demux — for protocols
+	// served by a raw receive loop (kern task ports) that still want
+	// generated codecs and client stubs.
+	NoServer bool
+	// NoClient suppresses the typed client — for pure wire formats
+	// (the pager protocol's payload) embedded in other transports.
+	NoClient bool
+	// NoIDs suppresses the MsgID constant block when the target
+	// package owns its IDs by hand (the pager's IDs tie into manager
+	// internals).
+	NoIDs bool
+	// Methods are the protocol's calls, in ID order.
+	Methods []Method
+	// Structs are standalone wire structs (codec only, no call).
+	Structs []Struct
+	// Records are shared-memory layouts (offset constants, no codec).
+	Records []Record
+}
+
+// Method is one call: ID BaseID+index, a request prototype and a reply
+// prototype. A nil Request means the call takes no arguments; a nil
+// Reply means a bare status reply.
+type Method struct {
+	Name string
+	// Doc is the comment for the generated MsgID constant and stubs.
+	Doc     string
+	Request any
+	Reply   any
+}
+
+// Struct is a standalone wire struct: the generator emits the type and
+// its payload codec, nothing else.
+type Struct struct {
+	Name  string
+	Doc   string
+	Proto any
+}
+
+// Record is a shared-memory page layout: named byte offsets into a
+// mapped region, generated as constants so reader and writer tasks can
+// never drift. Either Fields (a fixed sequence of word-aligned slots)
+// or Stride (a homogeneous array of Stride-word slots) describes it.
+type Record struct {
+	Name   string
+	Doc    string
+	Fields []RecordField
+	Stride int
+}
+
+// RecordField is one fixed field: Words 8-byte words at the running
+// offset, named by the generated constant Name.
+type RecordField struct {
+	Name  string
+	Doc   string
+	Words int
+}

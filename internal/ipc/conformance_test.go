@@ -283,7 +283,8 @@ var conformance = map[confState]map[string]error{
 	},
 	stSetName: {
 		"Send": ErrInvalidPort, "Receive": ErrNoEnabledPorts, "Resolve": ErrInvalidPort, "Status": ErrInvalidPort,
-		"Enable": ErrNotReceiver, "Disable": ok, "SetBacklog": ErrNotReceiver,
+		// SetBacklog on a set name installs the set-wide queue cap.
+		"Enable": ErrNotReceiver, "Disable": ok, "SetBacklog": ok,
 		"CopySendRight": ErrInvalidPort, "CarrySend": ErrInvalidPort, "CarryReceive": ErrInvalidPort, "ReplyPort": ErrInvalidPort,
 		"RequestNoSenders": ErrNotReceiver, "RequestDeadName": ErrInvalidPort,
 		"MoveToPortSet": ErrInvalidPort, "RemoveFromPortSet": ErrInvalidPort, "Deallocate": ok,

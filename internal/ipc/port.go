@@ -233,17 +233,40 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 			p.mu.Unlock()
 			return ErrPortDied
 		}
-		if force || p.queue.n < p.backlog {
+		if force {
+			if set := p.inSet; set != nil {
+				set.tryCharge(true)
+			}
 			break
 		}
+		if p.queue.n >= p.backlog {
+			if nonblock {
+				p.mu.Unlock()
+				return ErrWouldBlock
+			}
+			if !condWait(p.sendCond, deadline) {
+				p.mu.Unlock()
+				return ErrSendTimedOut
+			}
+			continue
+		}
+		set := p.inSet
+		if set == nil || set.tryCharge(false) {
+			break
+		}
+		// Per-port backlog has room but the set-wide cap is full: park
+		// on the set's sender gate. The port lock cannot be held while
+		// waiting on set state (lock order), so drop it and re-evaluate
+		// everything on wake — the port may have died or left the set.
 		if nonblock {
 			p.mu.Unlock()
 			return ErrWouldBlock
 		}
-		if !condWait(p.sendCond, deadline) {
-			p.mu.Unlock()
+		p.mu.Unlock()
+		if !set.waitSenders(deadline) {
 			return ErrSendTimedOut
 		}
+		p.mu.Lock()
 	}
 	m.arrivedOn = p
 	p.queue.push(m)
@@ -308,6 +331,10 @@ func (p *Port) enqueueNotify(m *Message, cap int) bool {
 	m.arrivedOn = p
 	p.queue.push(m)
 	set := p.inSet
+	if set != nil {
+		// Counted against the set cap but never blocked, like force.
+		set.tryCharge(true)
+	}
 	var queued bool
 	var recv *Space
 	if set == nil {
@@ -410,12 +437,16 @@ func (p *Port) cancelWait(w *recvWaiter) (*Message, error) {
 // churn.
 func (p *Port) tryDequeueFor(set *portSet) (*Message, bool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.inSet != set || p.queue.n == 0 {
+		p.mu.Unlock()
 		return nil, false
 	}
 	m := p.queue.pop()
 	p.sendCond.Broadcast()
+	p.mu.Unlock()
+	if set != nil {
+		set.discharge(1)
+	}
 	return m, true
 }
 
@@ -704,7 +735,7 @@ func (p *Port) destroy() {
 	p.mu.Unlock()
 
 	if set != nil {
-		set.forgetPort(p)
+		set.forgetPort(p, len(dropped))
 	}
 	// Dispose of rights carried by undelivered messages: receive rights
 	// destroy their ports, send rights drop their transit references.

@@ -45,6 +45,26 @@ type portSet struct {
 	// resumes just past it, so one flooded member cannot starve the
 	// rest.
 	cursor atomic.Uint32
+
+	// qlimit is the set-wide queue cap (0 = no set-level cap): the sum
+	// of member queue depths may not exceed it, so a server draining
+	// many client ports through one set bounds its total buffered work
+	// and backpressures ALL senders collectively — per-port backlogs
+	// alone let N clients queue N×backlog messages. Set via
+	// Space.SetBacklog on the set name.
+	qlimit atomic.Int64
+	// queued counts messages sitting on member queues. Every queued
+	// message on a member is charged exactly once: charged by the
+	// member's enqueue (or by addMember for a pre-existing queue),
+	// discharged by the set receive that takes it (or by the membership
+	// change / port death that carries it out of the set).
+	qlen atomic.Int64
+	// qgateMu/qgate park senders blocked on the set cap. Strictly a
+	// leaf lock: taken only with no other ipc lock held (a sender drops
+	// the port lock before parking), so charging and waking stay off
+	// the set's membership lock.
+	qgateMu sync.Mutex
+	qgate   *sync.Cond
 }
 
 type setMember struct {
@@ -53,7 +73,75 @@ type setMember struct {
 }
 
 func newPortSet(s *Space) *portSet {
-	return &portSet{space: s, members: make(map[Name]*Port)}
+	ps := &portSet{space: s, members: make(map[Name]*Port)}
+	ps.qgate = sync.NewCond(&ps.qgateMu)
+	return ps
+}
+
+// setQlimit installs a set-wide queue cap and wakes parked senders to
+// re-evaluate against it.
+func (ps *portSet) setQlimit(n int64) {
+	ps.qlimit.Store(n)
+	ps.wakeSenders()
+}
+
+// tryCharge reserves one slot against the set cap, reporting failure
+// when the set is full. force (kernel notifications, server replies)
+// always charges: forced messages are counted but never blocked.
+// Atomics only — callers hold a member's port lock, which is ordered
+// after ps.mu and must not take it.
+func (ps *portSet) tryCharge(force bool) bool {
+	limit := ps.qlimit.Load()
+	if force || limit <= 0 {
+		ps.qlen.Add(1)
+		return true
+	}
+	for {
+		n := ps.qlen.Load()
+		if n >= limit {
+			return false
+		}
+		if ps.qlen.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// discharge releases n slots (a message left a member queue — received
+// through the set, or carried out by membership change or port death)
+// and lets blocked senders retry.
+func (ps *portSet) discharge(n int) {
+	if n == 0 {
+		return
+	}
+	ps.qlen.Add(int64(-n))
+	if ps.qlimit.Load() > 0 {
+		ps.wakeSenders()
+	}
+}
+
+// wakeSenders broadcasts the sender gate. Blocked senders re-evaluate
+// everything from scratch (cap, membership, port liveness), so any
+// state change that might unblock one just broadcasts.
+func (ps *portSet) wakeSenders() {
+	ps.qgateMu.Lock()
+	ps.qgate.Broadcast()
+	ps.qgateMu.Unlock()
+}
+
+// waitSenders parks a sender until the gate is broadcast or the
+// deadline passes, reporting false on timeout. The full-cap predicate
+// is re-checked under the gate lock so a discharge between the caller's
+// failed tryCharge and the park here is never a lost wakeup. Called
+// with NO other ipc lock held.
+func (ps *portSet) waitSenders(deadline time.Time) bool {
+	ps.qgateMu.Lock()
+	defer ps.qgateMu.Unlock()
+	limit := ps.qlimit.Load()
+	if limit <= 0 || ps.qlen.Load() < limit {
+		return true
+	}
+	return condWait(ps.qgate, deadline)
 }
 
 // rebuildLocked refreshes the sorted snapshot. Caller holds ps.mu.
@@ -103,8 +191,13 @@ func (ps *portSet) addMember(n Name, p *Port) error {
 	p.inSet = ps
 	waiters := p.waiters
 	p.waiters = nil
-	queued := p.queue.n > 0
+	qn := p.queue.n
+	queued := qn > 0
 	p.mu.Unlock()
+	// Charge the member's pre-existing queue against the set cap. The
+	// snapshot is exact: enqueues serialize on p.mu, so one before the
+	// pointer flip is in qn and uncharged, one after charges itself.
+	ps.qlen.Add(int64(qn))
 	ps.members[n] = p
 	ps.rebuildLocked()
 	ps.mu.Unlock()
@@ -138,7 +231,8 @@ func (ps *portSet) removeMember(p *Port) (removed, queued bool) {
 		return false, false
 	}
 	p.inSet = nil
-	queued = p.queue.n > 0
+	qn := p.queue.n
+	queued = qn > 0
 	p.mu.Unlock()
 	for n, m := range ps.members {
 		if m == p {
@@ -148,14 +242,21 @@ func (ps *portSet) removeMember(p *Port) (removed, queued bool) {
 	}
 	ps.rebuildLocked()
 	ps.mu.Unlock()
+	// The orphaned queue leaves the set's accounting, and senders
+	// parked on the gate for THIS port must re-route to its per-port
+	// backlog even when nothing was queued.
+	ps.discharge(qn)
+	ps.wakeSenders()
 	ps.notifyAll()
 	return true, queued
 }
 
 // forgetPort drops a member whose port died. The port already cleared
 // its own set pointer under its lock (destroy cannot take ps.mu under
-// p.mu), so only the set-side tables need cleaning.
-func (ps *portSet) forgetPort(p *Port) {
+// p.mu), so only the set-side tables need cleaning. drained is the
+// number of messages the dying port's queue held — all charged against
+// the set cap, all gone now.
+func (ps *portSet) forgetPort(p *Port, drained int) {
 	ps.mu.Lock()
 	for n, m := range ps.members {
 		if m == p {
@@ -165,6 +266,8 @@ func (ps *portSet) forgetPort(p *Port) {
 	}
 	ps.rebuildLocked()
 	ps.mu.Unlock()
+	ps.discharge(drained)
+	ps.wakeSenders()
 	ps.notifyAll()
 }
 
@@ -200,6 +303,9 @@ func (ps *portSet) destroy(reason error) (orphanQueued bool) {
 		w.err = reason
 		w.ready <- struct{}{}
 	}
+	// Senders parked on the set cap re-check and find their ports
+	// orphaned back to per-port backpressure.
+	ps.wakeSenders()
 	return orphanQueued
 }
 

@@ -1,0 +1,233 @@
+package ipc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// qlimitSet builds a set with nm members, each with a roomy per-port
+// backlog, and a set-wide cap of qcap.
+func qlimitSet(t *testing.T, nm, qcap int) (*Space, Name, []Name) {
+	t.Helper()
+	s := NewSpace(0, nil)
+	t.Cleanup(s.Destroy)
+	set, err := s.AllocatePortSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]Name, nm)
+	for i := range members {
+		p, err := s.AllocatePort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetBacklog(p, 1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.MoveToPortSet(set, p); err != nil {
+			t.Fatal(err)
+		}
+		members[i] = p
+	}
+	if err := s.SetBacklog(set, qcap); err != nil {
+		t.Fatal(err)
+	}
+	return s, set, members
+}
+
+// TestPortSetQlimitFlood: per-port backlogs are wide open, yet senders
+// spraying ALL members stop at exactly the set-wide cap — the
+// collective backpressure per-port backlogs cannot provide.
+func TestPortSetQlimitFlood(t *testing.T) {
+	const cap = 8
+	s, set, members := qlimitSet(t, 4, cap)
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		err := s.Send(&Message{ID: MsgID(i), RemotePort: members[i%len(members)]}, SendOptions{NonBlocking: true})
+		if err == ErrWouldBlock {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted++
+	}
+	if accepted != cap {
+		t.Fatalf("set accepted %d messages, cap is %d", accepted, cap)
+	}
+	// Every member must now refuse, not just the one that hit the cap.
+	for _, p := range members {
+		if err := s.Send(&Message{ID: 999, RemotePort: p}, SendOptions{NonBlocking: true}); err != ErrWouldBlock {
+			t.Fatalf("member %v: err = %v, want ErrWouldBlock", p, err)
+		}
+	}
+	// Draining one message through the set admits exactly one more send.
+	m, err := s.Receive(set, ReceiveOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release()
+	if err := s.Send(&Message{ID: 100, RemotePort: members[0]}, SendOptions{NonBlocking: true}); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	if err := s.Send(&Message{ID: 101, RemotePort: members[1]}, SendOptions{NonBlocking: true}); err != ErrWouldBlock {
+		t.Fatalf("beyond cap again: err = %v, want ErrWouldBlock", err)
+	}
+}
+
+// TestPortSetQlimitBlockingSender: a blocking sender parked on the set
+// cap completes once a receive drains a slot — on any member, not just
+// its target — and a timed sender times out against a full set.
+func TestPortSetQlimitBlockingSender(t *testing.T) {
+	s, set, members := qlimitSet(t, 2, 2)
+	for i := 0; i < 2; i++ {
+		if err := s.Send(&Message{ID: MsgID(i), RemotePort: members[0]}, SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Send(&Message{ID: 9, RemotePort: members[1]}, SendOptions{Timeout: 50 * time.Millisecond}); err != ErrSendTimedOut {
+		t.Fatalf("timed send on full set: err = %v, want ErrSendTimedOut", err)
+	}
+	unblocked := make(chan error, 1)
+	go func() {
+		unblocked <- s.Send(&Message{ID: 10, RemotePort: members[1]}, SendOptions{Timeout: 5 * time.Second})
+	}()
+	select {
+	case err := <-unblocked:
+		t.Fatalf("sender ran ahead of the cap: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m, err := s.Receive(set, ReceiveOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release()
+	if err := <-unblocked; err != nil {
+		t.Fatalf("sender not released by drain: %v", err)
+	}
+}
+
+// TestPortSetQlimitRaiseReleases: raising the cap releases parked
+// senders without any receive.
+func TestPortSetQlimitRaiseReleases(t *testing.T) {
+	s, set, members := qlimitSet(t, 1, 1)
+	if err := s.Send(&Message{ID: 1, RemotePort: members[0]}, SendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	unblocked := make(chan error, 1)
+	go func() {
+		unblocked <- s.Send(&Message{ID: 2, RemotePort: members[0]}, SendOptions{Timeout: 5 * time.Second})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.SetBacklog(set, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-unblocked; err != nil {
+		t.Fatalf("sender not released by cap raise: %v", err)
+	}
+}
+
+// TestPortSetQlimitRemoveReroutes: removing a member from a capped-full
+// set releases its parked senders to the port's own (roomier) backlog.
+func TestPortSetQlimitRemoveReroutes(t *testing.T) {
+	s, set, members := qlimitSet(t, 2, 1)
+	if err := s.Send(&Message{ID: 1, RemotePort: members[0]}, SendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	unblocked := make(chan error, 1)
+	go func() {
+		unblocked <- s.Send(&Message{ID: 2, RemotePort: members[1]}, SendOptions{Timeout: 5 * time.Second})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.RemoveFromPortSet(set, members[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-unblocked; err != nil {
+		t.Fatalf("sender not rerouted to per-port backlog: %v", err)
+	}
+	m, err := s.Receive(members[1], ReceiveOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 2 {
+		t.Fatalf("got ID %d, want 2", m.ID)
+	}
+	m.Release()
+}
+
+// TestPortSetQlimitChurnAccounting floods a capped set from many
+// senders while membership churns and a receiver drains: the
+// charge/discharge pairing must stay exact — after the dust settles the
+// set still admits exactly cap messages, no drift in either direction.
+func TestPortSetQlimitChurnAccounting(t *testing.T) {
+	const cap = 4
+	s, set, members := qlimitSet(t, 3, cap)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Senders spray with short timeouts; failures are expected noise.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.Send(&Message{ID: MsgID(j), RemotePort: members[(i+j)%len(members)]},
+					SendOptions{Timeout: time.Millisecond})
+			}
+		}(i)
+	}
+	// One member bounces in and out of the set.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.RemoveFromPortSet(set, members[2])
+			_ = s.MoveToPortSet(set, members[2])
+		}
+	}()
+	// Receiver drains.
+	deadline := time.After(200 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			// Put the bounced member back, drain everything, then check
+			// the cap is still exactly cap.
+			_ = s.MoveToPortSet(set, members[2])
+			for {
+				m, err := s.Receive(set, ReceiveOptions{NonBlocking: true})
+				if err != nil {
+					break
+				}
+				m.Release()
+			}
+			accepted := 0
+			for i := 0; i < cap*3; i++ {
+				if err := s.Send(&Message{ID: 1, RemotePort: members[i%len(members)]}, SendOptions{NonBlocking: true}); err != nil {
+					break
+				}
+				accepted++
+			}
+			if accepted != cap {
+				t.Fatalf("after churn the set admits %d, cap is %d", accepted, cap)
+			}
+			return
+		default:
+			m, err := s.Receive(set, ReceiveOptions{Timeout: 10 * time.Millisecond})
+			if err == nil {
+				m.Release()
+			}
+		}
+	}
+}

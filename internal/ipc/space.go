@@ -610,6 +610,15 @@ func (s *Space) Status(n Name) (PortStatus, error) {
 
 // SetBacklog limits the number of messages that may wait on the named
 // port (port_set_backlog). The space must hold the receive right.
+//
+// Named port SETS take a set-wide cap instead: the sum of all member
+// queue depths may not exceed backlog, so senders to ANY member block
+// (or ErrWouldBlock) once the set as a whole is full — collective
+// backpressure for a server draining many client ports through one
+// receive point, where per-port backlogs alone would let N clients
+// buffer N×backlog messages. Member ports keep their own backlogs; the
+// tighter of the two limits governs each send. Forced sends and kernel
+// notifications are counted but never blocked.
 func (s *Space) SetBacklog(n Name, backlog int) error {
 	if backlog < 1 {
 		backlog = 1
@@ -624,6 +633,10 @@ func (s *Space) SetBacklog(n Name, backlog int) error {
 	sh.mu.RUnlock()
 	if !ok {
 		return ErrInvalidPort
+	}
+	if e.set != nil {
+		e.set.setQlimit(int64(backlog))
+		return nil
 	}
 	if rights&ReceiveRight == 0 {
 		return ErrNotReceiver

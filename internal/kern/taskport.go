@@ -17,20 +17,11 @@ import (
 //
 // The kernel task acts as the server behind these ports.
 
-// Task port message IDs. Replies echo the request ID and follow the rpc
-// reply convention (rpc.Status byte, then result data).
-const (
-	// MsgTaskSuspend suspends every thread of the task.
-	MsgTaskSuspend ipc.MsgID = 3400 + iota
-	// MsgTaskResume resumes the task's threads.
-	MsgTaskResume
-	// MsgTaskTerminate destroys the task.
-	MsgTaskTerminate
-	// MsgTaskVMRead reads the task's memory (addr: u64, size: u64).
-	MsgTaskVMRead
-	// MsgTaskVMWrite writes the task's memory (addr: u64, then data).
-	MsgTaskVMWrite
-)
+// The wire protocol — message IDs, payload codecs and the typed client
+// — is generated from internal/idl/defs/kern.go (zz_generated_machgen.go).
+// Only the server stays hand-written: it is a raw receive loop, not an
+// rpc.Server, because it must keep running inside the kernel task and
+// survive malformed traffic.
 
 // TaskPort returns the port representing the task, creating it (and its
 // kernel service thread) on first use. Hand the send right to other
@@ -87,33 +78,35 @@ func (k *Kernel) serviceTaskPort(t *Task, port *ipc.Port) {
 		case MsgTaskTerminate:
 			t.Terminate()
 		case MsgTaskVMRead:
-			addr := d.U64()
-			size := d.U64()
-			if d.Err() != nil || size > 1<<20 {
+			var in TaskVMReadRequest
+			in.decodePayload(d)
+			if d.Err() != nil || in.Size > 1<<20 {
 				status = rpc.StatusBadArgs
 				break
 			}
-			b, err := t.VMRead(addr, size)
+			b, err := t.VMRead(in.Addr, in.Size)
 			if err != nil {
 				status = rpc.StatusDead
 			} else {
 				data = b
 			}
 		case MsgTaskVMWrite:
-			addr := d.U64()
-			body := d.Tail()
+			var in TaskVMWriteRequest
+			in.decodePayload(d)
 			if d.Err() != nil {
 				status = rpc.StatusBadArgs
 				break
 			}
-			if err := t.VMWrite(addr, body); err != nil {
+			if err := t.VMWrite(in.Addr, in.Data); err != nil {
 				status = rpc.StatusDead
 			}
 		default:
 			status = rpc.StatusBadID
 		}
 		if reply := m.ReplyPort(); reply != nil {
-			payload := rpc.NewEnc().Status(status).Tail(data).Payload()
+			e := rpc.NewEnc().Status(status)
+			(&TaskVMReadReply{Data: data}).encodePayload(e)
+			payload := e.Payload()
 			_ = ipc.RawSend(k.topo, k.host, reply, &ipc.Message{
 				ID:       m.ID,
 				Sections: []ipc.Section{ipc.InlineBytes(payload)},
@@ -152,48 +145,69 @@ func (t *Task) Resume() {
 
 const taskRPCTimeout = 10 * time.Second
 
-// taskRPC sends one task-port operation and waits for the reply.
-func taskRPC(requester *Task, taskPort ipc.Name, id ipc.MsgID, req *rpc.Enc) ([]byte, error) {
-	resp, err := rpc.NewClient(requester.Space, taskPort, taskRPCTimeout).Call(id, req)
-	if err != nil {
-		return nil, err
-	}
-	switch resp.Status {
+// taskClient binds a requester task to another task's port.
+func taskClient(requester *Task, taskPort ipc.Name) TaskPortClient {
+	return NewTaskPortClient(requester.Space, taskPort, taskRPCTimeout)
+}
+
+// mapTaskStatus converts a task-port reply status to this package's
+// error vocabulary.
+func mapTaskStatus(st rpc.Status) error {
+	switch st {
 	case rpc.StatusOK:
-		return resp.Dec.Tail(), nil
+		return nil
 	case rpc.StatusDead:
-		return nil, ErrTaskDead
+		return ErrTaskDead
 	default:
-		return nil, resp.Err()
+		return rpc.Errf(st, "kern: task port refused the operation")
 	}
 }
 
 // TaskSuspendRPC suspends the task behind taskPort.
 func TaskSuspendRPC(requester *Task, taskPort ipc.Name) error {
-	_, err := taskRPC(requester, taskPort, MsgTaskSuspend, nil)
-	return err
+	st, err := taskClient(requester, taskPort).TaskSuspend()
+	if err != nil {
+		return err
+	}
+	return mapTaskStatus(st)
 }
 
 // TaskResumeRPC resumes the task behind taskPort.
 func TaskResumeRPC(requester *Task, taskPort ipc.Name) error {
-	_, err := taskRPC(requester, taskPort, MsgTaskResume, nil)
-	return err
+	st, err := taskClient(requester, taskPort).TaskResume()
+	if err != nil {
+		return err
+	}
+	return mapTaskStatus(st)
 }
 
 // TaskTerminateRPC terminates the task behind taskPort.
 func TaskTerminateRPC(requester *Task, taskPort ipc.Name) error {
-	_, err := taskRPC(requester, taskPort, MsgTaskTerminate, nil)
-	return err
+	st, err := taskClient(requester, taskPort).TaskTerminate()
+	if err != nil {
+		return err
+	}
+	return mapTaskStatus(st)
 }
 
 // TaskVMReadRPC reads another task's memory through its task port (the
 // debugger's view of §8: "easy access to user process state").
 func TaskVMReadRPC(requester *Task, taskPort ipc.Name, addr, size uint64) ([]byte, error) {
-	return taskRPC(requester, taskPort, MsgTaskVMRead, rpc.NewEnc().U64(addr).U64(size))
+	out, st, err := taskClient(requester, taskPort).TaskVMRead(&TaskVMReadRequest{Addr: addr, Size: size})
+	if err != nil {
+		return nil, err
+	}
+	if err := mapTaskStatus(st); err != nil {
+		return nil, err
+	}
+	return out.Data, nil
 }
 
 // TaskVMWriteRPC writes another task's memory through its task port.
 func TaskVMWriteRPC(requester *Task, taskPort ipc.Name, addr uint64, data []byte) error {
-	_, err := taskRPC(requester, taskPort, MsgTaskVMWrite, rpc.NewEnc().U64(addr).Tail(data))
-	return err
+	st, err := taskClient(requester, taskPort).TaskVMWrite(&TaskVMWriteRequest{Addr: addr, Data: data})
+	if err != nil {
+		return err
+	}
+	return mapTaskStatus(st)
 }

@@ -1,5 +1,9 @@
 package netmem
 
+// The task-level client API: thin wrappers over the generated
+// NetMemClient that map the attachment into the calling task and
+// translate reply statuses into this package's error vocabulary.
+
 import (
 	"time"
 
@@ -11,15 +15,19 @@ import (
 // rpcTimeout bounds client waits on the shared memory server.
 const rpcTimeout = 10 * time.Second
 
+// client binds a task's connection to a published service port.
+func client(t *kern.Task, svc ipc.Name) NetMemClient {
+	return NewNetMemClient(t.Space, svc, rpcTimeout)
+}
+
 // Create asks the server to create a named shared region of the given
 // size.
 func Create(t *kern.Task, svc ipc.Name, name string, size uint64) error {
-	resp, err := rpc.NewClient(t.Space, svc, rpcTimeout).
-		Call(MsgCreateRegion, rpc.NewEnc().U64(size).String(name))
+	st, err := client(t, svc).CreateRegion(&CreateRegionRequest{Size: size, Name: name})
 	if err != nil {
 		return err
 	}
-	switch resp.Status {
+	switch st {
 	case rpc.StatusOK:
 		return nil
 	case rpc.StatusExists:
@@ -34,27 +42,21 @@ func Create(t *kern.Task, svc ipc.Name, name string, size uint64) error {
 // is the explicit detach, and when the last attachment right anywhere
 // dies the server reaps the region (detach-on-death).
 func AttachObject(t *kern.Task, svc ipc.Name, name string) (ipc.Name, uint64, error) {
-	resp, err := rpc.NewClient(t.Space, svc, rpcTimeout).
-		Call(MsgAttachRegion, rpc.NewEnc().String(name))
+	out, st, err := client(t, svc).AttachRegion(&AttachRegionRequest{Name: name})
 	if err != nil {
 		return 0, 0, err
 	}
-	switch resp.Status {
+	switch st {
 	case rpc.StatusOK:
 	case rpc.StatusNotFound:
 		return 0, 0, ErrNoRegion
 	default:
 		return 0, 0, ErrServer
 	}
-	size := resp.Dec.U64()
-	if resp.Dec.Err() != nil {
+	if out.Object == 0 {
 		return 0, 0, ErrServer
 	}
-	moName := resp.Msg.FirstPortRight()
-	if moName == 0 {
-		return 0, 0, ErrServer
-	}
-	return moName, size, nil
+	return out.Object, out.Size, nil
 }
 
 // Attach maps the named shared region into the task's address space with

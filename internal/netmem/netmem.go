@@ -30,17 +30,10 @@ import (
 	"repro/internal/vm"
 )
 
-// Service protocol message IDs. Replies echo the request ID and follow
-// the rpc reply convention (rpc.Status byte, then result fields).
-const (
-	// MsgCreateRegion creates a named shared region (size: u64, name:
-	// string).
-	MsgCreateRegion ipc.MsgID = 3100 + iota
-	// MsgAttachRegion asks for a region's memory object (name: string);
-	// the reply carries the region size (u64) and the object send
-	// right.
-	MsgAttachRegion
-)
+// The service wire protocol — message IDs, payload codecs, the typed
+// client and the server demux — is generated from the interface
+// definition in internal/idl/defs/netmem.go (zz_generated_machgen.go).
+// Flush acknowledgements ride the pager protocol, not this one.
 
 // Errors returned by the client library.
 var (
@@ -149,8 +142,7 @@ func NewServer(k *kern.Kernel) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv.Handle(MsgCreateRegion, s.handleCreate)
-	srv.Handle(MsgAttachRegion, s.handleAttach)
+	RegisterNetMemServer(srv, (*service)(s))
 	// Flush acknowledgements are one-way kernel notifications arriving
 	// on the regions' ack ports; they share the manager loop's demux.
 	srv.Handle(pager.MsgLockCompleted, s.handleFlushAck)
@@ -188,22 +180,20 @@ func (s *Server) pageSize() uint64 { return s.kernel.VM.PageSize() }
 
 // --- service protocol ------------------------------------------------------
 
-func (s *Server) handleCreate(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	size := d.U64()
-	name := d.String()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
+// service implements the generated NetMemServerAPI against the server's
+// state; RegisterNetMemServer demuxes and decodes, these methods act.
+type service Server
+
+// CreateRegion creates a named shared region.
+func (h *service) CreateRegion(m *ipc.Message, in *CreateRegionRequest) error {
+	s := (*Server)(h)
 	s.mu.Lock()
-	_, exists := s.regions[name]
+	_, exists := s.regions[in.Name]
 	s.mu.Unlock()
 	if exists {
-		return nil, rpc.Errf(rpc.StatusExists, "netmem: region %q exists", name)
+		return rpc.Errf(rpc.StatusExists, "netmem: region %q exists", in.Name)
 	}
-	if err := s.createRegion(name, size); err != nil {
-		return nil, err
-	}
-	return rpc.NewReply(), nil
+	return s.createRegion(in.Name, in.Size)
 }
 
 func (s *Server) createRegion(name string, size uint64) error {
@@ -243,16 +233,14 @@ func (s *Server) CreateRegion(name string, size uint64) error {
 	return s.createRegion(name, size)
 }
 
-func (s *Server) handleAttach(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
-	name := d.String()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
+// AttachRegion hands out a region's memory-object right and size.
+func (h *service) AttachRegion(m *ipc.Message, in *AttachRegionRequest) (*AttachRegionReply, error) {
+	s := (*Server)(h)
 	s.mu.Lock()
-	r := s.regions[name]
+	r := s.regions[in.Name]
 	s.mu.Unlock()
 	if r == nil {
-		return nil, rpc.Errf(rpc.StatusNotFound, "netmem: no region %q", name)
+		return nil, rpc.Errf(rpc.StatusNotFound, "netmem: no region %q", in.Name)
 	}
 	// Detach-on-death: the attachment right carried in this reply (and
 	// every later copy of it) is what keeps the region alive. Arming at
@@ -262,10 +250,7 @@ func (s *Server) handleAttach(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	if err := s.lc.OnNoSenders(r.object.Port, s.reapRegion); err != nil {
 		return nil, err
 	}
-	reply := rpc.NewReply()
-	reply.U64(r.size)
-	reply.Carry(ipc.CarryRight(r.object.Port, ipc.SendRight))
-	return reply, nil
+	return &AttachRegionReply{Size: r.size, Object: r.object.Port}, nil
 }
 
 // reapRegion runs on the manager loop when a region's last attachment

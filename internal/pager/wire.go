@@ -77,24 +77,27 @@ func DecodePayload(b []byte) (offset, length uint64, prot vm.Prot, flag byte, da
 	return decodePayload(b)
 }
 
-// encodePayload builds the inline payload of a pager message through the
-// shared rpc codec: offset u64, length u64, prot u8, flag u8, then the
-// raw page data as the tail.
+// encodePayload builds the inline payload of a pager message through
+// the generated wirePayload codec (internal/idl/defs/pager.go): offset
+// u64, length u64, prot u8, flag u8, then the raw page data as the
+// tail.
 func encodePayload(offset, length uint64, prot vm.Prot, flag byte, data []byte) []byte {
-	return rpc.NewEnc().U64(offset).U64(length).U8(byte(prot)).U8(flag).Tail(data).Payload()
+	e := rpc.NewEnc()
+	w := wirePayload{Offset: offset, Length: length, Prot: byte(prot), Flag: flag, Data: data}
+	w.encodePayload(e)
+	return e.Payload()
 }
 
 // decodePayload splits a pager message payload with length-checked
 // decoding; ok is false if the payload is shorter than the fixed header.
+// The returned data aliases b (the paging path copies pages exactly
+// once).
 func decodePayload(b []byte) (offset, length uint64, prot vm.Prot, flag byte, data []byte, ok bool) {
+	var w wirePayload
 	d := rpc.NewDec(b)
-	offset = d.U64()
-	length = d.U64()
-	prot = vm.Prot(d.U8())
-	flag = d.U8()
-	data = d.Tail()
+	w.decodePayload(d)
 	if d.Err() != nil {
 		return 0, 0, 0, 0, nil, false
 	}
-	return offset, length, prot, flag, data, true
+	return w.Offset, w.Length, vm.Prot(w.Prot), w.Flag, w.Data, true
 }

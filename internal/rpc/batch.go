@@ -1,0 +1,263 @@
+package rpc
+
+import (
+	"errors"
+
+	"repro/internal/ipc"
+)
+
+// MsgBatch is the reserved container ID for pipelined call batches. A
+// batch message coalesces N independent requests into one wire message
+// — one send, one receive, and (on the netmsg path) one proxy forward
+// for the whole pipeline instead of per call, which is the classic
+// round-trips-dominate fix from the distributed side of the paper's
+// story. Every Server answers it; the container payload is
+//
+//	request:  u32 count, then per call  [u32 seq][u32 msgid][bytes payload]
+//	reply:    u32 count, then per call  [u32 seq][u8 status][bytes payload]
+//
+// Sub-replies may arrive in any order (the client matches on seq), and
+// each sub-call fails independently with its own Status — a batch is
+// never torn: the container either executes every parsed sub-call or
+// rejects the whole message before running any.
+const MsgBatch ipc.MsgID = 2100
+
+// maxBatchCalls bounds one container, mirroring ListCap's stance that a
+// length prefix from the wire is a claim, not a grant.
+const maxBatchCalls = 256
+
+// ErrBatchNoReply reports a BatchCall whose result was consulted before
+// a successful Commit delivered one (the batch was never committed,
+// Commit failed as a whole, or the server's container reply omitted the
+// sub-reply).
+var ErrBatchNoReply = errors.New("rpc: no batch reply for this call")
+
+// Batch accumulates calls against one Client and commits them as a
+// single MsgBatch container. Typical use is through generated ...Batch
+// stubs:
+//
+//	b := client.NewBatch()
+//	p1 := fsc.StatBatch(b, &fs.StatRequest{Name: "a"})
+//	p2 := fsc.StatBatch(b, &fs.StatRequest{Name: "b"})
+//	if err := b.Commit(); err != nil { ... }
+//	r1, st1, err1 := p1.Result()
+//
+// Only inline-payload methods batch: port rights and out-of-line
+// regions ride message sections, which belong to the container, not to
+// any sub-call (generated Batch stubs exist only for section-free
+// methods). A Batch is not safe for concurrent use.
+type Batch struct {
+	c     *Client
+	body  Enc
+	calls []*BatchCall
+	seq   uint32
+}
+
+// NewBatch starts an empty batch against the client's service port.
+func (c *Client) NewBatch() *Batch { return &Batch{c: c} }
+
+// Add appends one call to the batch and returns its pending handle. req
+// may be nil for calls without arguments; its payload is copied, so the
+// encoder is free for reuse immediately.
+func (b *Batch) Add(id ipc.MsgID, req *Enc) *BatchCall {
+	bc := &BatchCall{seq: b.seq}
+	b.seq++
+	b.body.U32(bc.seq)
+	b.body.U32(uint32(id))
+	b.body.Bytes(req.Payload())
+	b.calls = append(b.calls, bc)
+	return bc
+}
+
+// Len reports the number of calls added since the last Reset.
+func (b *Batch) Len() int { return len(b.calls) }
+
+// Reset clears the batch for reuse, keeping its buffers. Pending
+// handles from before the Reset keep their delivered results but are no
+// longer tracked.
+func (b *Batch) Reset() {
+	b.body.Reset()
+	b.calls = b.calls[:0]
+	b.seq = 0
+}
+
+// Commit sends the batch and distributes sub-replies to the pending
+// handles. The returned error covers the container round trip only —
+// transport failure, a non-OK container status (unknown server, flooded
+// queue), or an undecodable container reply; per-call outcomes live on
+// the handles. An empty batch commits trivially.
+func (b *Batch) Commit() error {
+	if len(b.calls) == 0 {
+		return nil
+	}
+	head := NewEnc().U32(uint32(len(b.calls))).Tail(b.body.Payload())
+	resp, err := b.c.Call(MsgBatch, head)
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		st := resp.Status
+		resp.Release()
+		return st.Err()
+	}
+	err = b.match(resp.Dec)
+	resp.Release()
+	return err
+}
+
+// match walks a container reply and routes each sub-reply to its
+// pending call by sequence number, in whatever order the server emitted
+// them. Factored out of Commit so the out-of-order contract is testable
+// against crafted permutations without a live server.
+func (b *Batch) match(d *Dec) error {
+	n := int(d.U32())
+	for i := 0; i < n; i++ {
+		seq := d.U32()
+		st := d.Status()
+		payload := d.Bytes()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		bc := b.find(seq, i)
+		if bc == nil || bc.done {
+			return errors.New("rpc: batch reply with unknown sequence number")
+		}
+		bc.done = true
+		bc.status = st
+		bc.payload = append(bc.payload[:0], payload...)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for _, bc := range b.calls {
+		if !bc.done {
+			return ErrBatchNoReply
+		}
+	}
+	return nil
+}
+
+// find locates the pending call for seq. hint is the reply's position
+// in the container — the common in-order case hits without scanning.
+func (b *Batch) find(seq uint32, hint int) *BatchCall {
+	if hint < len(b.calls) && b.calls[hint].seq == seq {
+		return b.calls[hint]
+	}
+	for _, bc := range b.calls {
+		if bc.seq == seq {
+			return bc
+		}
+	}
+	return nil
+}
+
+// BatchCall is the pending handle for one call inside a Batch. After a
+// successful Commit it carries the call's own status and reply payload;
+// results are private to the call — one sub-call failing (bad args, not
+// found) never disturbs its neighbours.
+type BatchCall struct {
+	seq     uint32
+	done    bool
+	status  Status
+	payload []byte
+	dec     Dec
+}
+
+// Done reports whether a sub-reply has been delivered.
+func (bc *BatchCall) Done() bool { return bc.done }
+
+// Status returns the call's own wire status. Valid only after Commit
+// delivered a sub-reply (Done).
+func (bc *BatchCall) Status() Status { return bc.status }
+
+// Err maps the call's outcome to an error: ErrBatchNoReply before a
+// sub-reply is delivered, otherwise the status's sentinel (nil for
+// StatusOK).
+func (bc *BatchCall) Err() error {
+	if !bc.done {
+		return ErrBatchNoReply
+	}
+	return bc.status.Err()
+}
+
+// Dec returns a decoder positioned at the start of the call's reply
+// payload (rewound on every call). Valid only when Done and the status
+// is StatusOK — error sub-replies carry no result fields.
+func (bc *BatchCall) Dec() *Dec {
+	bc.dec.Reset(bc.payload)
+	return &bc.dec
+}
+
+// serveBatch is the container handler every server registers under
+// MsgBatch: parse all sub-calls first (a malformed container is
+// rejected whole — never torn), then execute each against the normal
+// handler table and pack the sub-replies.
+func (s *Server) serveBatch(m *ipc.Message, d *Dec) (*Reply, error) {
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > maxBatchCalls {
+		return nil, Errf(StatusTooLarge, "batch of %d calls exceeds the %d-call cap", n, maxBatchCalls)
+	}
+	type subCall struct {
+		seq     uint32
+		id      ipc.MsgID
+		payload []byte
+	}
+	subs := make([]subCall, 0, n)
+	for i := 0; i < n; i++ {
+		seq := d.U32()
+		id := ipc.MsgID(int32(d.U32()))
+		payload := d.Bytes()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		subs = append(subs, subCall{seq: seq, id: id, payload: payload})
+	}
+	out := NewReply()
+	out.U32(uint32(len(subs)))
+	sd := decPool.Get().(*Dec)
+	defer decPool.Put(sd)
+	for _, c := range subs {
+		st := StatusOK
+		var body []byte
+		var sub *Reply
+		switch fn := s.handlers[c.id]; {
+		case c.id == MsgBatch:
+			// No nesting: a batch inside a batch would let one wire
+			// message claim quadratic work.
+			st = StatusBadID
+		case fn == nil:
+			st = StatusBadID
+		default:
+			sd.Reset(c.payload)
+			r, err := fn(m, sd)
+			switch {
+			case err != nil:
+				st = StatusOf(err)
+			case r == nil:
+				// One-way sub-call: acknowledged with an empty OK.
+			case len(r.sections) > 0:
+				// Sections cannot ride a sub-reply — the method is not
+				// batch-eligible. Release what the handler minted for
+				// this client and fail just this call.
+				for _, nm := range r.release {
+					_ = s.Space.DeallocatePort(nm)
+				}
+				r.recycle()
+				st = StatusBadArgs
+			default:
+				body = r.Payload()
+				sub = r
+			}
+		}
+		out.U32(c.seq).Status(st).Bytes(body)
+		if sub != nil {
+			// The payload was copied into the container by Bytes above;
+			// the sub-reply builder is free again.
+			sub.recycle()
+		}
+	}
+	return out, nil
+}

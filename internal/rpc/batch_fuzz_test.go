@@ -1,0 +1,64 @@
+package rpc
+
+import (
+	"testing"
+)
+
+// FuzzBatchMatch drives the client-side batch reply matcher over
+// arbitrary container payloads. The matcher sits on the trust boundary
+// — a buggy or hostile server controls every byte — so it must never
+// panic, never hand a handle bytes from outside the payload, and either
+// deliver a sub-reply or report an error; a handle is never left
+// half-matched.
+func FuzzBatchMatch(f *testing.F) {
+	// Seeds: a well-formed two-call reply, a reversed one, a short
+	// count, a huge count, duplicates, and garbage.
+	ok := NewEnc().U32(2).
+		U32(0).Status(StatusOK).Bytes(NewEnc().U64(7).Payload()).
+		U32(1).Status(StatusNotFound).Bytes(nil)
+	f.Add(uint8(2), ok.Payload())
+	rev := NewEnc().U32(2).
+		U32(1).Status(StatusOK).Bytes(nil).
+		U32(0).Status(StatusOK).Bytes(nil)
+	f.Add(uint8(2), rev.Payload())
+	f.Add(uint8(3), NewEnc().U32(1).U32(0).Status(StatusOK).Bytes(nil).Payload())
+	f.Add(uint8(1), NewEnc().U32(0xFFFFFFFF).Payload())
+	dup := NewEnc().U32(2).
+		U32(0).Status(StatusOK).Bytes(nil).
+		U32(0).Status(StatusOK).Bytes(nil)
+	f.Add(uint8(1), dup.Payload())
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(4), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, calls uint8, reply []byte) {
+		b := (&Client{}).NewBatch()
+		n := int(calls % 9)
+		handles := make([]*BatchCall, n)
+		for i := 0; i < n; i++ {
+			handles[i] = b.Add(1000, NewEnc().U64(uint64(i)))
+		}
+		err := b.match(NewDec(reply))
+		for i, bc := range handles {
+			if !bc.Done() {
+				// An unmatched handle is only legal if match reported
+				// the protocol error.
+				if err == nil {
+					t.Fatalf("call %d unmatched but match returned nil", i)
+				}
+				if bc.Err() == nil {
+					t.Fatalf("call %d unmatched but Err() is nil", i)
+				}
+				continue
+			}
+			// A matched handle's payload must lie inside the container
+			// reply.
+			if d := bc.Dec(); d != nil {
+				tail := d.Tail()
+				if len(tail) > len(reply) {
+					t.Fatalf("call %d: %d payload bytes from %d-byte reply",
+						i, len(tail), len(reply))
+				}
+			}
+		}
+	})
+}

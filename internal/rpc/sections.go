@@ -1,0 +1,59 @@
+package rpc
+
+import "repro/internal/ipc"
+
+// Sections is a cursor over the port-right and out-of-line sections of a
+// received message, in arrival order. Generated request/reply decoders
+// use it to pair section-carried fields (a handed-off right, a mapped
+// region) with their wire-order positions, the same way Dec walks the
+// inline fields: each Next* consumes the next section of that kind, and
+// absence is reported in-band (a zero name, a nil region) rather than as
+// an error, so callers validate once after decoding.
+//
+// Rights and regions advance independently: a message carrying
+// [right, region] yields the right to NextRight and the region to
+// NextRegion in either call order, matching how senders interleave
+// CarryRight and CarryRegion sections freely.
+type Sections struct {
+	secs []ipc.Section
+	ri   int // scan position for port-right sections
+	gi   int // scan position for out-of-line sections
+}
+
+// NewSections positions a cursor at the first section of m. A nil
+// message yields an empty cursor: every Next* reports absence.
+func NewSections(m *ipc.Message) Sections {
+	if m == nil {
+		return Sections{}
+	}
+	return Sections{secs: m.Sections}
+}
+
+// NextRight returns the receiver-space name of the next port-right
+// section, or 0 when the message carries no further right. The name's
+// reference follows the message's ownership rules: keep it past the
+// handler's return only by using the right (the usual case) or copying
+// it.
+func (s *Sections) NextRight() ipc.Name {
+	for s.ri < len(s.secs) {
+		sec := &s.secs[s.ri]
+		s.ri++
+		if sec.Kind == ipc.PortRightSection {
+			return sec.PortName
+		}
+	}
+	return 0
+}
+
+// NextRegion returns the next out-of-line region, or nil when the
+// message carries no further region.
+func (s *Sections) NextRegion() ipc.OutOfLineRegion {
+	for s.gi < len(s.secs) {
+		sec := &s.secs[s.gi]
+		s.gi++
+		if sec.Kind == ipc.OutOfLineSection {
+			return sec.Region
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -209,4 +210,79 @@ func (a *atomic32) load() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.v
+}
+
+// TestServePortsWorkerPool proves WithWorkers composes with ServePorts:
+// the pooled set loop must hold `workers` handler invocations in flight
+// at once, across BOTH member servers. The handler is a rendezvous that
+// only returns once all calls have arrived — inline dispatch (the
+// workers=0 path) could never serve a second call while the first is
+// parked, so completion itself is the proof of concurrency.
+func TestServePortsWorkerPool(t *testing.T) {
+	const workers = 4
+	space := ipc.NewSpace(0, nil)
+	clientSpace := ipc.NewSpace(0, nil)
+	t.Cleanup(func() { space.Destroy(); clientSpace.Destroy() })
+	srvA, err := NewServer(space, WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := NewServer(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	inflight := 0
+	rendezvous := func(m *ipc.Message, d *Dec) (*Reply, error) {
+		mu.Lock()
+		inflight++
+		cond.Broadcast()
+		for inflight < workers {
+			cond.Wait()
+		}
+		mu.Unlock()
+		r := NewReply()
+		r.U64(d.U64() + 1)
+		return r, nil
+	}
+	srvA.Handle(msgEcho, rendezvous)
+	srvB.Handle(msgEcho, rendezvous)
+	clients := make([]*Client, 2)
+	for i, srv := range []*Server{srvA, srvB} {
+		svc, err := space.CopySendRight(clientSpace, srv.Port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = NewClient(clientSpace, svc, 10*time.Second)
+	}
+	loopDone := make(chan error, 1)
+	go func() { loopDone <- srvA.ServePorts(srvB) }()
+
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(c *Client, v uint64) {
+			resp, err := c.Invoke(msgEcho, NewEnc().U64(v))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := resp.Dec.U64(); got != v+1 {
+				errs <- fmt.Errorf("got %d, want %d", got, v+1)
+				return
+			}
+			resp.Release()
+			errs <- nil
+		}(clients[i%2], uint64(i))
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	srvA.Stop()
+	srvB.Stop()
+	if err := <-loopDone; err != nil {
+		t.Fatal(err)
+	}
 }

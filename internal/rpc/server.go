@@ -136,6 +136,9 @@ func NewServer(space *ipc.Space, opts ...Option) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{Space: space, Port: port, handlers: make(map[ipc.MsgID]HandlerFunc)}
+	// Every server answers the batch container: pipelined sub-calls
+	// demux through the same handler table as singleton requests.
+	s.handlers[MsgBatch] = s.serveBatch
 	for _, o := range opts {
 		o(s)
 	}
@@ -203,11 +206,14 @@ func (s *Server) startPool() {
 // service cannot starve the rest.
 //
 // The loop runs on the calling goroutine (usually `go a.ServePorts(b,
-// c)`), dispatching inline — WithWorkers pools are not consulted. It
-// returns nil once every member server has stopped (each Stop
-// deallocates its service port, which drops the port out of the set;
-// the emptied set ends the loop), or the space's death error. Received
-// requests are always served before the loop exits.
+// c)`). With WithWorkers(n) on the receiving server s, requests fan out
+// to n worker goroutines (handlers of every member server must then be
+// safe for concurrent use); otherwise dispatch is inline. It returns
+// nil once every member server has stopped (each Stop deallocates its
+// service port, which drops the port out of the set; the emptied set
+// ends the loop), or the space's death error. Received requests are
+// always served before the loop exits — on the pooled path the workers
+// drain before ServePorts returns.
 func (s *Server) ServePorts(others ...*Server) error {
 	set, err := s.Space.AllocatePortSet()
 	if err != nil {
@@ -224,6 +230,30 @@ func (s *Server) ServePorts(others ...*Server) error {
 		}
 		byPort[srv.Port] = srv
 	}
+	// The pool is local to this loop (not s.ch): the set multiplexes
+	// several servers' ports, so a pooled request carries its owning
+	// server along with the message.
+	type setReq struct {
+		srv *Server
+		m   *ipc.Message
+	}
+	var pool chan setReq
+	if s.workers > 0 {
+		pool = make(chan setReq, s.workers)
+		var wg sync.WaitGroup
+		for i := 0; i < s.workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := range pool {
+					r.srv.serve(r.m)
+					r.m.Release()
+				}
+			}()
+		}
+		defer wg.Wait()
+		defer close(pool)
+	}
 	for {
 		m, err := s.Space.Receive(set, ipc.ReceiveOptions{})
 		if err == ipc.ErrNoEnabledPorts {
@@ -234,6 +264,10 @@ func (s *Server) ServePorts(others ...*Server) error {
 			return err
 		}
 		if srv, ok := byPort[m.LocalPort]; ok {
+			if pool != nil {
+				pool <- setReq{srv: srv, m: m}
+				continue
+			}
 			srv.serve(m)
 		}
 		m.Release()

@@ -80,14 +80,15 @@ func NewProcess(task *kern.Task, fsys FileSystem) (*Process, error) {
 		fds:       make(map[int]*openFile),
 		nextFD:    3, // 0..2 reserved, as tradition demands
 		uarea:     uarea,
-		slotInUse: make([]bool, ps/8),
+		slotInUse: make([]bool, ps/uareaSlotBytes),
 	}, nil
 }
 
-// offset slot accessors: 8 bytes per open file description, read and
-// written through task virtual memory (the shared page).
+// offset slot accessors: one u-area slot per open file description
+// (layout generated from the uarea record in internal/idl/defs), read
+// and written through task virtual memory (the shared page).
 func (p *Process) readOffset(slot int) int64 {
-	b, err := p.Task.VMRead(p.uarea+uint64(slot*8), 8)
+	b, err := p.Task.VMRead(p.uarea+uareaSlotOffset(slot), uareaSlotBytes)
 	if err != nil {
 		return 0
 	}
@@ -95,9 +96,9 @@ func (p *Process) readOffset(slot int) int64 {
 }
 
 func (p *Process) writeOffset(slot int, v int64) {
-	var b [8]byte
+	var b [uareaSlotBytes]byte
 	rpc.PutU64(b[:], uint64(v))
-	_ = p.Task.VMWrite(p.uarea+uint64(slot*8), b[:])
+	_ = p.Task.VMWrite(p.uarea+uareaSlotOffset(slot), b[:])
 }
 
 func (p *Process) allocSlot() (int, bool) {

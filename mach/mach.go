@@ -274,9 +274,27 @@ type (
 	RPCReply = rpc.Reply
 	// RPCStatus is the canonical status/errno space.
 	RPCStatus = rpc.Status
+	// RPCBatch coalesces many calls into one pipelined message
+	// (Client.NewBatch / Batch.Add / Batch.Commit).
+	RPCBatch = rpc.Batch
+	// RPCBatchCall is one pending call inside a batch.
+	RPCBatchCall = rpc.BatchCall
 	// Enc / Dec are the typed payload cursor codecs.
 	Enc = rpc.Enc
 	Dec = rpc.Dec
+)
+
+// Canonical RPC status values (the rpc.Status space).
+const (
+	StatusOK        = rpc.StatusOK
+	StatusNotFound  = rpc.StatusNotFound
+	StatusExists    = rpc.StatusExists
+	StatusFull      = rpc.StatusFull
+	StatusTooLarge  = rpc.StatusTooLarge
+	StatusDead      = rpc.StatusDead
+	StatusBadArgs   = rpc.StatusBadArgs
+	StatusBadID     = rpc.StatusBadID
+	StatusServerErr = rpc.StatusServerErr
 )
 
 // NewRPCServer allocates a service port on space and returns its demux.
