@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 0.3s
 # Every package that defines benchmarks. bench and bench-smoke must
 # cover all of them so benchmark code can never silently rot.
-BENCH_PKGS = . ./internal/ipc ./internal/rpc ./internal/iomgr ./internal/pager ./internal/camelot
+BENCH_PKGS = . ./internal/ipc ./internal/rpc ./internal/iomgr ./internal/pager ./internal/camelot ./internal/obs
 
 .PHONY: all build vet fmt fmt-check test race bench bench-trajectory bench-smoke fuzz crosshost generate generate-check
 
@@ -53,6 +53,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzBatchMatch -fuzztime=5s ./internal/rpc
 	$(GO) test -run '^$$' -fuzz=FuzzReceiveFromSet -fuzztime=5s ./internal/ipc
 	$(GO) test -run '^$$' -fuzz=FuzzGeneratedReplyDecode -fuzztime=5s ./internal/fs
+	$(GO) test -run '^$$' -fuzz=FuzzTraceEventDecode -fuzztime=5s ./internal/obs
 
 # bench runs every benchmark package with -benchmem and serializes the
 # combined output into the next BENCH_<n>.json trajectory point (see

@@ -8,6 +8,8 @@
 //	machbench E3 E5      # run selected experiments
 //	machbench -list      # list experiment IDs
 //	machbench mcore ...  # multicore IPC throughput sweep (see mcore.go)
+//	machbench stats ...  # metrics snapshot + diff + traced RPC (see stats.go)
+//	machbench top ...    # live per-host msgs/s, p99, proxies (see stats.go)
 //
 // All quantities are simulated (deterministic virtual clock), so output
 // is stable across machines; only the shapes are meaningful. The mcore
@@ -41,9 +43,18 @@ var all = []struct {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "mcore" {
-		runMcore(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "mcore":
+			runMcore(os.Args[2:])
+			return
+		case "stats":
+			runStats(os.Args[2:])
+			return
+		case "top":
+			runTop(os.Args[2:])
+			return
+		}
 	}
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()

@@ -3,15 +3,16 @@
 // Reruns the contended IPC shapes from the root benchmark suite
 // (send, fan-in, RPC, port-set) across a GOMAXPROCS ladder and prints
 // msgs/sec per point, so scaling can be eyeballed without the testing
-// harness. With -profile DIR it also captures mutex and block
-// profiles per workload — the two views that show which lock or wait
-// point serializes a shape.
+// harness. With -profile DIR it also captures per-workload pprof
+// profiles: cpu (where the time goes), allocs (what escapes to the
+// heap), mutex and block (which lock or wait point serializes the
+// shape).
 //
 // Usage:
 //
 //	machbench mcore                     # sweep 1,2,4,8 procs
 //	machbench mcore -procs 1,4 -n 20000
-//	machbench mcore -profile /tmp/prof  # + mutex/block profiles
+//	machbench mcore -profile /tmp/prof  # + cpu/allocs/mutex/block profiles
 package main
 
 import (
@@ -50,7 +51,7 @@ func runMcore(argv []string) {
 	fs := flag.NewFlagSet("mcore", flag.ExitOnError)
 	procsFlag := fs.String("procs", "1,2,4,8", "comma-separated GOMAXPROCS ladder")
 	msgs := fs.Int("n", 50000, "messages per sweep point")
-	profileDir := fs.String("profile", "", "write mutex/block profiles into this directory")
+	profileDir := fs.String("profile", "", "write cpu/allocs/mutex/block profiles into this directory")
 	_ = fs.Parse(argv)
 
 	var ladder []int
@@ -79,6 +80,19 @@ func runMcore(argv []string) {
 		*msgs, ladder, runtime.NumCPU())
 	fmt.Printf("%-8s %-10s %12s %12s\n", "workload", "procs", "msgs/s", "ns/msg")
 	for _, w := range mcoreWorkloads {
+		if *profileDir != "" {
+			// One CPU profile per workload, covering its whole ladder.
+			f, err := os.Create(filepath.Join(*profileDir, w.name+".cpu.pprof"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "machbench mcore: %v\n", err)
+				os.Exit(1)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "machbench mcore: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+		}
 		for _, procs := range ladder {
 			runtime.GOMAXPROCS(procs)
 			start := time.Now()
@@ -93,6 +107,9 @@ func runMcore(argv []string) {
 				w.name, procs, rate, float64(elapsed.Nanoseconds())/float64(moved))
 		}
 		if *profileDir != "" {
+			pprof.StopCPUProfile()
+			fmt.Printf("  wrote %s\n", filepath.Join(*profileDir, w.name+".cpu.pprof"))
+			writeProfile(*profileDir, w.name, "allocs")
 			writeProfile(*profileDir, w.name, "mutex")
 			writeProfile(*profileDir, w.name, "block")
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/iomgr"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/pager"
 )
 
@@ -39,6 +40,8 @@ type WAL struct {
 	appends int64
 	forces  int64
 	fsyncs  int64
+
+	met *obs.WALMetrics
 }
 
 // WALStats counts log device activity.
@@ -57,7 +60,7 @@ type WALStats struct {
 // NewSimWAL wraps a simulated disk as a log device (writes are
 // instantly durable, as machine.Disk has always behaved).
 func NewSimWAL(d *machine.Disk) *WAL {
-	return &WAL{dev: d, blockSize: d.BlockSize(), blocks: d.Blocks()}
+	return &WAL{dev: d, blockSize: d.BlockSize(), blocks: d.Blocks(), met: obs.WAL()}
 }
 
 // OpenWAL opens (creating if needed) a real-file log of nblocks record
@@ -68,7 +71,7 @@ func OpenWAL(path string, nblocks, blockSize int, opts iomgr.Options) (*WAL, err
 	if err != nil {
 		return nil, err
 	}
-	return &WAL{file: f, blockSize: blockSize, blocks: nblocks}, nil
+	return &WAL{file: f, blockSize: blockSize, blocks: nblocks, met: obs.WAL()}, nil
 }
 
 // BlockSize returns the record slot size (bounds MaxUpdate).
@@ -88,6 +91,7 @@ func (w *WAL) File() *iomgr.File { return w.file }
 func (w *WAL) Append(lsn uint64, block []byte) {
 	w.mu.Lock()
 	w.appends++
+	w.met.Appends.Inc()
 	if lsn > w.written {
 		w.written = lsn
 	}
@@ -111,6 +115,7 @@ func (w *WAL) Force(lsn uint64) error {
 	}
 	w.mu.Lock()
 	w.forces++
+	w.met.Forces.Inc()
 	for {
 		if w.err != nil {
 			err := w.err
@@ -142,6 +147,7 @@ func (w *WAL) Force(lsn uint64) error {
 
 			w.mu.Lock()
 			w.fsyncs++
+			w.met.Fsyncs.Inc()
 			if err != nil {
 				w.err = err // the log device failed; every commit from here fails
 			} else if target > w.durable {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/netmsg"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 )
 
@@ -96,6 +97,7 @@ func E10NetmsgCrossHost() Table {
 			panic(err)
 		}
 		topo.ResetStats()
+		before := obs.Default().Snapshot()
 		start := clock.Now()
 		for i := 0; i < calls; i++ {
 			if _, err := c.Invoke(msgEcho, req); err != nil {
@@ -104,6 +106,14 @@ func E10NetmsgCrossHost() Table {
 		}
 		elapsed := clock.Now() - start
 		st := topo.Stats()
+		d := obs.Default().Snapshot().Diff(before)
+		t.Metrics = append(t.Metrics, fmt.Sprintf(
+			"%s: ipc sends host0=%d host1=%d; echo calls host0=%d; netmsg msgs 1→0=%d 0→1=%d (%.1f KB out)",
+			path,
+			d.Counters["host0.ipc.sends"], d.Counters["host1.ipc.sends"],
+			d.Counters[fmt.Sprintf("host0.rpc.msg%d.calls", msgEcho)],
+			d.Counters["host1.netmsg.peer0.msgs"], d.Counters["host0.netmsg.peer1.msgs"],
+			float64(d.Counters["host1.netmsg.peer0.bytes"])/1024))
 		t.Rows = append(t.Rows, []string{
 			path,
 			fmt.Sprintf("%d", calls),

@@ -8,6 +8,7 @@ import (
 	"repro/internal/camelot"
 	"repro/internal/iomgr"
 	"repro/internal/kern"
+	"repro/internal/obs"
 	"repro/internal/pager"
 )
 
@@ -40,6 +41,10 @@ func E11DurableIO() Table {
 			fmt.Sprint(ws.Appends), fmt.Sprint(ws.Forces),
 		})
 	}
+
+	// Accounting for the footer comes straight from the shared
+	// observability registry, not the subsystems' private counters.
+	regBase := obs.Default().Snapshot()
 
 	// File-backed default pager under memory pressure: the dataset is
 	// 4x the frame pool and 16x kernel memory, so pages live through
@@ -75,6 +80,14 @@ func E11DurableIO() Table {
 	}
 	paging("pager-cold-64p-16f", 64, 16)
 	paging("pager-warm-16p-64f", 16, 64)
+	d := obs.Default().Snapshot().Diff(regBase)
+	t.Metrics = append(t.Metrics, fmt.Sprintf(
+		"paging cases: pager cold=%d warm=%d evictions=%d writebacks=%d; iomgr submitted=%d batches=%d bytes r/w=%d/%d",
+		d.Counters["pager.faults_cold"], d.Counters["pager.faults_warm"],
+		d.Counters["pager.evictions"], d.Counters["pager.writebacks"],
+		d.Counters["iomgr.submitted"], d.Counters["iomgr.batches"],
+		d.Counters["iomgr.bytes_read"], d.Counters["iomgr.bytes_written"]))
+	regBase = obs.Default().Snapshot()
 
 	// Durable Camelot: transactions against a real-file volume; commit
 	// fsyncs are the dominating device cost, batched by group commit.
@@ -113,6 +126,12 @@ func E11DurableIO() Table {
 		}
 	}
 	row("camelot-32tx-4w", dm.IOCounters(), dm.WAL().Stats())
+	d = obs.Default().Snapshot().Diff(regBase)
+	t.Metrics = append(t.Metrics, fmt.Sprintf(
+		"camelot case: wal appends=%d forces=%d fsyncs=%d; iomgr fsyncs=%d submitted=%d batches=%d",
+		d.Counters["camelot.wal_appends"], d.Counters["camelot.wal_forces"],
+		d.Counters["camelot.wal_fsyncs"], d.Counters["iomgr.fsyncs"],
+		d.Counters["iomgr.submitted"], d.Counters["iomgr.batches"]))
 	dm.Close()
 	k.Shutdown()
 

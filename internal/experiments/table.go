@@ -30,6 +30,10 @@ type Table struct {
 	Rows    [][]string
 	// Notes carry caveats and observations.
 	Notes []string
+	// Metrics carry accounting lines read straight from the
+	// observability registry (snapshot diffs over the measured window)
+	// instead of subsystem-private counters.
+	Metrics []string
 }
 
 // Render writes the table with aligned columns.
@@ -64,6 +68,9 @@ func (t *Table) Render(w io.Writer) {
 	line(seps)
 	for _, row := range t.Rows {
 		line(row)
+	}
+	for _, m := range t.Metrics {
+		fmt.Fprintf(w, "  registry: %s\n", m)
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)

@@ -33,6 +33,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // OpKind discriminates submitted operations.
@@ -94,16 +96,21 @@ func (o *Op) complete(n int, err error) {
 	f := o.f
 	f.stats.inflight.Add(-1)
 	f.stats.completed.Add(1)
+	f.met.Completed.Inc()
 	if err != nil {
 		f.stats.errors.Add(1)
+		f.met.Errors.Inc()
 	} else {
 		switch o.Kind {
 		case OpRead:
 			f.stats.bytesRead.Add(int64(n))
+			f.met.BytesRead.Add(uint64(n))
 		case OpWrite:
 			f.stats.bytesWritten.Add(int64(n))
+			f.met.BytesWritten.Add(uint64(n))
 		case OpFsync:
 			f.stats.fsyncs.Add(1)
+			f.met.Fsyncs.Inc()
 		}
 	}
 	if obs := f.observer.Load(); obs != nil {
@@ -196,6 +203,7 @@ type File struct {
 	os      *os.File
 	be      backend
 	stats   stats
+	met     *obs.IOMetrics
 	depth   int
 	submitq chan *Op
 	slots   chan struct{} // queue-depth tokens
@@ -224,6 +232,7 @@ func Open(path string, opts Options) (*File, error) {
 	}
 	f := &File{
 		os:      fd,
+		met:     obs.IO(),
 		depth:   depth,
 		submitq: make(chan *Op, depth),
 		slots:   make(chan struct{}, depth),
@@ -338,11 +347,13 @@ func (f *File) submit(op *Op) *Op {
 		f.mu.Unlock()
 		f.stats.submitted.Add(1)
 		f.stats.inflight.Add(1)
+		f.met.Submitted.Inc()
 		op.complete(0, ErrClosed)
 		return op
 	}
 	f.stats.submitted.Add(1)
 	f.stats.inflight.Add(1)
+	f.met.Submitted.Inc()
 	f.submitq <- op
 	f.mu.Unlock()
 	return op
@@ -396,6 +407,7 @@ func (f *File) dispatch() {
 			continue
 		}
 		f.stats.batches.Add(1)
+		f.met.Batches.Inc()
 		f.be.submit(batch)
 	}
 	f.be.close()

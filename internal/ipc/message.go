@@ -118,6 +118,16 @@ type Message struct {
 	replyPort *Port
 	// arrivedOn records the destination port for receive rewriting.
 	arrivedOn *Port
+	// trace is the message's sampled trace ID (0 = untraced, the
+	// common case). Send mints one only when the field is still zero,
+	// so a reply or forward that copied its request's ID keeps it —
+	// one logical operation, one trace across kernels.
+	trace uint64
+	// sentAt is the send-side timestamp of a latency-sampled message
+	// (0 = unsampled); the receive path turns it into one histogram
+	// sample. Only every obs.LatencySampleEvery-th send pays the
+	// time.Now() — see IPCMetrics.Latency.
+	sentAt int64
 	// scratch is the message-owned payload buffer InlineCopy assembles
 	// into; it is recycled with the message (see pool.go).
 	scratch []byte
@@ -147,6 +157,11 @@ func (m *Message) wireSize() int {
 	}
 	return n
 }
+
+// WireSize exposes the charged wire size of the message — kernel-side
+// observability surface (the netmsg relay accounts forwarded bytes per
+// peer with it).
+func (m *Message) WireSize() int { return m.wireSize() }
 
 // InlineData returns the concatenation-free convenience view of the first
 // inline section, or nil if the message has none. Most kernel interface
@@ -226,6 +241,16 @@ func EncodeDeadName(n Name, gen uint32) []byte { return EncodeNoSenders(n, gen) 
 // DecodeDeadName decodes a MsgIDDeadName payload. It returns (0, 0)
 // for malformed payloads.
 func DecodeDeadName(b []byte) (Name, uint32) { return DecodeNoSenders(b) }
+
+// Trace returns the message's trace ID (0 when untraced). Kernel-side
+// relays and RPC servers read it to propagate the trace onto forwarded
+// messages and replies.
+func (m *Message) Trace() uint64 { return m.trace }
+
+// SetTrace stamps a trace ID onto the message, tying it into an
+// existing trace. Send never overwrites a non-zero ID, so a stamped
+// reply or forward stays in its request's trace.
+func (m *Message) SetTrace(id uint64) { m.trace = id }
 
 // addSendRefs takes an in-transit reference on every send right the
 // message carries (body sections and the reply port). Called on the

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // lookupRight resolves a name under its shard's read lock, requiring the
@@ -107,6 +108,23 @@ func (s *Space) Send(m *Message, opts SendOptions) error {
 		return err
 	}
 
+	// Instrumentation, inside the hard budget: the send counter is one
+	// atomic add whose return value doubles as the latency-sampling
+	// decision (every LatencySampleEvery-th message is timestamped; an
+	// unconditional time.Now() pair would be ~20% of this path), and an
+	// unsampled trace costs one atomic load plus this branch. Send only
+	// mints a trace ID when the message carries none, so replies and
+	// forwards stamped by their builders stay in the request's trace.
+	if s.met.Sends.Inc()%obs.LatencySampleEvery == 0 {
+		m.sentAt = time.Now().UnixNano()
+	}
+	if m.trace == 0 {
+		m.trace = obs.SampleTraceID()
+	}
+	if m.trace != 0 {
+		obs.RecordHop(int32(s.host), m.trace, obs.HopSend, int32(m.ID), dest.id)
+	}
+
 	if m.LocalPort != 0 {
 		rp, err := s.lookupReplyRight(m.LocalPort)
 		if err != nil {
@@ -207,6 +225,18 @@ func (s *Space) Receive(from Name, opts ReceiveOptions) (*Message, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	s.met.Receives.Inc()
+	if m.sentAt != 0 {
+		s.met.Latency.Record(time.Now().UnixNano() - m.sentAt)
+		m.sentAt = 0
+	}
+	if m.trace != 0 {
+		var pid uint64
+		if m.arrivedOn != nil {
+			pid = m.arrivedOn.id
+		}
+		obs.RecordHop(int32(s.host), m.trace, obs.HopReceive, int32(m.ID), pid)
 	}
 	s.deliver(m)
 	return m, nil
@@ -435,6 +465,11 @@ func RawSend(topo *machine.Topology, from machine.HostID, p *Port, m *Message, o
 	if topo != nil {
 		topo.ChargeMessage(from, p.Home(), m.wireSize())
 	}
+	// Kernel sends never mint trace IDs (the relay propagates the task
+	// send's ID); a stamped message records its hop here.
+	if m.trace != 0 {
+		obs.RecordHop(int32(from), m.trace, obs.HopSend, int32(m.ID), p.id)
+	}
 	err := p.enqueue(m, opts.Force, opts.NonBlocking, opts.Timeout)
 	if err != nil {
 		m.destroyRights()
@@ -451,7 +486,11 @@ func RawReceive(p *Port, opts ReceiveOptions) (*Message, error) {
 	if p == nil {
 		return nil, ErrInvalidPort
 	}
-	return p.dequeue(opts.NonBlocking, opts.Timeout)
+	m, err := p.dequeue(opts.NonBlocking, opts.Timeout)
+	if err == nil && m.trace != 0 {
+		obs.RecordHop(int32(p.Home()), m.trace, obs.HopReceive, int32(m.ID), p.id)
+	}
+	return m, err
 }
 
 // Destroy kills a kernel-held port, notifying spaces with send rights.

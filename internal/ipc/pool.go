@@ -58,6 +58,8 @@ func (m *Message) reset() {
 	m.scratch = m.scratch[:0]
 	m.replyPort = nil
 	m.arrivedOn = nil
+	m.trace = 0
+	m.sentAt = 0
 }
 
 // AppendInline appends an inline data section. The bytes are referenced,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // DefaultBacklog is the initial limit on queued messages per port, the
@@ -88,6 +89,13 @@ type Port struct {
 	queue    msgRing
 	waiters  []*recvWaiter
 	backlog  int
+
+	// handoffs tallies parked-receiver handoffs under mu and is flushed
+	// to the receiving host's counter every handoffFlushBatch messages
+	// (and on receiver change or destroy): the dispatch fast path pays a
+	// plain add under a lock it already holds instead of an atomic RMW
+	// per message.
+	handoffs uint64
 
 	// receiver is the space holding the receive right (nil while the
 	// right is in flight inside a message).
@@ -227,6 +235,10 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
+	// stalled counts each send at most once against the receiving
+	// host's queue-full metric, however many times the backlog check
+	// loops before space opens up.
+	stalled := false
 	p.mu.Lock()
 	for {
 		if p.dead.Load() {
@@ -240,6 +252,12 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 			break
 		}
 		if p.queue.n >= p.backlog {
+			if !stalled {
+				stalled = true
+				if r := p.receiver; r != nil {
+					r.met.Stalls.Inc()
+				}
+			}
 			if nonblock {
 				p.mu.Unlock()
 				return ErrWouldBlock
@@ -258,6 +276,12 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 		// on the set's sender gate. The port lock cannot be held while
 		// waiting on set state (lock order), so drop it and re-evaluate
 		// everything on wake — the port may have died or left the set.
+		if !stalled {
+			stalled = true
+			if r := p.receiver; r != nil {
+				r.met.Stalls.Inc()
+			}
+		}
 		if nonblock {
 			p.mu.Unlock()
 			return ErrWouldBlock
@@ -270,6 +294,9 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 	}
 	m.arrivedOn = p
 	p.queue.push(m)
+	if m.trace != 0 {
+		obs.RecordHop(int32(p.home), m.trace, obs.HopEnqueue, int32(m.ID), p.id)
+	}
 	set := p.inSet
 	var queued bool
 	var recv *Space
@@ -289,18 +316,30 @@ func (p *Port) enqueue(m *Message, force, nonblock bool, timeout time.Duration) 
 // the queue head). Caller holds p.mu. It reports whether messages
 // remain queued and which space to wake for a receive-any.
 func (p *Port) dispatchLocked() (queued bool, recv *Space) {
-	handedOff := false
+	handed := uint64(0)
 	for len(p.waiters) > 0 && p.queue.n > 0 {
 		w := p.popWaiterLocked()
 		w.m = p.queue.pop()
 		w.ready <- struct{}{}
-		handedOff = true
+		handed++
 	}
-	if handedOff {
+	if handed > 0 {
 		p.sendCond.Broadcast()
+		p.handoffs += handed
+		if p.handoffs >= handoffFlushBatch && p.receiver != nil {
+			p.receiver.met.Handoffs.Add(p.handoffs)
+			p.handoffs = 0
+		}
 	}
 	return p.queue.n > 0, p.receiver
 }
+
+// handoffFlushBatch is how many handoffs a port tallies locally before
+// flushing them to the host counter. The counter can read up to
+// handoffFlushBatch-1 low while a port idles between flushes — an
+// acceptable trade for keeping the per-message dispatch cost at zero
+// atomics.
+const handoffFlushBatch = 64
 
 // popWaiterLocked removes the oldest parked waiter with a copy-down
 // (instead of re-slicing forward, which drifts off the backing array
@@ -684,6 +723,10 @@ func (p *Port) setReceiver(s *Space) {
 	p.mu.Lock()
 	if !p.dead.Load() && s != p.receiver {
 		old := p.receiver
+		if old != nil && p.handoffs > 0 {
+			old.met.Handoffs.Add(p.handoffs)
+			p.handoffs = 0
+		}
 		p.receiver = s
 		if s != nil {
 			p.home = s.host
@@ -712,6 +755,10 @@ func (p *Port) destroy() {
 	p.dead.Store(true)
 	dropped := p.queue.drain()
 	p.queue.buf = nil
+	if p.receiver != nil && p.handoffs > 0 {
+		p.receiver.met.Handoffs.Add(p.handoffs)
+		p.handoffs = 0
+	}
 	p.receiver = nil
 	notify := make([]*Space, 0, len(p.senders))
 	for s := range p.senders {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Name is a task-local port name, the integer a task uses to denote a
@@ -122,6 +123,11 @@ type portShard struct {
 type Space struct {
 	host machine.HostID
 	topo *machine.Topology
+	// met is the host's shared IPC metrics bundle, resolved once at
+	// construction so the send/receive fast paths record through bare
+	// atomic handles (granularity is per host: spaces on one host
+	// share the bundle).
+	met *obs.IPCMetrics
 
 	shards [numShards]nameShard
 	ports  [numShards]portShard
@@ -207,6 +213,7 @@ func NewSpace(host machine.HostID, topo *machine.Topology) *Space {
 	s := &Space{
 		host:   host,
 		topo:   topo,
+		met:    obs.IPCHost(int(host)),
 		wakeCh: make(chan struct{}),
 	}
 	s.trimFn = func(uint32) { s.trimReplyPool() }
@@ -238,6 +245,13 @@ func (s *Space) NotifyPort() Name { return s.notify }
 // floor because this space's notify queue was full (NotifyQueueCap).
 func (s *Space) DeadLetters() uint64 { return s.deadLetters.Load() }
 
+// deadLetter counts one dropped notification, both on the space's own
+// counter (the old accessor) and the host's registry metric.
+func (s *Space) deadLetter() {
+	s.deadLetters.Add(1)
+	s.met.DeadLetters.Inc()
+}
+
 func (s *Space) shardFor(n Name) *nameShard { return &s.shards[uint32(n)&shardMask] }
 
 func (s *Space) portShardFor(p *Port) *portShard { return &s.ports[p.id&shardMask] }
@@ -252,6 +266,7 @@ func (s *Space) SetReplyPortCache(on bool) {
 		pool := s.replyPool
 		s.replyPool = nil
 		s.replyMu.Unlock()
+		s.met.ReplyPool.Add(-int64(len(pool)))
 		for _, e := range pool {
 			_ = s.DeallocatePort(e.n)
 		}
@@ -285,6 +300,7 @@ func (s *Space) getReplyPort() (Name, *Port, error) {
 			e := s.replyPool[n-1]
 			s.replyPool = s.replyPool[:n-1]
 			s.replyMu.Unlock()
+			s.met.ReplyPool.Add(-1)
 			if replyPortClean(e.p) {
 				name, port = e.n, e.p
 				break
@@ -348,6 +364,7 @@ func (s *Space) trimReplyPool() {
 	}
 	s.replyMu.Unlock()
 	if victim != 0 {
+		s.met.ReplyPool.Add(-1)
 		_ = s.DeallocatePort(victim)
 	}
 }
@@ -372,6 +389,7 @@ func (s *Space) putReplyPort(n Name, p *Port) {
 		if len(s.replyPool) < maxReplyPool {
 			s.replyPool = append(s.replyPool, pooledReply{n, p})
 			s.replyMu.Unlock()
+			s.met.ReplyPool.Add(1)
 			return
 		}
 		s.replyMu.Unlock()
@@ -795,7 +813,7 @@ func (s *Space) notifyPortDeath(p *Port) {
 			Sections: []Section{InlineBytes(EncodeDeadName(n, gen))},
 		}
 		if np, err := s.Resolve(dnNotify); err != nil || !np.enqueueNotify(m, NotifyQueueCap) {
-			s.deadLetters.Add(1)
+			s.deadLetter()
 		}
 	}
 }
@@ -823,7 +841,7 @@ func (s *Space) notifyNoSenders(p *Port, msCount uint32) {
 func (s *Space) postNotification(m *Message) {
 	np, err := s.Resolve(s.notify)
 	if err != nil || !np.enqueueNotify(m, NotifyQueueCap) {
-		s.deadLetters.Add(1)
+		s.deadLetter()
 	}
 }
 
@@ -976,8 +994,10 @@ func (s *Space) Destroy() {
 	// The cached reply ports' entries were just swept with every other
 	// name; drop the stale names so nothing hands them out again.
 	s.replyMu.Lock()
+	drained := len(s.replyPool)
 	s.replyPool = nil
 	s.replyMu.Unlock()
+	s.met.ReplyPool.Add(-int64(drained))
 
 	// Port sets die first, failing blocked set receivers with
 	// ErrSpaceDead; their members are destroyed with every other

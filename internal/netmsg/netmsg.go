@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/ipc"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 )
 
@@ -76,7 +77,9 @@ const msgProxyRetire ipc.MsgID = -201
 const proxyLinger = 10 * time.Millisecond
 
 // Stats counts one message server's proxy and registry activity — the
-// observable surface of the distributed garbage collection.
+// observable surface of the distributed garbage collection. It is a
+// point-in-time view read out of the obs registry (see Server.Stats);
+// the counters themselves live there as hostN.netmsg.* metrics.
 type Stats struct {
 	// ProxiesCreated counts proxy ports materialized on this host.
 	ProxiesCreated int64
@@ -206,8 +209,17 @@ type Server struct {
 	// cache holds remote lookup results for a short virtual-time TTL,
 	// each invalidated early by a death watch on the cached port.
 	cache   map[string]*cacheEntry
-	stats   Stats
 	stopped bool
+	// met holds the host's netmsg registry metrics (the stats live
+	// there, not in a private struct: readers load atomics instead of
+	// racing the forwarder goroutines); peerMet caches the per-peer
+	// traffic bundles resolved so far, guarded by mu. base is the
+	// registry state at construction — the hostN.netmsg.* metrics are
+	// process-cumulative, while Stats() keeps its per-server-lifetime
+	// contract by subtracting it.
+	met     *obs.NetmsgMetrics
+	base    Stats
+	peerMet map[machine.HostID]*obs.NetmsgPeerMetrics
 	// linger overrides proxyLinger (white-box tests set 0 for a
 	// synchronous retire sentinel). Set before any proxy exists.
 	linger time.Duration
@@ -233,7 +245,10 @@ func NewServer(host machine.HostID, topo *machine.Topology, net *Network) (*Serv
 		names:   make(map[string]*ipc.Port),
 		cache:   make(map[string]*cacheEntry),
 		linger:  proxyLinger,
+		met:     obs.NetmsgHost(int(host)),
+		peerMet: make(map[machine.HostID]*obs.NetmsgPeerMetrics),
 	}
+	s.base = s.loadStats()
 	srv, err := rpc.NewServer(s.space)
 	if err != nil {
 		s.space.Destroy()
@@ -288,13 +303,44 @@ func (s *Server) Stop() {
 	s.space.Destroy()
 }
 
+// loadStats reads the host's registry counters with atomic loads.
+func (s *Server) loadStats() Stats {
+	return Stats{
+		ProxiesCreated:  int64(s.met.ProxiesCreated.Load()),
+		ProxiesRetired:  int64(s.met.ProxiesRetired.Load()),
+		ProxiesDied:     int64(s.met.ProxiesDied.Load()),
+		ActiveProxies:   int(s.met.Proxies.Load()),
+		LookupCacheHits: int64(s.met.CacheHits.Load()),
+	}
+}
+
 // Stats returns a snapshot of the server's proxy and registry counters.
+// It is a thin wrapper over the obs registry: every field is an atomic
+// load (the forwarder goroutines mutating the counters are never read
+// unsynchronized), re-based to this server's lifetime since the
+// registry metrics are cumulative per host across server incarnations.
 func (s *Server) Stats() Stats {
+	cur := s.loadStats()
+	return Stats{
+		ProxiesCreated:  cur.ProxiesCreated - s.base.ProxiesCreated,
+		ProxiesRetired:  cur.ProxiesRetired - s.base.ProxiesRetired,
+		ProxiesDied:     cur.ProxiesDied - s.base.ProxiesDied,
+		ActiveProxies:   cur.ActiveProxies,
+		LookupCacheHits: cur.LookupCacheHits - s.base.LookupCacheHits,
+	}
+}
+
+// peerMetrics returns (resolving on first use) the traffic bundle for
+// one remote peer.
+func (s *Server) peerMetrics(h machine.HostID) *obs.NetmsgPeerMetrics {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.ActiveProxies = len(s.proxies)
-	return st
+	pm := s.peerMet[h]
+	if pm == nil {
+		pm = obs.NetmsgPeer(int(s.host), int(h))
+		s.peerMet[h] = pm
+	}
+	s.mu.Unlock()
+	return pm
 }
 
 // ProxyFor returns the port through which senders on this host reach p:
@@ -339,8 +385,9 @@ func (s *Server) proxyFor(p *ipc.Port) (*ipc.Port, bool) {
 	s.net.registerProxy(pp, home)
 	s.proxies[home] = pp
 	pp.AddSendRef() // the caller's pin
-	s.stats.ProxiesCreated++
 	s.mu.Unlock()
+	s.met.ProxiesCreated.Inc()
+	s.met.Proxies.Add(1)
 	// The proxy holds exactly one logical send right at home for all
 	// its local senders; it is returned when the proxy retires or dies,
 	// so a home port's sender count sums real senders across all hosts.
@@ -474,12 +521,13 @@ func (s *Server) forward(proxy, home *ipc.Port, cancelWatch func()) {
 	if s.proxies[home] == proxy {
 		delete(s.proxies, home)
 	}
-	if retired {
-		s.stats.ProxiesRetired++
-	} else {
-		s.stats.ProxiesDied++
-	}
 	s.mu.Unlock()
+	if retired {
+		s.met.ProxiesRetired.Inc()
+	} else {
+		s.met.ProxiesDied.Inc()
+	}
+	s.met.Proxies.Add(-1)
 	s.net.forgetProxy(proxy)
 	// Return the proxy's one logical send right at home. The
 	// sender-count delta travels as one control message (piggybacked in
@@ -487,7 +535,9 @@ func (s *Server) forward(proxy, home *ipc.Port, cancelWatch func()) {
 	// last send reference anywhere, the home port's no-senders fires to
 	// its receiver.
 	if !home.Dead() && s.topo != nil {
-		s.topo.ChargeMessage(s.host, home.Home(), controlBytes)
+		dst := home.Home()
+		s.topo.ChargeMessage(s.host, dst, controlBytes)
+		s.peerMetrics(dst).ControlMsgs.Inc()
 	}
 	home.DropSendRef()
 }
@@ -499,11 +549,20 @@ func (s *Server) deliver(home *ipc.Port, m *ipc.Message) error {
 	// Home is read per message: if the receive right migrated since the
 	// proxy was built, traffic follows it.
 	dst := home.Home()
+	pm := s.peerMetrics(dst)
+	pm.Msgs.Inc()
+	pm.Bytes.Add(uint64(m.WireSize()))
 	// pins holds the handout references translate takes; they are
 	// dropped once the forwarded message's own transit references (or
 	// its failure path) have taken over.
 	var pins []*ipc.Port
 	fwd := &ipc.Message{ID: m.ID, Sections: make([]ipc.Section, len(m.Sections))}
+	// The forwarded copy inherits the original's trace, so a sampled
+	// message stays one trace across the relay hop.
+	if t := m.Trace(); t != 0 {
+		fwd.SetTrace(t)
+		obs.RecordHop(int32(s.host), t, obs.HopProxyForward, int32(m.ID), home.ID())
+	}
 	for i := range m.Sections {
 		sec := m.Sections[i]
 		if sec.Kind == ipc.PortRightSection {
@@ -561,6 +620,7 @@ func (s *Server) translate(dst machine.HostID, p *ipc.Port, r ipc.Right, pins *[
 		// Materializing a proxy on the peer's behalf costs one control
 		// message; reusing it is free.
 		s.topo.ChargeMessage(s.host, dst, controlBytes)
+		s.peerMetrics(dst).ControlMsgs.Inc()
 	}
 	return pp
 }

@@ -105,9 +105,9 @@ func (s *Server) cacheGet(name string) *ipc.Port {
 		s.mu.Unlock()
 		return nil
 	}
-	s.stats.LookupCacheHits++
 	p := e.port
 	s.mu.Unlock()
+	s.met.CacheHits.Inc()
 	return p
 }
 
@@ -166,6 +166,9 @@ func (s *Server) handleLookUp(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	}
 	if p == nil {
 		for _, peer := range s.net.peers(s) {
+			// One control round trip per peer asked: the query out and
+			// the answer back.
+			s.peerMetrics(peer.host).ControlMsgs.Add(2)
 			s.topo.ChargeMessage(s.host, peer.host, controlBytes)
 			found := peer.lookupLocal(name)
 			s.topo.ChargeMessage(peer.host, s.host, controlBytes)

@@ -1,0 +1,113 @@
+package netmsg_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rpc"
+)
+
+// traceSetup boots the two-host echo service and returns a remote
+// client with its proxy chain already warmed (the traced window should
+// hold only the operation under test, not lazy setup traffic).
+func traceSetup(t *testing.T) *rpc.Client {
+	t.Helper()
+	k0, k1, _ := complex2(t)
+	server := k0.NewTask()
+	srv := startEcho(t, server)
+	checkIn(t, server, "echo", srv.Port)
+
+	client := k1.NewTask()
+	svc := lookUp(t, client, "echo")
+	c := rpc.NewClient(client.Space, svc, 10*time.Second)
+	if _, err := c.Invoke(msgEcho, rpc.NewEnc().Bytes([]byte("warm"))); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// tracedWindow runs fn with every send minting a trace ID and the
+// flight recorders cleared, then asserts the recorded events form
+// EXACTLY one trace — a request, its relay hops, and its reply are one
+// logical operation — with at least 4 hops spanning both kernels.
+func tracedWindow(t *testing.T, fn func()) []obs.Event {
+	t.Helper()
+	obs.ResetTrace()
+	prev := obs.SetTraceSampling(1)
+	fn()
+	obs.SetTraceSampling(prev)
+
+	ids := map[uint64]bool{}
+	for _, ev := range obs.TraceEvents() {
+		ids[ev.Trace] = true
+	}
+	if len(ids) != 1 {
+		t.Fatalf("recorded %d distinct traces, want exactly 1: %v", len(ids), ids)
+	}
+	var hops []obs.Event
+	for id := range ids {
+		hops = obs.Trace(id)
+	}
+	if len(hops) < 4 {
+		t.Fatalf("trace has %d hops, want >= 4:\n%s", len(hops), obs.FormatTrace(hops))
+	}
+	hosts := map[int32]bool{}
+	for _, ev := range hops {
+		hosts[ev.Host] = true
+	}
+	if !hosts[0] || !hosts[1] {
+		t.Fatalf("trace should span both kernels, saw hosts %v:\n%s", hosts, obs.FormatTrace(hops))
+	}
+	return hops
+}
+
+// TestTraceCrossHostRPC follows one traced RPC through the netmsg
+// relay: the ID minted at the client's send must survive the proxy
+// forward, the server's receive and reply, and the reply's relay back
+// — one trace, both kernels, with the forward and reply hops recorded.
+func TestTraceCrossHostRPC(t *testing.T) {
+	c := traceSetup(t)
+	hops := tracedWindow(t, func() {
+		if _, err := c.Invoke(msgEcho, rpc.NewEnc().Bytes([]byte("traced"))); err != nil {
+			t.Fatal(err)
+		}
+	})
+	kinds := map[obs.Hop]bool{}
+	for _, ev := range hops {
+		kinds[ev.Hop] = true
+	}
+	for _, want := range []obs.Hop{obs.HopSend, obs.HopEnqueue, obs.HopProxyForward, obs.HopReceive, obs.HopReply} {
+		if !kinds[want] {
+			t.Errorf("trace is missing a %s hop:\n%s", want, obs.FormatTrace(hops))
+		}
+	}
+}
+
+// TestTraceCrossHostBatch stamps a pipelined MsgBatch container: the
+// sub-calls execute inside one wire message, so the whole pipeline is
+// still exactly one trace crossing both kernels.
+func TestTraceCrossHostBatch(t *testing.T) {
+	c := traceSetup(t)
+	hops := tracedWindow(t, func() {
+		b := c.NewBatch()
+		calls := []*rpc.BatchCall{
+			b.Add(msgEcho, rpc.NewEnc().Bytes([]byte("one"))),
+			b.Add(msgEcho, rpc.NewEnc().Bytes([]byte("two"))),
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		for _, bc := range calls {
+			if err := bc.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	for _, ev := range hops {
+		if ev.MsgID != int32(rpc.MsgBatch) {
+			t.Fatalf("batch trace carries msg %d, want every hop on the container id %d:\n%s",
+				ev.MsgID, rpc.MsgBatch, obs.FormatTrace(hops))
+		}
+	}
+}

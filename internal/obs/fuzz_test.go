@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceEventDecode throws arbitrary bytes at the flight-recorder
+// dump decoder. Invariants: no panic on any input; every complete
+// record decodes; a decoded prefix re-encodes to exactly the bytes it
+// was decoded from (the codec is bijective on valid records).
+func FuzzTraceEventDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, eventWireSize-1))
+	f.Add(make([]byte, eventWireSize))
+	f.Add(EncodeEvents([]Event{
+		{Trace: 1, TS: 2, Host: 3, Hop: HopEnqueue, MsgID: 4, Port: 5},
+		{Trace: ^uint64(0), TS: -1, Host: -1, Hop: Hop(255), MsgID: -1, Port: ^uint64(0)},
+	}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		evs, err := DecodeEvents(b)
+		complete := len(b) / eventWireSize
+		if len(evs) != complete {
+			t.Fatalf("decoded %d events from %d bytes, want %d", len(evs), len(b), complete)
+		}
+		if (len(b)%eventWireSize != 0) != (err != nil) {
+			t.Fatalf("len=%d err=%v: truncation error iff trailing bytes", len(b), err)
+		}
+		re := EncodeEvents(evs)
+		if !bytes.Equal(re, b[:complete*eventWireSize]) {
+			t.Fatalf("re-encode mismatch:\n in: %x\nout: %x", b[:complete*eventWireSize], re)
+		}
+	})
+}

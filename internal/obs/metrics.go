@@ -1,0 +1,213 @@
+// Package obs is the kernel-wide observability layer: allocation-free
+// metrics (cache-line-padded atomic counters and gauges, fixed-bucket
+// log2 latency histograms) in a named registry with a Snapshot/Diff
+// API, plus sampled cross-host message tracing captured in bounded
+// per-kernel flight-recorder rings.
+//
+// The paper's whole argument is quantitative — message counts per
+// operation, fault latencies, remote-vs-local cost ratios — so the
+// instrumentation is always compiled into the hot subsystems (ipc,
+// rpc, netmsg, pager, iomgr, camelot) under a hard budget: recording a
+// counter is one atomic add, recording a histogram sample is one
+// atomic add into a precomputed bucket index, and an unsampled trace
+// costs one atomic load and a branch. Nothing on a record path takes a
+// lock or allocates.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. It occupies its own
+// cache line so two hot counters updated by different CPUs never
+// false-share (the classic way "just one atomic add" turns into a
+// cross-core ping).
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds one and returns the new value. Returning the value lets a
+// caller derive a sampling decision (every Nth event) from the count
+// it already paid for, without a second atomic.
+func (c *Counter) Inc() uint64 { return c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depths, pool sizes,
+// live proxy population), padded like Counter.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the fixed bucket count of every Histogram: bucket i
+// holds samples whose value v satisfies 2^(i-1) <= v < 2^i (bucket 0
+// holds v <= 0 and v == 1 lands in bucket 1), so 64 buckets cover the
+// full uint64 range with log2 resolution — enough to read p50/p99/p999
+// off nanosecond latencies without locks or dynamic resizing.
+const HistBuckets = 64
+
+// Histogram is a fixed-bucket log2 histogram. Record is exactly one
+// atomic add into a precomputed bucket index — there is no separate
+// count or sum cell, so the record path cannot cost more than a
+// counter. Quantiles, the sample count and a bucket-midpoint estimate
+// of the sum are all derived at snapshot time from the bucket counts.
+// The reported quantile value is the upper bound of the bucket
+// containing it, so any reported quantile is within one power of two
+// of the true sample.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// bucketOf returns the bucket index for v.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Record adds one sample. Values <= 0 land in bucket 0.
+func (h *Histogram) Record(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of recorded samples (a sum over the bucket
+// cells; nothing on a record path needs it).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// snapshot copies the bucket counts into a HistSnapshot. The copy is
+// not atomic across buckets — concurrent recording may be torn across
+// the scan — which is fine for monitoring: every bucket value is a
+// valid point in that bucket's own history.
+func (h *Histogram) snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.fillDerived()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Count and Sum
+// are derived from Buckets (Sum charges every sample its bucket's
+// midpoint, so it is an estimate within ±50% per sample).
+type HistSnapshot struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// fillDerived recomputes Count and Sum from Buckets.
+func (s *HistSnapshot) fillDerived() {
+	s.Count, s.Sum = 0, 0
+	for i, n := range s.Buckets {
+		s.Count += n
+		s.Sum += n * bucketMid(i)
+	}
+}
+
+// bucketMid is the midpoint of bucket i — the per-sample value the Sum
+// estimate charges for samples landing there.
+func bucketMid(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i == 1 {
+		return 1
+	}
+	lower := uint64(1) << uint(i-1)
+	return lower + (lower-1)/2
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound
+// of the bucket holding the q-th sample, i.e. within one log2 bucket
+// of the true sample value. Returns 0 for an empty snapshot.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based; q=0 means the first sample.
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(HistBuckets - 1)
+}
+
+// bucketUpper is the (inclusive) upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		i = 64
+	}
+	if i == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(i) - 1
+}
+
+// P50, P99 and P999 are the quantiles the experiments report.
+func (s *HistSnapshot) P50() uint64  { return s.Quantile(0.50) }
+func (s *HistSnapshot) P99() uint64  { return s.Quantile(0.99) }
+func (s *HistSnapshot) P999() uint64 { return s.Quantile(0.999) }
+
+// Mean returns the arithmetic mean of the recorded samples, estimated
+// from the bucket midpoints (each sample is within a factor of 1.5 of
+// the midpoint it is charged at), or 0 for an empty snapshot.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Diff returns the histogram activity between prev and s (s - prev,
+// per bucket). Buckets that went backwards (a restarted registry)
+// clamp to zero.
+func (s HistSnapshot) Diff(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range s.Buckets {
+		if s.Buckets[i] >= prev.Buckets[i] {
+			d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+		}
+	}
+	d.fillDerived()
+	return d
+}

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	if got := c.Inc(); got != 1 {
+		t.Fatalf("Inc = %d, want 1", got)
+	}
+	c.Add(9)
+	if got := c.Load(); got != 10 {
+		t.Fatalf("Load = %d, want 10", got)
+	}
+	var g Gauge
+	g.Set(5)
+	g.Add(-7)
+	if got := g.Load(); got != -2 {
+		t.Fatalf("gauge = %d, want -2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileBounds is the satellite-required bound check: a
+// reported quantile must be within one log2 bucket of the recorded
+// value — i.e. the recorded value is <= the report, and the report is
+// less than twice the recorded value (the bucket's width).
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 99% fast samples and 1% slow ones: p50/p99 must land on the fast
+	// value and p999 on the slow one, each within its log2 bucket.
+	const fast, slow = 250, 9_000_000
+	for i := 0; i < 990; i++ {
+		h.Record(fast)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(slow)
+	}
+	s := h.snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	for _, c := range []struct {
+		name     string
+		got      uint64
+		recorded uint64
+	}{
+		{"p50", s.P50(), fast},
+		{"p99", s.P99(), fast},
+		{"p999", s.P999(), slow},
+	} {
+		if c.got < c.recorded || c.got >= 2*c.recorded {
+			t.Errorf("%s = %d, want within one bucket of %d (i.e. [%d, %d))",
+				c.name, c.got, c.recorded, c.recorded, 2*c.recorded)
+		}
+	}
+	// Mean is a bucket-midpoint estimate: every sample is charged at the
+	// midpoint of its log2 bucket, which is within a factor of 1.5 of
+	// the sample, so the estimated mean must be too.
+	const trueMean = (990*fast + 10*slow) / 1000.0
+	if m := s.Mean(); m < trueMean/1.5 || m > trueMean*1.5 {
+		t.Errorf("mean = %f, want within 1.5x of %f", m, trueMean)
+	}
+}
+
+func TestHistogramQuantileEdge(t *testing.T) {
+	var h Histogram
+	s := h.snapshot()
+	if s.P99() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot: p99=%d mean=%f, want 0", s.P99(), s.Mean())
+	}
+	h.Record(0)
+	s = h.snapshot()
+	if got := s.Quantile(1); got != 0 {
+		t.Fatalf("Quantile(1) of {0} = %d, want 0", got)
+	}
+}
+
+// TestConcurrentRecording hammers one histogram and one counter from 16
+// goroutines; run under -race it proves the record path is data-race
+// free, and the totals prove no sample is lost.
+func TestConcurrentRecording(t *testing.T) {
+	const goroutines = 16
+	const perG = 10_000
+	var h Histogram
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(int64(g*perG + i + 1))
+				c.Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestRegistrySnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.sends").Add(10)
+	r.Gauge("a.pool").Set(3)
+	r.Histogram("a.lat").Record(100)
+	r.RegisterFunc("a.sampled", func() int64 { return 42 })
+	prev := r.Snapshot()
+
+	r.Counter("a.sends").Add(5)
+	r.Histogram("a.lat").Record(200)
+	cur := r.Snapshot()
+
+	d := cur.Diff(prev)
+	if got := d.Counters["a.sends"]; got != 5 {
+		t.Fatalf("diff sends = %d, want 5", got)
+	}
+	if got := d.Gauges["a.pool"]; got != 3 {
+		t.Fatalf("diff gauge = %d, want current value 3", got)
+	}
+	if got := d.Gauges["a.sampled"]; got != 42 {
+		t.Fatalf("sampled func = %d, want 42", got)
+	}
+	if got := d.Hists["a.lat"].Count; got != 1 {
+		t.Fatalf("diff hist count = %d, want 1", got)
+	}
+	tab := d.Table()
+	if !strings.Contains(tab, "a.sends") || !strings.Contains(tab, "p99") {
+		t.Fatalf("table missing rows:\n%s", tab)
+	}
+	// The same metric resolves to the same handle.
+	if r.Counter("a.sends") != r.Counter("a.sends") {
+		t.Fatal("get-or-create returned distinct counters for one name")
+	}
+}
+
+func TestRegistryFuncLifecycle(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc("x", func() int64 { return 7 })
+	if got := r.Snapshot().Gauges["x"]; got != 7 {
+		t.Fatalf("func gauge = %d, want 7", got)
+	}
+	r.UnregisterFunc("x")
+	if _, ok := r.Snapshot().Gauges["x"]; ok {
+		t.Fatal("unregistered func still sampled")
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	defer SetTraceSampling(SetTraceSampling(0))
+	SetTraceSampling(0)
+	if id := SampleTraceID(); id != 0 {
+		t.Fatalf("sampling off: id = %d, want 0", id)
+	}
+	SetTraceSampling(1)
+	a, b := SampleTraceID(), SampleTraceID()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("rate 1: ids %d, %d — want distinct non-zero", a, b)
+	}
+	SetTraceSampling(4)
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if SampleTraceID() != 0 {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("rate 4: sampled %d of 400, want 100", sampled)
+	}
+}
+
+func TestRecorderAndTrace(t *testing.T) {
+	ResetTrace()
+	defer ResetTrace()
+	id := NewTraceID()
+	other := NewTraceID()
+	RecordHop(1, id, HopSend, 77, 10)
+	RecordHop(1, id, HopEnqueue, 77, 10)
+	RecordHop(0, id, HopReceive, 77, 10)
+	RecordHop(0, other, HopSend, 5, 3)
+	RecordHop(2, 0, HopSend, 9, 9) // untraced: must be dropped
+
+	evs := Trace(id)
+	if len(evs) != 3 {
+		t.Fatalf("Trace(%d) = %d events, want 3", id, len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatal("trace events not time-ordered")
+		}
+	}
+	hosts := map[int32]bool{}
+	for _, e := range evs {
+		hosts[e.Host] = true
+		if e.Trace != id {
+			t.Fatalf("foreign trace %d in timeline", e.Trace)
+		}
+	}
+	if !hosts[0] || !hosts[1] {
+		t.Fatalf("timeline hosts = %v, want both 0 and 1", hosts)
+	}
+	out := FormatTrace(evs)
+	if !strings.Contains(out, "enqueue") || !strings.Contains(out, "host1") {
+		t.Fatalf("FormatTrace output:\n%s", out)
+	}
+	if all := TraceEvents(); len(all) != 4 {
+		t.Fatalf("TraceEvents = %d, want 4", len(all))
+	}
+}
+
+func TestRecorderRingBounded(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 3*ringSize; i++ {
+		r.record(&Event{Trace: uint64(i + 1)})
+	}
+	evs := r.events(nil)
+	if len(evs) != ringSize {
+		t.Fatalf("ring holds %d events, want %d", len(evs), ringSize)
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	in := []Event{
+		{Trace: 1, TS: 123456789, Host: 0, Hop: HopSend, MsgID: 700, Port: 42},
+		{Trace: 1, TS: 123456999, Host: 3, Hop: HopReply, MsgID: -1, Port: 0},
+		{Trace: ^uint64(0), TS: -1, Host: -2, Hop: Hop(200), MsgID: 1 << 30, Port: ^uint64(0)},
+	}
+	b := EncodeEvents(in)
+	if len(b) != len(in)*eventWireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(b), len(in)*eventWireSize)
+	}
+	out, err := DecodeEvents(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	// Truncation: the complete prefix decodes, the tail errors.
+	out, err = DecodeEvents(b[:len(b)-1])
+	if err != ErrTruncatedEvent {
+		t.Fatalf("truncated decode err = %v, want ErrTruncatedEvent", err)
+	}
+	if len(out) != len(in)-1 {
+		t.Fatalf("truncated decode kept %d events, want %d", len(out), len(in)-1)
+	}
+}
+
+func TestWellKnownBundles(t *testing.T) {
+	// Bundles resolve to stable handles in the default registry.
+	if IPCHost(9).Sends != IPCHost(9).Sends {
+		t.Fatal("IPCHost not stable")
+	}
+	if NetmsgPeer(9, 8).Bytes != NetmsgPeer(9, 8).Bytes {
+		t.Fatal("NetmsgPeer not stable")
+	}
+	if RPCMethodMetrics(9, 1234).Calls != RPCMethodMetrics(9, 1234).Calls {
+		t.Fatal("RPCMethodMetrics not stable")
+	}
+	if Pager().ColdFaults != Pager().ColdFaults || IO().Fsyncs != IO().Fsyncs || WAL().Forces != WAL().Forces {
+		t.Fatal("global bundles not stable")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+func BenchmarkSampleTraceIDOff(b *testing.B) {
+	SetTraceSampling(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if SampleTraceID() != 0 {
+			b.Fatal("sampled while off")
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is a named metric table. Metric handles are resolved once
+// (get-or-create, under a lock) and recorded through directly — the
+// registry is never consulted on a hot path. Names are dotted paths;
+// per-host metrics use a "hostN." prefix (see IPCHost and friends in
+// wellknown.go) so one process running a whole simulated complex keeps
+// every kernel's numbers apart.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	// funcs are snapshot-time sampled values: ad-hoc state (pool
+	// sizes, map populations) surfaced without forcing the owner to
+	// maintain a gauge on every mutation.
+	funcs map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// defaultRegistry is the process-wide registry every instrumented
+// subsystem records into. A simulated complex of many kernels is one
+// process, so "kernel-wide" here means the whole complex, with
+// per-host name prefixes keeping kernels apart.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterFunc installs (or replaces) a snapshot-time sampled value.
+// fn must be safe to call from any goroutine.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// UnregisterFunc removes a sampled value (a stopped server's).
+func (r *Registry) UnregisterFunc(name string) {
+	r.mu.Lock()
+	delete(r.funcs, name)
+	r.mu.Unlock()
+}
+
+// Snapshot captures every metric's current value. Counter and gauge
+// reads are individually atomic; the snapshot as a whole is not a
+// consistent cut (no global lock is worth taking for monitoring).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	s := Snapshot{
+		At:       time.Now(),
+		Counters: make(map[string]uint64, len(r.counters)+len(r.funcs)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+		Hists:    make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Hists[name] = h.snapshot()
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for name, fn := range r.funcs {
+		funcs[name] = fn
+	}
+	r.mu.RUnlock()
+	// Sampled values run outside the registry lock: they may take
+	// their owner's locks, and nothing says those order after ours.
+	for name, fn := range funcs {
+		s.Gauges[name] = fn()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry.
+type Snapshot struct {
+	At       time.Time
+	Counters map[string]uint64
+	Gauges   map[string]int64
+	Hists    map[string]HistSnapshot
+}
+
+// Diff returns the activity between prev and s: counters and histogram
+// buckets subtracted (clamped at zero if a name restarted), gauges
+// kept at their current (s) value, and the interval recorded so rates
+// can be derived. Names present only in prev are dropped; names new in
+// s diff against zero.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{
+		At:       s.At,
+		Counters: make(map[string]uint64, len(s.Counters)),
+		Gauges:   make(map[string]int64, len(s.Gauges)),
+		Hists:    make(map[string]HistSnapshot, len(s.Hists)),
+	}
+	for name, v := range s.Counters {
+		if p := prev.Counters[name]; v >= p {
+			d.Counters[name] = v - p
+		}
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Hists {
+		d.Hists[name] = h.Diff(prev.Hists[name])
+	}
+	return d
+}
+
+// Interval returns the wall-clock span between two snapshots (used
+// with Diff to turn counts into rates).
+func (s Snapshot) Interval(prev Snapshot) time.Duration {
+	return s.At.Sub(prev.At)
+}
+
+// Table renders the snapshot as an aligned name/value table, sorted by
+// name: counters and gauges one line each, histograms as
+// count/mean/p50/p99/p999. Zero-valued counters are skipped (the
+// registry accumulates names for every host that ever existed in the
+// process; a diff table would otherwise be mostly zeros).
+func (s Snapshot) Table() string {
+	type row struct{ name, value string }
+	var rows []row
+	for name, v := range s.Counters {
+		if v == 0 {
+			continue
+		}
+		rows = append(rows, row{name, fmt.Sprintf("%d", v)})
+	}
+	for name, v := range s.Gauges {
+		if v == 0 {
+			continue
+		}
+		rows = append(rows, row{name, fmt.Sprintf("%d", v)})
+	}
+	for name, h := range s.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		rows = append(rows, row{name, fmt.Sprintf(
+			"n=%d mean=%.0f p50=%d p99=%d p999=%d",
+			h.Count, h.Mean(), h.P50(), h.P99(), h.P999())})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	w := 0
+	for _, r := range rows {
+		if len(r.name) > w {
+			w = len(r.name)
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %s\n", w, r.name, r.value)
+	}
+	return b.String()
+}

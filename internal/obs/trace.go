@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Message tracing: an optional sampled trace ID is stamped into a
+// message header at send time, propagated through RPC replies, batch
+// containers and the netmsg relay across hosts, and every hop (send,
+// enqueue, proxy-forward, receive, reply) appends an event to the
+// local kernel's flight recorder — a bounded ring, so tracing can stay
+// on in production without growing memory. Trace(id) reconstructs the
+// hop timeline spanning kernels.
+//
+// Cost discipline: with sampling disabled (the default) the send path
+// pays one atomic load and a branch; nothing else runs. A sampled
+// message allocates its events — sampling bounds that cost, and the
+// fast-path alloc pins (0 allocs/op) hold because they run unsampled.
+
+// Hop identifies what happened to a traced message at one point.
+type Hop uint8
+
+const (
+	// HopSend is a task-level msg_send (or kernel RawSend) entering
+	// the IPC layer.
+	HopSend Hop = iota
+	// HopEnqueue is the message landing on its destination port's
+	// queue (recorded against the queue's home host).
+	HopEnqueue
+	// HopProxyForward is a netmsg forwarder relaying the message from
+	// a proxy queue toward the home port on another host.
+	HopProxyForward
+	// HopReceive is a task-level msg_receive delivering the message.
+	HopReceive
+	// HopReply is an RPC server sending the reply to a traced request
+	// (the reply message carries the same trace ID).
+	HopReply
+)
+
+var hopNames = [...]string{"send", "enqueue", "proxy-forward", "receive", "reply"}
+
+// String names the hop for timelines and dumps.
+func (h Hop) String() string {
+	if int(h) < len(hopNames) {
+		return hopNames[h]
+	}
+	return fmt.Sprintf("hop(%d)", uint8(h))
+}
+
+// Event is one hop of one traced message.
+type Event struct {
+	// Trace is the message's sampled trace ID (never 0 in a recorded
+	// event).
+	Trace uint64
+	// TS is the wall-clock time of the hop in nanoseconds. All
+	// kernels of a simulated complex share one process clock, so
+	// cross-host timelines order correctly.
+	TS int64
+	// Host is the kernel the hop happened on.
+	Host int32
+	// Hop says what happened.
+	Hop Hop
+	// MsgID is the message's operation ID at this hop.
+	MsgID int32
+	// Port is the kernel-wide port ID involved (destination queue for
+	// send/enqueue/forward, arrival queue for receive), 0 if unknown.
+	Port uint64
+}
+
+// ringSize bounds each kernel's flight recorder (a power of two).
+// 4096 events at ~48 bytes is ~200KiB per kernel — bounded, and deep
+// enough to hold the full hop history of recent sampled traffic.
+const ringSize = 4096
+
+// Recorder is one kernel's flight recorder: a lock-free bounded ring
+// of trace events. Slots are atomic pointers, so a reader can never
+// observe a torn event; a lapped slot is simply overwritten.
+type Recorder struct {
+	pos  atomic.Uint64
+	ring [ringSize]atomic.Pointer[Event]
+}
+
+// record appends one event.
+func (r *Recorder) record(e *Event) {
+	i := r.pos.Add(1) - 1
+	r.ring[i%ringSize].Store(e)
+}
+
+// events copies out every live event in the ring.
+func (r *Recorder) events(out []Event) []Event {
+	for i := range r.ring {
+		if e := r.ring[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// recorders maps host -> flight recorder. Hosts are small dense
+// integers (machine.HostID); a fixed table keeps the lookup a single
+// indexed atomic load on the (sampled) record path.
+const maxHosts = 1024
+
+var recorders [maxHosts]atomic.Pointer[Recorder]
+
+// overflowRecorder catches hops recorded against out-of-range hosts so
+// they are never silently dropped.
+var overflowRecorder Recorder
+
+// recorderFor returns host's recorder, creating it on first use.
+func recorderFor(host int32) *Recorder {
+	if host < 0 || host >= maxHosts {
+		return &overflowRecorder
+	}
+	if r := recorders[host].Load(); r != nil {
+		return r
+	}
+	r := new(Recorder)
+	if recorders[host].CompareAndSwap(nil, r) {
+		return r
+	}
+	return recorders[host].Load()
+}
+
+// Trace sampling state. rate == 0 disables tracing: SampleTraceID is
+// then one atomic load and a branch, the whole cost tracing adds to an
+// unsampled send.
+var (
+	traceRate atomic.Uint64
+	traceSeq  atomic.Uint64
+	traceIDs  atomic.Uint64
+)
+
+// SetTraceSampling turns tracing on (sample one send in every n; n=1
+// traces everything) or off (n=0). It returns the previous rate so a
+// scoped measurement can restore it.
+func SetTraceSampling(n uint64) (prev uint64) {
+	return traceRate.Swap(n)
+}
+
+// SampleTraceID returns a fresh trace ID for one message in every
+// rate, and 0 (untraced) otherwise. The send path calls it only for
+// messages that do not already carry a trace ID.
+func SampleTraceID() uint64 {
+	rate := traceRate.Load()
+	if rate == 0 {
+		return 0
+	}
+	if rate > 1 && traceSeq.Add(1)%rate != 0 {
+		return 0
+	}
+	return traceIDs.Add(1)
+}
+
+// NewTraceID mints a trace ID unconditionally — for callers that want
+// to trace one specific operation regardless of the sampling rate.
+func NewTraceID() uint64 { return traceIDs.Add(1) }
+
+// RecordHop appends one hop event to host's flight recorder. Callers
+// guard with `trace != 0`, so the unsampled path never reaches here.
+func RecordHop(host int32, trace uint64, hop Hop, msgID int32, port uint64) {
+	if trace == 0 {
+		return
+	}
+	recorderFor(host).record(&Event{
+		Trace: trace,
+		TS:    time.Now().UnixNano(),
+		Host:  host,
+		Hop:   hop,
+		MsgID: msgID,
+		Port:  port,
+	})
+}
+
+// traceMu serializes whole-ring scans (Trace, TraceEvents, ResetTrace)
+// against each other; recording stays lock-free.
+var traceMu sync.Mutex
+
+// TraceEvents returns every event currently held in any kernel's
+// flight recorder, ordered by timestamp.
+func TraceEvents() []Event {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	var out []Event
+	for i := range recorders {
+		if r := recorders[i].Load(); r != nil {
+			out = r.events(out)
+		}
+	}
+	out = overflowRecorder.events(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Trace reconstructs the hop timeline of one trace ID across every
+// kernel: all matching events still in the flight recorders, ordered
+// by timestamp. An old trace may have been lapped out of the bounded
+// rings — tracing is a flight recorder, not a log.
+func Trace(id uint64) []Event {
+	all := TraceEvents()
+	out := all[:0]
+	for _, e := range all {
+		if e.Trace == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ResetTrace clears every flight recorder and restarts trace IDs —
+// test and experiment isolation.
+func ResetTrace() {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	for i := range recorders {
+		recorders[i].Store(nil)
+	}
+	for i := range overflowRecorder.ring {
+		overflowRecorder.ring[i].Store(nil)
+	}
+	overflowRecorder.pos.Store(0)
+}
+
+// FormatTrace renders a trace's hop timeline, one line per hop with
+// the offset from the first hop — the human view of Trace(id).
+func FormatTrace(events []Event) string {
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	var b strings.Builder
+	t0 := events[0].TS
+	for _, e := range events {
+		fmt.Fprintf(&b, "%+10.3fus  host%-3d %-14s msg=%-6d port=%d\n",
+			float64(e.TS-t0)/1e3, e.Host, e.Hop.String(), e.MsgID, e.Port)
+	}
+	return b.String()
+}
+
+// --- Wire/dump format ----------------------------------------------------
+//
+// TraceDump serializes flight-recorder contents so they can be written
+// to disk, shipped off-host, or diffed in tests. The format is a
+// sequence of fixed-size little-endian records:
+//
+//	[8 trace][8 ts][4 host][1 hop][4 msgid][8 port]  = 33 bytes
+
+// eventWireSize is the encoded size of one Event.
+const eventWireSize = 33
+
+// ErrTruncatedEvent reports a dump that ends mid-record.
+var ErrTruncatedEvent = errors.New("obs: truncated trace event")
+
+// AppendEvent appends e's wire encoding to b.
+func AppendEvent(b []byte, e Event) []byte {
+	b = appendU64(b, e.Trace)
+	b = appendU64(b, uint64(e.TS))
+	b = appendU32(b, uint32(e.Host))
+	b = append(b, byte(e.Hop))
+	b = appendU32(b, uint32(e.MsgID))
+	b = appendU64(b, e.Port)
+	return b
+}
+
+// DecodeEvent decodes one event from the front of b, returning the
+// remaining bytes. Short input returns ErrTruncatedEvent.
+func DecodeEvent(b []byte) (Event, []byte, error) {
+	if len(b) < eventWireSize {
+		return Event{}, b, ErrTruncatedEvent
+	}
+	var e Event
+	e.Trace = u64(b[0:])
+	e.TS = int64(u64(b[8:]))
+	e.Host = int32(u32(b[16:]))
+	e.Hop = Hop(b[20])
+	e.MsgID = int32(u32(b[21:]))
+	e.Port = u64(b[25:])
+	return e, b[eventWireSize:], nil
+}
+
+// EncodeEvents serializes a slice of events.
+func EncodeEvents(events []Event) []byte {
+	b := make([]byte, 0, len(events)*eventWireSize)
+	for _, e := range events {
+		b = AppendEvent(b, e)
+	}
+	return b
+}
+
+// DecodeEvents deserializes a dump produced by EncodeEvents. Trailing
+// partial records return ErrTruncatedEvent along with every complete
+// event decoded before the break.
+func DecodeEvents(b []byte) ([]Event, error) {
+	var out []Event
+	for len(b) > 0 {
+		e, rest, err := DecodeEvent(b)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+		b = rest
+	}
+	return out, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func u32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func u64(b []byte) uint64 {
+	return uint64(u32(b)) | uint64(u32(b[4:]))<<32
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ipc"
+	"repro/internal/obs"
 )
 
 // FramePool is a frame-table buffer pool between the pager stack and a
@@ -43,6 +44,8 @@ type FramePool struct {
 	misses     atomic.Int64
 	evictions  atomic.Int64
 	writebacks atomic.Int64
+
+	met *obs.PagerMetrics
 }
 
 // frame is one pool slot. Reuse is guarded by the pool lock plus the
@@ -67,6 +70,7 @@ func NewFramePool(store BlockStore, nframes int) *FramePool {
 	fp := &FramePool{
 		store: store,
 		index: make(map[int]*frame, nframes),
+		met:   obs.Pager(),
 	}
 	bs := store.BlockSize()
 	for i := 0; i < nframes; i++ {
@@ -126,6 +130,7 @@ func (fp *FramePool) frameFor(block int, fill bool) *frame {
 				<-loading
 			} else {
 				fp.hits.Add(1)
+				fp.met.WarmFaults.Inc()
 			}
 			return f
 		}
@@ -141,6 +146,7 @@ func (fp *FramePool) frameFor(block int, fill bool) *frame {
 			continue
 		}
 		fp.misses.Add(1)
+		fp.met.ColdFaults.Inc()
 		oldBlock, oldDirty := f.block, f.dirty
 		f.block, f.dirty = block, false
 		f.pins = 1
@@ -157,6 +163,7 @@ func (fp *FramePool) frameFor(block int, fill bool) *frame {
 			}
 			fp.store.Write(oldBlock, f.buf)
 			fp.writebacks.Add(1)
+			fp.met.Writebacks.Inc()
 		}
 		if fill {
 			fp.store.Read(block, f.buf)
@@ -189,6 +196,7 @@ func (fp *FramePool) evictLocked() *frame {
 		}
 		delete(fp.index, f.block)
 		fp.evictions.Add(1)
+		fp.met.Evictions.Inc()
 		return f
 	}
 	return nil
@@ -220,6 +228,7 @@ func (fp *FramePool) Flush() {
 			fp.store.Write(block, f.buf)
 			f.dirty = false
 			fp.writebacks.Add(1)
+			fp.met.Writebacks.Inc()
 		}
 		f.mu.Unlock()
 		fp.unpin(f)

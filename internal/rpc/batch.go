@@ -215,6 +215,7 @@ func (s *Server) serveBatch(m *ipc.Message, d *Dec) (*Reply, error) {
 		}
 		subs = append(subs, subCall{seq: seq, id: id, payload: payload})
 	}
+	s.met.BatchSizes.Record(int64(len(subs)))
 	out := NewReply()
 	out.U32(uint32(len(subs)))
 	sd := decPool.Get().(*Dec)

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ipc"
 	"repro/internal/lifecycle"
+	"repro/internal/obs"
 )
 
 // HandlerFunc serves one request. m is the raw message (for port-right
@@ -98,8 +100,13 @@ type Server struct {
 	Port ipc.Name
 
 	handlers map[ipc.MsgID]HandlerFunc
-	workers  int
-	stopped  atomic.Bool
+	// methods holds the per-MsgID metrics bundle of every registered
+	// handler, resolved at registration time (same register-before-Run
+	// contract as handlers, so serving reads it unsynchronized).
+	methods map[ipc.MsgID]*obs.RPCMethod
+	met     *obs.RPCMetrics
+	workers int
+	stopped atomic.Bool
 
 	// ownWatcher is the private lifecycle watcher StopWhenUnreferenced
 	// starts when the caller passes none; Stop terminates it.
@@ -135,10 +142,17 @@ func NewServer(space *ipc.Space, opts ...Option) (*Server, error) {
 	if err := space.Enable(port); err != nil {
 		return nil, err
 	}
-	s := &Server{Space: space, Port: port, handlers: make(map[ipc.MsgID]HandlerFunc)}
+	s := &Server{
+		Space:    space,
+		Port:     port,
+		handlers: make(map[ipc.MsgID]HandlerFunc),
+		methods:  make(map[ipc.MsgID]*obs.RPCMethod),
+		met:      obs.RPCHost(int(space.Host())),
+	}
 	// Every server answers the batch container: pipelined sub-calls
 	// demux through the same handler table as singleton requests.
 	s.handlers[MsgBatch] = s.serveBatch
+	s.methods[MsgBatch] = obs.RPCMethodMetrics(int(space.Host()), int32(MsgBatch))
 	for _, o := range opts {
 		o(s)
 	}
@@ -150,6 +164,7 @@ func NewServer(space *ipc.Space, opts ...Option) (*Server, error) {
 // first Dispatch.
 func (s *Server) Handle(id ipc.MsgID, fn HandlerFunc) {
 	s.handlers[id] = fn
+	s.methods[id] = obs.RPCMethodMetrics(int(s.Space.Host()), int32(id))
 }
 
 // Run receives on the service port and dispatches until the port or
@@ -329,10 +344,16 @@ func (s *Server) serve(m *ipc.Message) {
 		s.replyStatus(m, StatusBadID, nil)
 		return
 	}
+	met := s.methods[m.ID]
+	start := time.Now()
 	d := decPool.Get().(*Dec)
 	d.Reset(m.InlineData())
 	r, err := fn(m, d)
 	decPool.Put(d)
+	if met != nil {
+		met.Calls.Inc()
+		met.Latency.Record(time.Since(start).Nanoseconds())
+	}
 	if err != nil {
 		s.replyStatus(m, StatusOf(err), nil)
 		return
@@ -376,6 +397,13 @@ func (s *Server) replyStatus(m *ipc.Message, st Status, r *Reply) {
 	rm := ipc.GetMessage()
 	rm.ID = m.ID
 	rm.RemotePort = m.RemotePort
+	// A traced request's reply joins the same trace: the ID is copied
+	// before Send so Send never mints a second one, keeping one logical
+	// RPC one trace end to end.
+	if t := m.Trace(); t != 0 {
+		rm.SetTrace(t)
+		obs.RecordHop(int32(s.Space.Host()), t, obs.HopReply, int32(m.ID), 0)
+	}
 	// The status byte and result fields are copied into the reply
 	// message's own scratch buffer, which travels (and is recycled)
 	// with it — the Reply builder is free for reuse the moment this

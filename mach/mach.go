@@ -51,6 +51,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/netmem"
 	"repro/internal/netmsg"
+	"repro/internal/obs"
 	"repro/internal/pager"
 	"repro/internal/rpc"
 	"repro/internal/unixemu"
@@ -468,6 +469,55 @@ var NewFramePool = pager.NewFramePool
 
 // NewDefaultPagerStore builds a default pager over any BlockStore.
 var NewDefaultPagerStore = pager.NewDefaultPagerStore
+
+// --- observability -----------------------------------------------------------
+
+// The kernel-wide observability surface: every subsystem records into
+// one process-global metrics registry (counters, gauges, log₂ latency
+// histograms — all lock-free, allocation-free on the hot path), and a
+// sampled cross-host tracing facility stamps messages with trace IDs
+// that survive RPC replies, batches and netmsg forwarding, so one
+// logical operation yields one timeline across kernels.
+type (
+	// MetricsSnapshot is a point-in-time copy of every registered
+	// metric; Diff two snapshots to get interval rates.
+	MetricsSnapshot = obs.Snapshot
+	// HistSnapshot is one histogram's buckets with quantile accessors
+	// (P50 / P99 / P999 / Mean).
+	HistSnapshot = obs.HistSnapshot
+	// TraceEvent is one recorded hop of a traced message.
+	TraceEvent = obs.Event
+	// TraceHop discriminates hop kinds (send, enqueue, proxy-forward,
+	// receive, reply).
+	TraceHop = obs.Hop
+)
+
+// Metrics snapshots the process-global metrics registry: per-host IPC
+// and RPC counters and latency histograms, netmsg proxy and per-peer
+// traffic counters, pager fault/eviction counters, I/O manager and WAL
+// activity. Render with MetricsSnapshot.Table, or Diff two snapshots
+// for an interval view.
+func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// SetTraceSampling sets the trace sampling rate: every n-th Send mints
+// a trace ID (0 disables, 1 traces everything). Returns the previous
+// rate. Unsampled messages pay one atomic load and a branch.
+var SetTraceSampling = obs.SetTraceSampling
+
+// Trace returns the recorded hops of one trace ID across every host's
+// flight recorder, in timestamp order.
+var Trace = obs.Trace
+
+// TraceDump returns every hop event still held by the flight
+// recorders, in timestamp order.
+var TraceDump = obs.TraceEvents
+
+// FormatTrace renders a hop timeline human-readably, offsets relative
+// to the first hop.
+var FormatTrace = obs.FormatTrace
+
+// ResetTrace clears every flight recorder (test isolation).
+var ResetTrace = obs.ResetTrace
 
 // --- application suite ------------------------------------------------------------
 
