@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzReceiveFromSet -fuzztime=5s ./internal/ipc
 	$(GO) test -run '^$$' -fuzz=FuzzGeneratedReplyDecode -fuzztime=5s ./internal/fs
 	$(GO) test -run '^$$' -fuzz=FuzzTraceEventDecode -fuzztime=5s ./internal/obs
+	$(GO) test -run '^$$' -fuzz=FuzzRegistryOps -fuzztime=5s ./internal/netmsg
 
 # bench runs every benchmark package with -benchmem and serializes the
 # combined output into the next BENCH_<n>.json trajectory point (see

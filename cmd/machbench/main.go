@@ -40,6 +40,7 @@ var all = []struct {
 	{"E9", experiments.E9Ablations, "ablations: COW fork, copy-on-reference OOL, pageout target"},
 	{"E10", experiments.E10NetmsgCrossHost, "cross-host RPC: direct vs netmsg proxy relay"},
 	{"E11", experiments.E11DurableIO, "durable storage: frame pool over real files, group-committed WAL"},
+	{"E12", experiments.E12ScaleOut, "scale-out registry: 16-64 hosts under open-loop load (E12_SCALE=small|smoke shrinks it)"},
 }
 
 func main() {

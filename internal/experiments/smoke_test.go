@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -9,5 +10,22 @@ func TestRunAll(t *testing.T) {
 	for _, f := range []func() Table{E2MessageCopyVsCOW, E3UnixCacheVsMach, E4ArchLatency, E5SharedMemoryLocality, E6Migration, E7CamelotWAL, E8FaultPath, E9Ablations, E11DurableIO} {
 		tb := f()
 		tb.Render(os.Stdout)
+	}
+}
+
+// TestE12Smoke runs the scale-out experiment at its minimal
+// configuration and requires a loss-free run: every launched session
+// resolved its service and completed its calls.
+func TestE12Smoke(t *testing.T) {
+	t.Setenv("E12_SCALE", "smoke")
+	tb := E12ScaleOut()
+	tb.Render(os.Stdout)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tb.Rows))
+	}
+	for _, m := range tb.Metrics {
+		if !strings.Contains(m, "errors=0") {
+			t.Fatalf("E12 smoke run reported session errors: %s", m)
+		}
 	}
 }

@@ -1,0 +1,138 @@
+// Fuzz the distributed registry's operation interleavings: a byte
+// string drives a sequence of check-in / lookup / re-check-in /
+// port-death / task-churn operations across a 3-host complex, and the
+// oracle checks what the protocol promises — a lookup resolves iff some
+// live service is checked in under the name, and a resolved right
+// always reaches the CURRENT generation of the service (never a
+// replaced one).
+package netmsg_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/netmsg"
+	"repro/internal/rpc"
+	"repro/mach"
+)
+
+func FuzzRegistryOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x30, 0x01, 0x12})
+	f.Add([]byte{0x00, 0x10, 0x00, 0x20, 0x10, 0x30})
+	f.Add([]byte{0x41, 0x52, 0x63, 0x41, 0x52, 0x63, 0x41})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		kernels, _, _ := mach.Complex(3, machine.NORMA, 256, 4096)
+		defer func() {
+			for _, k := range kernels {
+				k.Shutdown()
+			}
+		}()
+		const msgGen ipc.MsgID = 6500
+		const names = 4
+
+		type svcState struct {
+			task *kern.Task
+			srv  *rpc.Server
+			gen  uint64
+		}
+		live := map[string]*svcState{}
+		defer func() {
+			for _, st := range live {
+				st.srv.Stop()
+				st.task.Terminate()
+			}
+		}()
+		var gens uint64
+
+		// One long-lived client task per host drives the lookups.
+		clients := make([]*kern.Task, len(kernels))
+		boots := make([]ipc.Name, len(kernels))
+		for i, k := range kernels {
+			clients[i] = k.NewTask()
+			boot, err := k.NetMsg().Publish(clients[i].Space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			boots[i] = boot
+		}
+
+		for _, op := range ops {
+			host := int(op>>2) % len(kernels)
+			name := fmt.Sprintf("fz-%d", int(op>>4)%names)
+			switch op % 4 {
+			case 0, 1: // check-in (fresh or replacement) on host
+				gens++
+				gen := gens
+				task := kernels[host].NewTask()
+				srv, err := rpc.NewServer(task.Space)
+				if err != nil {
+					t.Fatal(err)
+				}
+				srv.Handle(msgGen, func(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+					r := rpc.NewReply()
+					r.U64(gen)
+					return r, nil
+				})
+				go srv.Run()
+				// The check-in must come from the space the right lives
+				// in: srv.Port names a right in task.Space.
+				boot, err := kernels[host].NetMsg().Publish(task.Space)
+				if err == nil {
+					err = netmsg.CheckIn(task.Space, boot, name, srv.Port)
+				}
+				if err != nil {
+					t.Fatalf("check-in %s: %v", name, err)
+				}
+				if old := live[name]; old != nil {
+					old.srv.Stop()
+					old.task.Terminate()
+				}
+				live[name] = &svcState{task: task, srv: srv, gen: gen}
+			case 2: // kill the current service (port death)
+				if st := live[name]; st != nil {
+					st.srv.Stop()
+					st.task.Terminate()
+					delete(live, name)
+				}
+			case 3: // lookup from host and verify against the model
+				st := live[name]
+				n, err := netmsg.LookUp(clients[host].Space, boots[host], name)
+				if st == nil {
+					// No live service: a NotFound is the only correct
+					// answer (a right to a dying port may still resolve
+					// transiently, but its call must then fail).
+					if err == nil {
+						_, cerr := rpc.NewClient(clients[host].Space, n, 2*time.Second).Invoke(msgGen, nil)
+						_ = clients[host].Space.DeallocatePort(n)
+						if cerr == nil {
+							t.Fatalf("lookup of %s resolved a dead service", name)
+						}
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("lookup of live %s (gen %d): %v", name, st.gen, err)
+				}
+				resp, cerr := rpc.NewClient(clients[host].Space, n, 2*time.Second).Invoke(msgGen, nil)
+				if cerr != nil {
+					t.Fatalf("call to live %s (gen %d): %v", name, st.gen, cerr)
+				}
+				got := resp.Dec.U64()
+				if err := resp.Dec.Err(); err != nil {
+					t.Fatal(err)
+				}
+				_ = clients[host].Space.DeallocatePort(n)
+				if got != st.gen {
+					t.Fatalf("lookup of %s resolved generation %d, current is %d", name, got, st.gen)
+				}
+			}
+		}
+	})
+}

@@ -9,8 +9,10 @@ import (
 
 	"repro/internal/ipc"
 	"repro/internal/kern"
+	"repro/internal/machine"
 	"repro/internal/netmsg"
 	"repro/internal/rpc"
+	"repro/mach"
 )
 
 func waitUntil(t *testing.T, what string, cond func() bool) {
@@ -147,9 +149,17 @@ func TestProxySurvivesOtherClients(t *testing.T) {
 // TestLookupCacheAndInvalidation covers the registry's TTL cache: a
 // repeated remote lookup is answered from the cache with zero
 // interconnect traffic, and the death of the cached port invalidates
-// the entry.
+// the entry. Needs a host that holds no directory slice for the name
+// (home and replica answer from the directory, never the cache), so it
+// boots four hosts and picks a client host with zero DirEntries.
 func TestLookupCacheAndInvalidation(t *testing.T) {
-	k0, k1, topo := complex2(t)
+	kernels, topo, _ := mach.Complex(4, machine.NORMA, 1024, 4096)
+	t.Cleanup(func() {
+		for _, k := range kernels {
+			k.Shutdown()
+		}
+	})
+	k0 := kernels[0]
 	serverTask := k0.NewTask()
 	svcPort, err := serverTask.Space.AllocatePort()
 	if err != nil {
@@ -157,15 +167,29 @@ func TestLookupCacheAndInvalidation(t *testing.T) {
 	}
 	checkIn(t, serverTask, "cached", svcPort)
 
-	client := k1.NewTask()
-	_ = lookUp(t, client, "cached") // miss: charged peer broadcast
+	var ck *kern.Kernel
+	for _, k := range kernels[1:] {
+		if k.NetMsg().Stats().DirEntries == 0 {
+			ck = k
+			break
+		}
+	}
+	if ck == nil {
+		t.Fatal("no host without a directory slice (home+replica cover 2 of 4)")
+	}
+
+	client := ck.NewTask()
+	_ = lookUp(t, client, "cached") // miss: one round trip to the home node
+	if got := ck.NetMsg().Stats().HomeLookups; got != 1 {
+		t.Fatalf("home lookups %d, want 1", got)
+	}
 	before := topo.Stats().RemoteMessages
 	_ = lookUp(t, client, "cached") // hit: local round trip only
 	delta := topo.Stats().RemoteMessages - before
 	if delta != 0 {
 		t.Fatalf("cached lookup cost %d remote messages, want 0", delta)
 	}
-	if hits := k1.NetMsg().Stats().LookupCacheHits; hits != 1 {
+	if hits := ck.NetMsg().Stats().LookupCacheHits; hits != 1 {
 		t.Fatalf("cache hits %d, want 1", hits)
 	}
 

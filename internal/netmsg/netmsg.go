@@ -39,7 +39,6 @@ package netmsg
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -94,8 +93,22 @@ type Stats struct {
 	// ActiveProxies is the number of live proxies on this host now.
 	ActiveProxies int
 	// LookupCacheHits counts registry lookups answered from the TTL
-	// cache instead of a peer broadcast.
+	// cache instead of a control round trip to the home node.
 	LookupCacheHits int64
+	// HomeLookups counts remote lookups resolved by one control round
+	// trip to the name's home (or replica) node — the O(1) path that
+	// replaced the peer broadcast.
+	HomeLookups int64
+	// NegCacheHits counts lookup misses answered by the short-TTL
+	// negative cache instead of re-asking the home node.
+	NegCacheHits int64
+	// InvalidationsSent / InvalidationsRecv count directory
+	// invalidation pushes (record replaced or died) between hosts.
+	InvalidationsSent int64
+	InvalidationsRecv int64
+	// DirEntries is this host's live slice of the distributed
+	// directory (home records plus replicas).
+	DirEntries int
 }
 
 // Network is the set of message servers of one machine complex — the
@@ -109,6 +122,10 @@ type Network struct {
 	// port, so rights that travel back toward home are unwrapped
 	// instead of proxied in circles.
 	realOf map[*ipc.Port]*ipc.Port
+	// ring is the consistent-hash ring of the distributed name
+	// directory (ringVnodes points per attached host, sorted by hash);
+	// rebuilt on attach/detach, read on every name-to-home mapping.
+	ring []ringPoint
 }
 
 // NewNetwork creates an empty message-server network.
@@ -121,20 +138,31 @@ func NewNetwork() *Network {
 
 func (n *Network) attach(s *Server) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, ok := n.servers[s.host]; ok {
+		n.mu.Unlock()
 		return fmt.Errorf("netmsg: host %d already has a message server", s.host)
 	}
 	n.servers[s.host] = s
+	n.rebuildRingLocked()
+	n.mu.Unlock()
+	// Ring membership changed: origins re-home their records (outside
+	// the network lock — rebalancing is charged control traffic).
+	n.rebalance()
 	return nil
 }
 
 func (n *Network) detach(s *Server) {
 	n.mu.Lock()
+	changed := false
 	if n.servers[s.host] == s {
 		delete(n.servers, s.host)
+		n.rebuildRingLocked()
+		changed = true
 	}
 	n.mu.Unlock()
+	if changed {
+		n.rebalance()
+	}
 }
 
 // serverFor returns the message server of a host, or nil.
@@ -142,21 +170,6 @@ func (n *Network) serverFor(h machine.HostID) *Server {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.servers[h]
-}
-
-// peers returns every server except s, in host order (the broadcast
-// order of a registry lookup).
-func (n *Network) peers(s *Server) []*Server {
-	n.mu.RLock()
-	out := make([]*Server, 0, len(n.servers))
-	for _, p := range n.servers {
-		if p != s {
-			out = append(out, p)
-		}
-	}
-	n.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].host < out[j].host })
-	return out
 }
 
 // unproxy resolves a port reference to its home port: proxies (from any
@@ -207,8 +220,19 @@ type Server struct {
 	// entries are pruned on lookup.
 	names map[string]*ipc.Port
 	// cache holds remote lookup results for a short virtual-time TTL,
-	// each invalidated early by a death watch on the cached port.
-	cache   map[string]*cacheEntry
+	// each invalidated early by a death watch on the cached port and by
+	// home-node invalidation pushes on replacement.
+	cache map[string]*cacheEntry
+	// dir is this host's slice of the distributed directory: records
+	// whose name hashes here (home) or to the next ring node (replica).
+	dir map[string]*dirEntry
+	// neg caches authoritative misses for a short virtual TTL so
+	// repeated lookups of an absent name cost zero control messages;
+	// negWait records, per missing name this host is home for, the
+	// hosts holding such a negative entry — the install-time fan-out
+	// that makes a check-in visible immediately, not at TTL expiry.
+	neg     map[string]time.Duration
+	negWait map[string]map[machine.HostID]bool
 	stopped bool
 	// met holds the host's netmsg registry metrics (the stats live
 	// there, not in a private struct: readers load atomics instead of
@@ -244,6 +268,9 @@ func NewServer(host machine.HostID, topo *machine.Topology, net *Network) (*Serv
 		proxies: make(map[*ipc.Port]*ipc.Port),
 		names:   make(map[string]*ipc.Port),
 		cache:   make(map[string]*cacheEntry),
+		dir:     make(map[string]*dirEntry),
+		neg:     make(map[string]time.Duration),
+		negWait: make(map[string]map[machine.HostID]bool),
 		linger:  proxyLinger,
 		met:     obs.NetmsgHost(int(host)),
 		peerMet: make(map[machine.HostID]*obs.NetmsgPeerMetrics),
@@ -291,8 +318,16 @@ func (s *Server) Stop() {
 	}
 	cache := s.cache
 	s.cache = make(map[string]*cacheEntry)
+	dir := s.dir
+	s.dir = make(map[string]*dirEntry)
+	s.met.DirEntries.Add(-int64(len(dir)))
+	s.neg = make(map[string]time.Duration)
+	s.negWait = make(map[string]map[machine.HostID]bool)
 	s.mu.Unlock()
 	for _, e := range cache {
+		e.cancel()
+	}
+	for _, e := range dir {
 		e.cancel()
 	}
 	s.net.detach(s)
@@ -306,11 +341,16 @@ func (s *Server) Stop() {
 // loadStats reads the host's registry counters with atomic loads.
 func (s *Server) loadStats() Stats {
 	return Stats{
-		ProxiesCreated:  int64(s.met.ProxiesCreated.Load()),
-		ProxiesRetired:  int64(s.met.ProxiesRetired.Load()),
-		ProxiesDied:     int64(s.met.ProxiesDied.Load()),
-		ActiveProxies:   int(s.met.Proxies.Load()),
-		LookupCacheHits: int64(s.met.CacheHits.Load()),
+		ProxiesCreated:    int64(s.met.ProxiesCreated.Load()),
+		ProxiesRetired:    int64(s.met.ProxiesRetired.Load()),
+		ProxiesDied:       int64(s.met.ProxiesDied.Load()),
+		ActiveProxies:     int(s.met.Proxies.Load()),
+		LookupCacheHits:   int64(s.met.CacheHits.Load()),
+		HomeLookups:       int64(s.met.HomeLookups.Load()),
+		NegCacheHits:      int64(s.met.NegCacheHits.Load()),
+		InvalidationsSent: int64(s.met.InvalidationsSent.Load()),
+		InvalidationsRecv: int64(s.met.InvalidationsRecv.Load()),
+		DirEntries:        int(s.met.DirEntries.Load()),
 	}
 }
 
@@ -322,11 +362,16 @@ func (s *Server) loadStats() Stats {
 func (s *Server) Stats() Stats {
 	cur := s.loadStats()
 	return Stats{
-		ProxiesCreated:  cur.ProxiesCreated - s.base.ProxiesCreated,
-		ProxiesRetired:  cur.ProxiesRetired - s.base.ProxiesRetired,
-		ProxiesDied:     cur.ProxiesDied - s.base.ProxiesDied,
-		ActiveProxies:   cur.ActiveProxies,
-		LookupCacheHits: cur.LookupCacheHits - s.base.LookupCacheHits,
+		ProxiesCreated:    cur.ProxiesCreated - s.base.ProxiesCreated,
+		ProxiesRetired:    cur.ProxiesRetired - s.base.ProxiesRetired,
+		ProxiesDied:       cur.ProxiesDied - s.base.ProxiesDied,
+		ActiveProxies:     cur.ActiveProxies,
+		LookupCacheHits:   cur.LookupCacheHits - s.base.LookupCacheHits,
+		HomeLookups:       cur.HomeLookups - s.base.HomeLookups,
+		NegCacheHits:      cur.NegCacheHits - s.base.NegCacheHits,
+		InvalidationsSent: cur.InvalidationsSent - s.base.InvalidationsSent,
+		InvalidationsRecv: cur.InvalidationsRecv - s.base.InvalidationsRecv,
+		DirEntries:        cur.DirEntries,
 	}
 }
 

@@ -34,16 +34,34 @@ var (
 const rpcTimeout = 10 * time.Second
 
 // lookupCacheTTL is the virtual-time lifetime of a cached remote lookup
-// result; a death watch on the cached right invalidates it early, so
-// the TTL only bounds staleness across a live re-check-in elsewhere.
+// result; a death watch on the cached right and home-node invalidation
+// pushes (re-check-in replacement) drop it early, so the TTL only
+// bounds staleness across events the push protocol cannot see (a home
+// rehomed by a ring change between push and expiry).
 const lookupCacheTTL = 10 * time.Millisecond
 
 // lookupCacheMax bounds the cache; past it new results are simply not
 // cached.
 const lookupCacheMax = 128
 
-// handleCheckIn records a service under a name. The registry's record
-// is WEAK: it notes the home (unproxied) port but releases the carried
+// negCacheTTL is the (short) virtual-time lifetime of a cached negative
+// lookup result. A check-in under the name drops the entry immediately
+// through the home node's negative-waiter push, so the TTL only bounds
+// staleness for hosts past the home's negWaitMax tracking cap. It must
+// comfortably exceed one remote round trip of virtual time (~1.2ms on
+// NORMA), or the entry the miss just created expires before a repeat of
+// the same lookup can hit it.
+const negCacheTTL = 5 * time.Millisecond
+
+// negCacheMax bounds the negative cache the same way lookupCacheMax
+// bounds the positive one.
+const negCacheMax = 256
+
+// handleCheckIn records a service under a name: in the origin's local
+// slice (zero-message local lookups) and at the name's consistent-hash
+// home node (one control round trip), which replicates it and pushes
+// invalidations for any record it replaces. The registry's record is
+// WEAK: it notes the home (unproxied) port but releases the carried
 // send right, so the registry never counts toward a service's sender
 // total — a checked-in server with no-senders armed still learns when
 // its last real client is gone. Dead entries are pruned on lookup.
@@ -64,6 +82,7 @@ func (s *Server) handleCheckIn(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	s.mu.Lock()
 	s.names[name] = home
 	s.mu.Unlock()
+	s.installDirectory(name, home)
 	// Release the delivered right (never the registry's own service
 	// port, should someone check that in).
 	if pn != s.srv.Port {
@@ -148,9 +167,56 @@ func (s *Server) cacheDrop(name string, p *ipc.Port) {
 	s.mu.Unlock()
 }
 
-// handleLookUp resolves a name — locally, from the TTL cache, or by
-// broadcasting to peer servers (one charged control round trip per peer
-// asked; positive remote results are cached) — and replies with a send
+// negGet consults the negative cache, pruning expired entries. The
+// same virtual-clock gate as cacheGet applies: no clock, no caching.
+func (s *Server) negGet(name string) bool {
+	if s.topo == nil || s.topo.Clock() == nil {
+		return false
+	}
+	now := s.topo.Clock().Now()
+	s.mu.Lock()
+	expiry, ok := s.neg[name]
+	if ok && now >= expiry {
+		delete(s.neg, name)
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Unlock()
+	if ok {
+		s.met.NegCacheHits.Inc()
+	}
+	return ok
+}
+
+// negPut records an authoritative miss for negCacheTTL of virtual time.
+// The home node tracks this host as a negative waiter (see dirLookup),
+// so a check-in drops the entry before the TTL does.
+func (s *Server) negPut(name string) {
+	if s.topo == nil || s.topo.Clock() == nil {
+		return
+	}
+	expiry := s.topo.Clock().Now() + negCacheTTL
+	s.mu.Lock()
+	if !s.stopped && len(s.neg) < negCacheMax {
+		s.neg[name] = expiry
+	}
+	s.mu.Unlock()
+}
+
+// dropNegative invalidates a negative entry: the name exists now
+// (pushed by the home node at install time).
+func (s *Server) dropNegative(name string) {
+	s.mu.Lock()
+	delete(s.neg, name)
+	s.met.InvalidationsRecv.Inc()
+	s.mu.Unlock()
+}
+
+// handleLookUp resolves a name — from the origin's local slice, this
+// host's directory slice, the TTL caches, or by one control round trip
+// to the name's consistent-hash home node (O(1) in the number of
+// hosts; positive results are cached with home-registered interest,
+// authoritative misses negatively cached) — and replies with a send
 // right the caller can use directly: the home port when the service is
 // local, a proxy otherwise. The right the registry mints for the reply
 // is released once the reply is sent (CarryRelease), so the registry
@@ -162,23 +228,19 @@ func (s *Server) handleLookUp(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 	}
 	p := s.lookupLocal(name)
 	if p == nil {
+		p = s.dirLookup(name, s.host)
+	}
+	if p == nil {
 		p = s.cacheGet(name)
 	}
 	if p == nil {
-		for _, peer := range s.net.peers(s) {
-			// One control round trip per peer asked: the query out and
-			// the answer back.
-			s.peerMetrics(peer.host).ControlMsgs.Add(2)
-			s.topo.ChargeMessage(s.host, peer.host, controlBytes)
-			found := peer.lookupLocal(name)
-			s.topo.ChargeMessage(peer.host, s.host, controlBytes)
-			if found != nil {
-				p = found
-				break
-			}
+		if s.negGet(name) {
+			return nil, rpc.Errf(rpc.StatusNotFound, "netmsg: no service %q", name)
 		}
-		if p != nil {
+		if p = s.remoteLookup(name); p != nil {
 			s.cachePut(name, p)
+		} else {
+			s.negPut(name)
 		}
 	}
 	if p == nil {
@@ -207,11 +269,11 @@ func (s *Server) handleLookUp(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
 // may check it in; a later check-in under the same name replaces the
 // earlier one.
 func CheckIn(space *ipc.Space, svc ipc.Name, name string, port ipc.Name) error {
+	// The server's error is returned as-is: a server-side rejection
+	// (rpc.ErrBadArgs and friends) is the request's verdict, not a
+	// malformed reply, and must not be misreported as ErrBadReply.
 	_, err := rpc.NewClient(space, svc, rpcTimeout).
 		Invoke(MsgCheckIn, rpc.NewEnc().String(name), ipc.CarryRight(port, ipc.SendRight))
-	if errors.Is(err, rpc.ErrBadArgs) {
-		return ErrBadReply
-	}
 	return err
 }
 

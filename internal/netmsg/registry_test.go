@@ -1,0 +1,400 @@
+// Distributed-registry regression tests: O(1) cold-lookup cost, stale
+// re-check-in invalidation, negative caching, error passthrough, and a
+// churn stress run. External package — the tests drive the registry the
+// way applications do, through CheckIn/LookUp over typed rpc.
+package netmsg_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/netmsg"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/mach"
+)
+
+// complexN boots an n-host NORMA complex sharing one netmsg network.
+func complexN(t testing.TB, n int) ([]*kern.Kernel, *machine.Topology) {
+	t.Helper()
+	kernels, topo, _ := mach.Complex(n, machine.NORMA, 1024, 4096)
+	t.Cleanup(func() {
+		for _, k := range kernels {
+			k.Shutdown()
+		}
+	})
+	return kernels, topo
+}
+
+// controlMsgs sums every host's per-peer control-message counters from
+// an obs snapshot (the "hostN.netmsg.peerM.control_msgs" family).
+func controlMsgs(s obs.Snapshot) uint64 {
+	var total uint64
+	for name, v := range s.Counters {
+		if strings.Contains(name, ".netmsg.peer") && strings.HasSuffix(name, ".control_msgs") {
+			total += v
+		}
+	}
+	return total
+}
+
+// coldLookupCost boots n hosts, checks a service in on the LAST host
+// (under the old broadcast, a service on the last-asked peer cost the
+// full fan-out) and returns the complex-wide control-message cost of
+// one cold lookup from a host that holds no directory slice.
+func coldLookupCost(t *testing.T, n int) uint64 {
+	t.Helper()
+	kernels, _ := complexN(t, n)
+	origin := kernels[n-1]
+	serverTask := origin.NewTask()
+	svcPort, err := serverTask.Space.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIn(t, serverTask, "flat-svc", svcPort)
+
+	var ck *kern.Kernel
+	for _, k := range kernels[:n-1] {
+		if k.NetMsg().Stats().DirEntries == 0 {
+			ck = k
+			break
+		}
+	}
+	if ck == nil {
+		t.Fatal("no host without a directory slice")
+	}
+	client := ck.NewTask()
+	before := obs.Default().Snapshot()
+	_ = lookUp(t, client, "flat-svc")
+	diff := obs.Default().Snapshot().Diff(before)
+	return controlMsgs(diff)
+}
+
+// TestColdLookupControlMessagesFlat is the acceptance criterion: a cold
+// LookUp of a remote name costs O(1) control messages — the same two
+// (one home-node round trip) at 4 hosts and at 16.
+func TestColdLookupControlMessagesFlat(t *testing.T) {
+	at4 := coldLookupCost(t, 4)
+	at16 := coldLookupCost(t, 16)
+	if at4 != 2 || at16 != 2 {
+		t.Fatalf("cold lookup control messages: %d at 4 hosts, %d at 16; want 2 and 2 (O(1))", at4, at16)
+	}
+}
+
+// tagServer starts an echo server whose replies carry tag, checked in
+// under name on task's host.
+func tagServer(t *testing.T, task *kern.Task, name, tag string) *rpc.Server {
+	t.Helper()
+	srv, err := rpc.NewServer(task.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgTag ipc.MsgID = 6300
+	srv.Handle(msgTag, func(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+		r := rpc.NewReply()
+		r.String(tag)
+		return r, nil
+	})
+	go srv.Run()
+	t.Cleanup(srv.Stop)
+	checkIn(t, task, name, srv.Port)
+	return srv
+}
+
+// askTag looks name up from task and returns the tag its server replies
+// with.
+func askTag(t *testing.T, task *kern.Task, name string) string {
+	t.Helper()
+	n := lookUp(t, task, name)
+	resp, err := rpc.NewClient(task.Space, n, 5*time.Second).Invoke(ipc.MsgID(6300), nil)
+	if err != nil {
+		t.Fatalf("tag call via %q: %v", name, err)
+	}
+	tag := resp.Dec.String()
+	if err := resp.Dec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return tag
+}
+
+// TestRecheckInInvalidatesRemoteCaches is the satellite-1 regression: a
+// re-check-in under an existing name must invalidate remote cached
+// proxies immediately — the very next lookup anywhere resolves the new
+// server, with no TTL wait.
+func TestRecheckInInvalidatesRemoteCaches(t *testing.T) {
+	kernels, _ := complexN(t, 4)
+
+	oldTask := kernels[0].NewTask()
+	tagServer(t, oldTask, "svc", "old")
+
+	// Warm every other host's cache (and the home's interest set) on
+	// the old server.
+	clients := make([]*kern.Task, 0, 3)
+	for _, k := range kernels[1:] {
+		c := k.NewTask()
+		clients = append(clients, c)
+		if got := askTag(t, c, "svc"); got != "old" {
+			t.Fatalf("warmup resolved %q, want \"old\"", got)
+		}
+	}
+
+	// Replace the service from another host. By the time CheckIn
+	// returns, the home node has pushed invalidations to every cache.
+	newTask := kernels[2].NewTask()
+	tagServer(t, newTask, "svc", "new")
+
+	for i, c := range clients {
+		if got := askTag(t, c, "svc"); got != "new" {
+			t.Fatalf("client %d resolved %q after re-check-in, want \"new\"", i, got)
+		}
+	}
+	// The old origin's own slice must not serve the replaced port
+	// either.
+	if got := askTag(t, oldTask, "svc"); got != "new" {
+		t.Fatalf("old origin resolved %q after re-check-in, want \"new\"", got)
+	}
+}
+
+// TestNegativeLookupCached is the satellite-2 regression: a repeated
+// miss is answered from the negative cache with zero control messages,
+// and a check-in under the name drops the negative entry immediately
+// (negative-waiter push), not after the TTL.
+func TestNegativeLookupCached(t *testing.T) {
+	kernels, _ := complexN(t, 4)
+	client := kernels[1].NewTask()
+	svc, err := client.Kernel().NetMsg().Publish(client.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a missing name whose home is NOT the client's host, so the
+	// first miss pays the one home round trip the second must avoid.
+	var name string
+	for i := 0; i < 64 && name == ""; i++ {
+		cand := fmt.Sprintf("missing-%d", i)
+		before := client.Kernel().NetMsg().Stats().HomeLookups
+		if _, err := netmsg.LookUp(client.Space, svc, cand); !errors.Is(err, netmsg.ErrNotFound) {
+			t.Fatalf("lookup of %q: %v, want ErrNotFound", cand, err)
+		}
+		if client.Kernel().NetMsg().Stats().HomeLookups == before+1 {
+			name = cand
+		}
+	}
+	if name == "" {
+		t.Fatal("no candidate name homed away from the client host")
+	}
+
+	// Repeat the miss: negative-cache hit, zero control messages.
+	before := obs.Default().Snapshot()
+	if _, err := netmsg.LookUp(client.Space, svc, name); !errors.Is(err, netmsg.ErrNotFound) {
+		t.Fatalf("repeat lookup of %q: %v, want ErrNotFound", name, err)
+	}
+	diff := obs.Default().Snapshot().Diff(before)
+	if c := controlMsgs(diff); c != 0 {
+		t.Fatalf("repeated miss cost %d control messages, want 0", c)
+	}
+	if hits := client.Kernel().NetMsg().Stats().NegCacheHits; hits != 1 {
+		t.Fatalf("negative cache hits %d, want 1", hits)
+	}
+
+	// Check the name in elsewhere: the home's negative-waiter push must
+	// make it resolvable from the client immediately.
+	serverTask := kernels[0].NewTask()
+	svcPort, err := serverTask.Space.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIn(t, serverTask, name, svcPort)
+	if _, err := netmsg.LookUp(client.Space, svc, name); err != nil {
+		t.Fatalf("lookup of %q right after check-in: %v, want success", name, err)
+	}
+}
+
+// TestCheckInErrorPassthrough is the satellite-3 regression: a
+// server-side rejection (rpc.ErrBadArgs for a check-in carrying no
+// right) must surface as that error, not be misreported as a malformed
+// reply — and a well-formed check-in still succeeds.
+func TestCheckInErrorPassthrough(t *testing.T) {
+	kernels, _ := complexN(t, 2)
+	task := kernels[0].NewTask()
+	svc, err := task.Kernel().NetMsg().Publish(task.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw check-in with no carried port right: the server rejects it
+	// with StatusBadArgs.
+	_, err = rpc.NewClient(task.Space, svc, 5*time.Second).
+		Invoke(netmsg.MsgCheckIn, rpc.NewEnc().String("no-right"))
+	if !errors.Is(err, rpc.ErrBadArgs) {
+		t.Fatalf("right-less check-in: %v, want rpc.ErrBadArgs", err)
+	}
+	if errors.Is(err, netmsg.ErrBadReply) {
+		t.Fatal("right-less check-in misreported as ErrBadReply")
+	}
+
+	// The success path is unchanged.
+	p, err := task.Space.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netmsg.CheckIn(task.Space, svc, "with-right", p); err != nil {
+		t.Fatalf("well-formed check-in: %v", err)
+	}
+}
+
+// TestRegistryChurnStress is the satellite-4 coverage: 16 goroutines of
+// concurrent check-in / lookup / re-check-in / port-death churn across
+// 4 hosts under -race. The staleness oracle is a per-name generation
+// floor: once CheckIn of generation g has returned, no lookup started
+// afterwards may resolve a server of generation < g. Afterwards the
+// complex must converge to zero live proxies on every host.
+func TestRegistryChurnStress(t *testing.T) {
+	kernels, _ := complexN(t, 4)
+	const (
+		names      = 4
+		owners     = 8
+		lookers    = 8
+		iterations = 40
+	)
+	const msgGen ipc.MsgID = 6400
+
+	type namedState struct {
+		mu    sync.Mutex // serializes check-ins of one name
+		floor atomic.Int64
+		next  atomic.Int64
+	}
+	states := make([]*namedState, names)
+	for i := range states {
+		states[i] = &namedState{}
+	}
+
+	// genServer publishes a server answering with its generation and
+	// returns it with its owning task.
+	genServer := func(k *kern.Kernel, gen int64) (*kern.Task, *rpc.Server, error) {
+		task := k.NewTask()
+		srv, err := rpc.NewServer(task.Space)
+		if err != nil {
+			task.Terminate()
+			return nil, nil, err
+		}
+		srv.Handle(msgGen, func(m *ipc.Message, d *rpc.Dec) (*rpc.Reply, error) {
+			r := rpc.NewReply()
+			r.U64(uint64(gen))
+			return r, nil
+		})
+		go srv.Run()
+		return task, srv, nil
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, owners+lookers)
+
+	for w := 0; w < owners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := states[w%names]
+			name := fmt.Sprintf("churn-%d", w%names)
+			for i := 0; i < iterations; i++ {
+				k := kernels[(w+i)%len(kernels)]
+				st.mu.Lock()
+				gen := st.next.Add(1)
+				task, srv, err := genServer(k, gen)
+				if err != nil {
+					st.mu.Unlock()
+					errc <- err
+					return
+				}
+				// Check in from the owning task's space: srv.Port is a
+				// name in task.Space, meaningless anywhere else.
+				svc, err := k.NetMsg().Publish(task.Space)
+				if err == nil {
+					err = netmsg.CheckIn(task.Space, svc, name, srv.Port)
+				}
+				if err != nil {
+					st.mu.Unlock()
+					errc <- fmt.Errorf("check-in %s gen %d: %w", name, gen, err)
+					return
+				}
+				st.floor.Store(gen)
+				st.mu.Unlock()
+				// Let it serve briefly, then kill it: half by server
+				// stop (port death), half by replacement.
+				time.Sleep(time.Duration(w%3) * time.Millisecond)
+				if i%2 == 0 {
+					srv.Stop()
+					task.Terminate()
+				} else {
+					t.Cleanup(srv.Stop)
+					t.Cleanup(task.Terminate)
+				}
+			}
+		}(w)
+	}
+
+	for w := 0; w < lookers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			task := kernels[w%len(kernels)].NewTask()
+			defer task.Terminate()
+			svc, err := task.Kernel().NetMsg().Publish(task.Space)
+			if err != nil {
+				errc <- err
+				return
+			}
+			st := states[w%names]
+			name := fmt.Sprintf("churn-%d", w%names)
+			for i := 0; i < iterations*2; i++ {
+				floor := st.floor.Load()
+				n, err := netmsg.LookUp(task.Space, svc, name)
+				if err != nil {
+					// Not yet checked in, or died mid-lookup: fine.
+					continue
+				}
+				resp, err := rpc.NewClient(task.Space, n, 5*time.Second).Invoke(msgGen, nil)
+				_ = task.Space.DeallocatePort(n)
+				if err != nil {
+					// The resolved server died before answering: fine.
+					continue
+				}
+				gen := int64(resp.Dec.U64())
+				if err := resp.Dec.Err(); err != nil {
+					errc <- err
+					return
+				}
+				if gen < floor {
+					errc <- fmt.Errorf("stale resolution of %s: generation %d, floor was %d", name, gen, floor)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Convergence: with every client task gone and every server either
+	// stopped or kept alive only by its own host, all proxies retire.
+	for _, k := range kernels {
+		k := k
+		waitUntil(t, fmt.Sprintf("host %d proxies retired", k.NetMsg().Stats().ProxiesCreated), func() bool {
+			return k.NetMsg().Stats().ActiveProxies == 0
+		})
+	}
+}

@@ -107,10 +107,23 @@ type NetmsgMetrics struct {
 	ProxiesRetired *Counter
 	ProxiesDied    *Counter
 	// CacheHits counts remote lookups satisfied by the local proxy
-	// cache instead of a control round-trip.
-	CacheHits *Counter
-	// Proxies is the live proxy population.
-	Proxies *Gauge
+	// cache instead of a control round-trip; NegCacheHits the misses
+	// answered from the negative cache the same way.
+	CacheHits    *Counter
+	NegCacheHits *Counter
+	// HomeLookups counts cold lookups resolved by asking the name's
+	// consistent-hash home node — one control round trip each,
+	// independent of host count.
+	HomeLookups *Counter
+	// InvalidationsSent/Recv count directory invalidation pushes (a
+	// replaced or dead record, or a name appearing that peers hold
+	// negative entries for).
+	InvalidationsSent *Counter
+	InvalidationsRecv *Counter
+	// Proxies is the live proxy population; DirEntries the directory
+	// records (home or replica) this host currently serves.
+	Proxies    *Gauge
+	DirEntries *Gauge
 }
 
 // NetmsgHost returns host's netmsg bundle.
@@ -118,11 +131,16 @@ func NetmsgHost(host int) *NetmsgMetrics {
 	r := Default()
 	p := HostPrefix(host) + "netmsg."
 	return &NetmsgMetrics{
-		ProxiesCreated: r.Counter(p + "proxies_created"),
-		ProxiesRetired: r.Counter(p + "proxies_retired"),
-		ProxiesDied:    r.Counter(p + "proxies_died"),
-		CacheHits:      r.Counter(p + "lookup_cache_hits"),
-		Proxies:        r.Gauge(p + "proxies"),
+		ProxiesCreated:    r.Counter(p + "proxies_created"),
+		ProxiesRetired:    r.Counter(p + "proxies_retired"),
+		ProxiesDied:       r.Counter(p + "proxies_died"),
+		CacheHits:         r.Counter(p + "lookup_cache_hits"),
+		NegCacheHits:      r.Counter(p + "neg_cache_hits"),
+		HomeLookups:       r.Counter(p + "lookups_home"),
+		InvalidationsSent: r.Counter(p + "invalidations_sent"),
+		InvalidationsRecv: r.Counter(p + "invalidations_recv"),
+		Proxies:           r.Gauge(p + "proxies"),
+		DirEntries:        r.Gauge(p + "dir_entries"),
 	}
 }
 
@@ -143,6 +161,37 @@ func NetmsgPeer(host, peer int) *NetmsgPeerMetrics {
 		Msgs:        r.Counter(p + "msgs"),
 		Bytes:       r.Counter(p + "bytes"),
 		ControlMsgs: r.Counter(p + "control_msgs"),
+	}
+}
+
+// LoadGenMetrics instruments the open-loop load generator driving a
+// simulated complex (machbench E12): arrivals are clocked, not gated
+// on completions, so latency under overload is visible instead of
+// hidden by coordinated omission.
+type LoadGenMetrics struct {
+	// Sessions counts client sessions started; Lookups and Calls the
+	// name resolutions and service RPCs they issued; Errors any of
+	// either that failed.
+	Sessions *Counter
+	Lookups  *Counter
+	Calls    *Counter
+	Errors   *Counter
+	// LookupLatency and CallLatency are wall-clock nanoseconds per
+	// LookUp and per service RPC.
+	LookupLatency *Histogram
+	CallLatency   *Histogram
+}
+
+// LoadGen returns the process-global load-generator bundle.
+func LoadGen() *LoadGenMetrics {
+	r := Default()
+	return &LoadGenMetrics{
+		Sessions:      r.Counter("loadgen.sessions"),
+		Lookups:       r.Counter("loadgen.lookups"),
+		Calls:         r.Counter("loadgen.calls"),
+		Errors:        r.Counter("loadgen.errors"),
+		LookupLatency: r.Histogram("loadgen.lookup_ns"),
+		CallLatency:   r.Histogram("loadgen.rpc_ns"),
 	}
 }
 
